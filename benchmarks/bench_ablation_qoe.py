@@ -1,0 +1,128 @@
+"""Ablation A7 — quality of experience: herding really does interrupt streams.
+
+Paper Sec. III-B claims simultaneous switching causes "frequent
+interruption in the streaming flow and poor quality of experience".  This
+bench quantifies it with a standard fluid playback buffer (2 s startup
+threshold) fed by each peer's received-rate series, for three dynamics on
+the same bandwidth realization:
+
+* R2HS (the paper's algorithm),
+* the deterministic simultaneous best-response herd of Sec. III-B (all
+  peers myopically chase last stage's best helper together),
+* uniform random selection.
+
+Demand is sized to be comfortably feasible under balanced play (N x 140 =
+2800 vs. mean total capacity 3200), so any chronic stalling is caused by
+the selection dynamics, not scarcity.
+
+Expected shape: the herd collapses onto one helper every stage (per-peer
+share ~ C/N = 40 kbit/s << 140), so it stalls almost permanently; R2HS and
+random play smoothly, with R2HS using far fewer helper switches than
+random (every switch re-establishes a one-directional stream).
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import R2HSLearner
+from repro.game import RepeatedGameDriver, UniformRandomLearner
+from repro.game.best_response import simultaneous_best_response_path
+from repro.game.helper_selection import HelperSelectionGame, loads_from_profile
+from repro.game.repeated_game import Trajectory
+from repro.sim import (
+    TraceCapacityProcess,
+    paper_bandwidth_process,
+    record_capacity_trace,
+)
+from repro.sim.playback import playback_qoe
+
+from conftest import write_artifact
+
+NUM_PEERS = 20
+NUM_HELPERS = 4
+STAGES = 1200
+BITRATE = 140.0  # N * bitrate = 2800 vs. mean total capacity 3200
+
+
+def herd_trajectory(shared: np.ndarray) -> Trajectory:
+    """Simultaneous best response replayed against the recorded capacities.
+
+    The anticipated-rate comparison uses the previous stage's loads (the
+    Sec. III-B dynamic); rates realize against the current capacities.
+    """
+    stages = shared.shape[0]
+    actions = np.empty((stages, NUM_PEERS), dtype=int)
+    profile = np.zeros(NUM_PEERS, dtype=int)
+    for t in range(stages):
+        game = HelperSelectionGame(NUM_PEERS, shared[t])
+        path = simultaneous_best_response_path(game, profile, 1)
+        profile = path[1]
+        actions[t] = profile
+    loads = np.stack(
+        [loads_from_profile(actions[t], NUM_HELPERS) for t in range(stages)]
+    )
+    utilities = np.stack(
+        [
+            shared[t][actions[t]] / loads[t][actions[t]]
+            for t in range(stages)
+        ]
+    )
+    return Trajectory(
+        capacities=shared.copy(), actions=actions, loads=loads,
+        utilities=utilities,
+    )
+
+
+def run_experiment(seed: int = 0):
+    env = paper_bandwidth_process(NUM_HELPERS, rng=seed)
+    shared = record_capacity_trace(env, STAGES)
+
+    def summarize(label, trajectory):
+        report = playback_qoe(trajectory, bitrate=BITRATE)
+        return {
+            "label": label,
+            "stall_fraction": report.mean_stall_fraction,
+            "peers_with_stalls": report.peers_with_stalls,
+            "switch_rate": report.mean_switch_rate,
+        }
+
+    r2hs_learners = [
+        R2HSLearner(NUM_HELPERS, rng=seed + 100 + i, epsilon=0.05, u_max=900.0)
+        for i in range(NUM_PEERS)
+    ]
+    r2hs_traj = RepeatedGameDriver(
+        r2hs_learners, TraceCapacityProcess(shared.copy())
+    ).run(STAGES)
+
+    random_learners = [
+        UniformRandomLearner(NUM_HELPERS, rng=seed + 300 + i)
+        for i in range(NUM_PEERS)
+    ]
+    random_traj = RepeatedGameDriver(
+        random_learners, TraceCapacityProcess(shared.copy())
+    ).run(STAGES)
+
+    return [
+        summarize("R2HS", r2hs_traj),
+        summarize("best-response herd", herd_trajectory(shared)),
+        summarize("uniform random", random_traj),
+    ]
+
+
+def test_ablation_playback_qoe(benchmark):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = render_table(
+        ["strategy", "stall fraction", "peers with stalls", "switch rate"],
+        [
+            [r["label"], r["stall_fraction"], r["peers_with_stalls"],
+             r["switch_rate"]]
+            for r in rows
+        ],
+    )
+    write_artifact("ablation_qoe", table)
+    r2hs, herd, random_sel = rows
+    # Sec. III-B quantified: the herd stalls chronically, R2HS does not.
+    assert herd["stall_fraction"] > 0.5
+    assert r2hs["stall_fraction"] < 0.05
+    # And R2HS switches helpers an order of magnitude less than random.
+    assert r2hs["switch_rate"] < random_sel["switch_rate"] * 0.3

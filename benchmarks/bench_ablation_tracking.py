@@ -1,0 +1,92 @@
+"""Ablation A1 — constant-step tracking vs. uniform-average matching.
+
+The design choice the paper's Sec. II motivates: exponential recency
+weighting (tracking) instead of Hart & Mas-Colell's uniform average
+(matching).  Both learners run with the *same* mu on the same drifting
+environment realization: the dominant helper's capacity collapses halfway
+through the run.
+
+Scores are load-misallocation per peer (L1 distance of mean loads from the
+capacity-proportional target) in three windows: stationary (just before
+the drift), right after the drift, and final.
+
+Expected shape: matching is better while stationary (lower-variance
+estimates) but collapses after the drift; tracking adapts within a couple
+hundred stages — the paper's central argument.
+"""
+
+import numpy as np
+
+from repro.analysis import render_table
+from repro.core import R2HSLearner, regret_matching_learner
+from repro.game import RepeatedGameDriver
+from repro.sim import TraceCapacityProcess
+
+from conftest import write_artifact
+
+NUM_PEERS = 12
+NUM_HELPERS = 3
+STAGES = 2000
+DRIFT = STAGES // 2
+MU = 0.25
+
+
+def drifting_trace() -> np.ndarray:
+    trace = np.zeros((STAGES, NUM_HELPERS))
+    trace[:DRIFT] = [900.0, 500.0, 200.0]
+    trace[DRIFT:] = [200.0, 500.0, 900.0]
+    return trace
+
+
+def misallocation(trajectory, lo, hi) -> float:
+    loads = trajectory.loads[lo:hi].mean(axis=0)
+    caps = trajectory.capacities[lo:hi].mean(axis=0)
+    target = NUM_PEERS * caps / caps.sum()
+    return float(np.abs(loads - target).sum() / NUM_PEERS)
+
+
+def run_experiment(seed: int = 0):
+    def play(factory):
+        learners = [factory(i) for i in range(NUM_PEERS)]
+        driver = RepeatedGameDriver(
+            learners, TraceCapacityProcess(drifting_trace())
+        )
+        trajectory = driver.run(STAGES)
+        return (
+            misallocation(trajectory, DRIFT - 200, DRIFT),
+            misallocation(trajectory, DRIFT, DRIFT + 200),
+            misallocation(trajectory, STAGES - 200, STAGES),
+        )
+
+    tracking = play(
+        lambda i: R2HSLearner(
+            NUM_HELPERS, rng=seed + 100 + i, epsilon=0.02, mu=MU, u_max=900.0
+        )
+    )
+    matching = play(
+        lambda i: regret_matching_learner(
+            NUM_HELPERS, rng=seed + 200 + i, mu=MU, u_max=900.0
+        )
+    )
+    return tracking, matching
+
+
+def test_ablation_tracking_vs_matching(benchmark):
+    tracking, matching = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    table = render_table(
+        ["algorithm", "stationary", "right after drift", "final"],
+        [
+            ["tracking (const eps)", *map(float, tracking)],
+            ["matching (eps=1/n)", *map(float, matching)],
+        ],
+    )
+    ratio = matching[1] / max(tracking[1], 1e-9)
+    summary = (
+        f"\nmisallocation per peer; lower is better"
+        f"\npost-drift advantage of tracking: {ratio:.2f}x"
+    )
+    write_artifact("ablation_tracking", table + summary)
+    # The design-choice claim: tracking adapts better right after drift.
+    assert tracking[1] < matching[1]
+    # And matching's stationary edge is real too (uniform averaging).
+    assert matching[0] < tracking[0] + 0.1

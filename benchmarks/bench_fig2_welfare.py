@@ -1,0 +1,23 @@
+"""Paper Fig. 2 — RTHS vs. the centralized MDP benchmark (small scale).
+
+The paper's small-scale case: N = 10 peers, H = 4 helpers.  The
+distributed R2HS population plays the repeated game while the centralized
+benchmark is solved exactly (occupation-measure LP == symmetric closed
+form == relative value iteration; see tests/mdp/test_cross_check.py);
+the per-stage optimum along the same realized bandwidth path is plotted
+alongside.
+
+Expected shape: RTHS welfare climbs to within a few percent of the MDP
+optimum ("converges to the near-the-optimal solution").
+"""
+
+from repro.analysis.experiments import fig2_welfare_vs_mdp
+
+from conftest import write_artifact
+
+
+def test_fig2_rths_vs_centralized_mdp(benchmark):
+    result = benchmark.pedantic(fig2_welfare_vs_mdp, rounds=1, iterations=1)
+    write_artifact(result.name, result.text)
+    assert result.metrics["optimality"] > 0.9
+    assert result.metrics["steady_welfare"] <= result.metrics["optimum"] * 1.001

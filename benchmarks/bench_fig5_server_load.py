@@ -1,0 +1,27 @@
+"""Paper Fig. 5 — real server workload vs. minimum bandwidth deficit.
+
+Fig. 5 scenario: aggregate peer demand exceeds the helpers' minimum
+provisioned bandwidth (40 peers x 100 kbit/s = 4000 against 4 x 700 =
+2800 minimum), so the origin server must always cover a structural
+shortfall.  The discrete-event system runs R2HS selection; the server
+tops up every peer whose helper share falls below its demand.
+
+Expected shape: realized server load stays close to the minimum-deficit
+reference (between ``demand - E[sum C] = 800`` and the bound 1200) and far
+below the no-helper load of 4000 — "helpers greatly decrease the load of
+the streaming server".
+"""
+
+from repro.analysis.experiments import fig5_server_load
+
+from conftest import write_artifact
+
+
+def test_fig5_server_load_vs_min_deficit(benchmark):
+    result = benchmark.pedantic(fig5_server_load, rounds=1, iterations=1)
+    write_artifact(result.name, result.text)
+    assert (
+        result.metrics["steady_server_load"]
+        < result.metrics["min_deficit"] * 1.1
+    )
+    assert result.metrics["saving_fraction"] > 0.6

@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or an ablation)
+and writes the plotted series as an aligned text table under
+``benchmarks/output/``, so a bench run leaves the full set of
+figure-artifacts on disk.  Pass ``-s`` to also see the tables inline.
+"""
+
+import pathlib
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def write_artifact(name: str, text: str) -> None:
+    """Persist a rendered figure table and echo it to stdout."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n--- {name} ---")
+    print(text)

@@ -1,0 +1,120 @@
+"""repro — reproduction of "Decentralized Adaptive Helper Selection in
+Multi-channel P2P Streaming Systems" (Mostafavi & Dehghan, ICDCS 2014).
+
+The package implements the paper's RTHS / R2HS regret-tracking helper
+selection algorithms, the multi-channel P2P streaming substrate they run
+on, the centralized MDP (occupation-measure LP) benchmark, and the full
+evaluation harness regenerating every figure in the paper's Section IV.
+
+Quick start::
+
+    import repro
+
+    scenario = repro.small_scale_scenario()
+    process = repro.make_capacity_process(scenario, rng=1)
+    population = repro.make_learner_population(scenario, rng=2)
+    trajectory = population.run(process, scenario.num_stages)
+    print(trajectory.welfare[-100:].mean())
+
+See ``examples/`` for end-to-end scripts and ``DESIGN.md`` for the system
+inventory and the per-figure experiment index.
+"""
+
+from repro.core import (
+    LearnerPopulation,
+    R2HSLearner,
+    RTHSLearner,
+    empirical_ce_regret,
+    empirical_ce_regret_report,
+    is_epsilon_correlated_equilibrium,
+    regret_matching_learner,
+    solve_ce_lp,
+)
+from repro.game import (
+    BestResponseLearner,
+    FictitiousPlayLearner,
+    HelperSelectionGame,
+    RepeatedGameDriver,
+    StickyLearner,
+    Trajectory,
+    UniformRandomLearner,
+)
+from repro.game.repeated_game import StaticCapacities
+from repro.mdp import (
+    MarkovChain,
+    birth_death_chain,
+    optimal_welfare_for_state,
+    solve_occupation_lp,
+    solve_symmetric_optimum,
+)
+from repro.metrics import jain_index, load_balance_report, server_load_report
+from repro.multichannel import AdaptiveAllocator, JointMultiChannelSystem
+from repro.sim import (
+    PAPER_BANDWIDTH_LEVELS,
+    ChurnConfig,
+    MarkovCapacityProcess,
+    StreamingSystem,
+    SystemConfig,
+    TraceCapacityProcess,
+    paper_bandwidth_process,
+)
+from repro.workloads import (
+    Scenario,
+    fig5_scenario,
+    large_scale_scenario,
+    make_capacity_process,
+    make_learner_population,
+    small_scale_scenario,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "RTHSLearner",
+    "R2HSLearner",
+    "regret_matching_learner",
+    "LearnerPopulation",
+    "empirical_ce_regret",
+    "empirical_ce_regret_report",
+    "is_epsilon_correlated_equilibrium",
+    "solve_ce_lp",
+    # game
+    "HelperSelectionGame",
+    "RepeatedGameDriver",
+    "Trajectory",
+    "StaticCapacities",
+    "BestResponseLearner",
+    "FictitiousPlayLearner",
+    "UniformRandomLearner",
+    "StickyLearner",
+    # mdp
+    "MarkovChain",
+    "birth_death_chain",
+    "solve_occupation_lp",
+    "solve_symmetric_optimum",
+    "optimal_welfare_for_state",
+    # sim
+    "PAPER_BANDWIDTH_LEVELS",
+    "MarkovCapacityProcess",
+    "TraceCapacityProcess",
+    "paper_bandwidth_process",
+    "StreamingSystem",
+    "SystemConfig",
+    "ChurnConfig",
+    # metrics
+    "jain_index",
+    "load_balance_report",
+    "server_load_report",
+    # multichannel
+    "AdaptiveAllocator",
+    "JointMultiChannelSystem",
+    # workloads
+    "Scenario",
+    "small_scale_scenario",
+    "large_scale_scenario",
+    "fig5_scenario",
+    "make_capacity_process",
+    "make_learner_population",
+]

@@ -1,0 +1,75 @@
+"""Persistence for experiment outputs.
+
+Trajectories are the repository's canonical experiment record; storing
+them lets long runs be analyzed offline (CE regret, fairness, playback
+QoE) without re-simulation.  Format: a single ``.npz`` with the four dense
+arrays plus a small JSON-encoded metadata blob.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.game.repeated_game import Trajectory
+
+PathLike = Union[str, pathlib.Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_trajectory(
+    path: PathLike,
+    trajectory: Trajectory,
+    metadata: Optional[Dict[str, object]] = None,
+) -> None:
+    """Write a trajectory (and optional metadata dict) to ``path``.
+
+    The suffix ``.npz`` is appended if missing (numpy does the same).
+    Metadata must be JSON-serializable.
+    """
+    meta = dict(metadata or {})
+    meta["format_version"] = _FORMAT_VERSION
+    encoded = json.dumps(meta)
+    np.savez_compressed(
+        str(path),
+        capacities=trajectory.capacities,
+        actions=trajectory.actions,
+        loads=trajectory.loads,
+        utilities=trajectory.utilities,
+        metadata=np.array(encoded),
+    )
+
+
+def load_trajectory(path: PathLike) -> tuple[Trajectory, Dict[str, object]]:
+    """Read a trajectory written by :func:`save_trajectory`.
+
+    Returns ``(trajectory, metadata)``; validates array consistency so a
+    corrupted or foreign file fails loudly.
+    """
+    with np.load(str(path), allow_pickle=False) as data:
+        required = {"capacities", "actions", "loads", "utilities"}
+        missing = required - set(data.files)
+        if missing:
+            raise ValueError(f"file is missing arrays: {sorted(missing)}")
+        capacities = data["capacities"]
+        actions = data["actions"].astype(int)
+        loads = data["loads"].astype(int)
+        utilities = data["utilities"]
+        metadata: Dict[str, object] = {}
+        if "metadata" in data.files:
+            metadata = json.loads(str(data["metadata"]))
+    t = actions.shape[0]
+    if capacities.shape[0] != t or loads.shape[0] != t or utilities.shape[0] != t:
+        raise ValueError("array lengths disagree; file is corrupt")
+    if capacities.shape[1] != loads.shape[1]:
+        raise ValueError("capacities and loads disagree on helper count")
+    if actions.shape[1] != utilities.shape[1]:
+        raise ValueError("actions and utilities disagree on peer count")
+    trajectory = Trajectory(
+        capacities=capacities, actions=actions, loads=loads, utilities=utilities
+    )
+    return trajectory, metadata

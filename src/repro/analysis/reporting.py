@@ -1,0 +1,108 @@
+"""Plain-text rendering of tables and series.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; these helpers keep that output compact and aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_float(value: float, digits: int = 3) -> str:
+    """Fixed-width float formatting with sensible magnitude handling."""
+    if value != value:  # NaN
+        return "nan"
+    if value in (float("inf"), float("-inf")):
+        return "inf" if value > 0 else "-inf"
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 10**-digits:
+        return f"{value:.{digits}g}"
+    return f"{value:.{digits}f}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    header_cells = [str(h) for h in headers]
+    body: List[List[str]] = []
+    for row in rows:
+        cells = [
+            format_float(c) if isinstance(c, float) else str(c) for c in row
+        ]
+        if len(cells) != len(header_cells):
+            raise ValueError(
+                f"row has {len(cells)} cells, header has {len(header_cells)}"
+            )
+        body.append(cells)
+    widths = [len(h) for h in header_cells]
+    for cells in body:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    return "\n".join([line(header_cells), rule] + [line(c) for c in body])
+
+
+def downsample(series: np.ndarray, num_points: int) -> np.ndarray:
+    """Bucket-mean downsampling to at most ``num_points`` values."""
+    arr = np.asarray(series, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("series must be non-empty 1-D")
+    if num_points < 1:
+        raise ValueError("num_points must be >= 1")
+    if arr.size <= num_points:
+        return arr.copy()
+    edges = np.linspace(0, arr.size, num_points + 1).astype(int)
+    return np.array(
+        [arr[edges[i] : edges[i + 1]].mean() for i in range(num_points)]
+    )
+
+
+def sparkline(series: np.ndarray, width: int = 60) -> str:
+    """Unicode sparkline of a series (handy in bench output)."""
+    arr = downsample(np.asarray(series, dtype=float), width)
+    low, high = float(arr.min()), float(arr.max())
+    if high - low < 1e-12:
+        return _SPARK_CHARS[0] * arr.size
+    scaled = (arr - low) / (high - low) * (len(_SPARK_CHARS) - 1)
+    return "".join(_SPARK_CHARS[int(round(v))] for v in scaled)
+
+
+def render_series_table(
+    names: Sequence[str],
+    series: Sequence[np.ndarray],
+    num_points: int = 12,
+    stage_axis: bool = True,
+) -> str:
+    """Downsampled side-by-side series table (one column per series).
+
+    The first column gives the (approximate) stage index of each bucket.
+    """
+    if len(names) != len(series):
+        raise ValueError("names and series must have equal length")
+    if not series:
+        raise ValueError("need at least one series")
+    length = len(series[0])
+    for s in series:
+        if len(s) != length:
+            raise ValueError("all series must have equal length")
+    sampled = [downsample(np.asarray(s, dtype=float), num_points) for s in series]
+    points = sampled[0].size
+    headers = (["stage"] if stage_axis else []) + list(names)
+    rows = []
+    for i in range(points):
+        stage = int(round((i + 0.5) * length / points))
+        row: List[object] = ([stage] if stage_axis else [])
+        row.extend(float(s[i]) for s in sampled)
+        rows.append(row)
+    return render_table(headers, rows)

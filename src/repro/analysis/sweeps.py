@@ -1,0 +1,169 @@
+"""Parameter-sweep harness.
+
+Grid sweeps over learner and environment parameters with paired
+environment realizations: every cell replays the *same* recorded bandwidth
+path, so differences between cells are attributable to the parameters, not
+to environment luck.  Used by the ablation benches and the ``sweep``-style
+analyses in the examples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import render_table
+from repro.core.equilibrium import empirical_ce_regret
+from repro.core.population import LearnerPopulation
+from repro.game.repeated_game import Trajectory
+from repro.metrics.distributions import load_balance_report
+from repro.sim.bandwidth import (
+    MarkovCapacityProcess,
+    TraceCapacityProcess,
+    paper_bandwidth_process,
+    record_capacity_trace,
+)
+from repro.util.rng import Seedish, as_generator, derive_seed
+
+MetricFunction = Callable[[Trajectory], float]
+
+
+def default_metrics(u_max: float = 900.0) -> Dict[str, MetricFunction]:
+    """The standard sweep metrics: welfare, CE regret, load balance."""
+    return {
+        "tail_welfare": lambda t: float(t.tail(0.25).welfare.mean()),
+        "ce_regret": lambda t: float(empirical_ce_regret(t, u_max=u_max)),
+        "load_jain": lambda t: float(load_balance_report(t).jain),
+    }
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point and its metric values."""
+
+    parameters: Mapping[str, object]
+    metrics: Mapping[str, float]
+
+
+@dataclass
+class SweepResult:
+    """All cells of a sweep plus rendering helpers."""
+
+    cells: List[SweepCell] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        """Aligned text table: one row per cell."""
+        if not self.cells:
+            raise ValueError("sweep produced no cells")
+        param_names = list(self.cells[0].parameters)
+        metric_names = list(self.cells[0].metrics)
+        rows = [
+            [cell.parameters[p] for p in param_names]
+            + [float(cell.metrics[m]) for m in metric_names]
+            for cell in self.cells
+        ]
+        return render_table(param_names + metric_names, rows)
+
+    def best(self, metric: str, maximize: bool = True) -> SweepCell:
+        """The cell optimizing ``metric``."""
+        if not self.cells:
+            raise ValueError("sweep produced no cells")
+        key = lambda cell: cell.metrics[metric]  # noqa: E731
+        return max(self.cells, key=key) if maximize else min(self.cells, key=key)
+
+    def column(self, name: str) -> np.ndarray:
+        """Metric values across cells, in grid order."""
+        return np.array([cell.metrics[name] for cell in self.cells])
+
+
+def sweep_learner_parameters(
+    grid: Mapping[str, Sequence[object]],
+    num_peers: int,
+    num_helpers: int,
+    num_stages: int,
+    metrics: Mapping[str, MetricFunction] | None = None,
+    stay_probability: float = 0.9,
+    u_max: float = 900.0,
+    rng: Seedish = None,
+) -> SweepResult:
+    """Sweep :class:`~repro.core.population.LearnerPopulation` parameters.
+
+    ``grid`` maps LearnerPopulation keyword names (``epsilon``, ``delta``,
+    ``mu``) to value lists; the full cross product is evaluated against a
+    single shared bandwidth realization.
+    """
+    if not grid:
+        raise ValueError("grid must not be empty")
+    parent = as_generator(rng)
+    env = paper_bandwidth_process(
+        num_helpers, stay_probability=stay_probability, rng=derive_seed(parent)
+    )
+    shared = record_capacity_trace(env, num_stages)
+    metric_fns = dict(metrics) if metrics is not None else default_metrics(u_max)
+
+    result = SweepResult()
+    names = list(grid)
+    for combo in itertools.product(*(grid[name] for name in names)):
+        params = dict(zip(names, combo))
+        population = LearnerPopulation(
+            num_peers,
+            num_helpers,
+            u_max=u_max,
+            rng=derive_seed(parent),
+            **params,
+        )
+        trajectory = population.run(TraceCapacityProcess(shared.copy()), num_stages)
+        result.cells.append(
+            SweepCell(
+                parameters=params,
+                metrics={
+                    name: fn(trajectory) for name, fn in metric_fns.items()
+                },
+            )
+        )
+    return result
+
+
+def sweep_environment_speed(
+    stay_probabilities: Sequence[float],
+    num_peers: int,
+    num_helpers: int,
+    num_stages: int,
+    epsilon: float = 0.05,
+    u_max: float = 900.0,
+    metrics: Mapping[str, MetricFunction] | None = None,
+    rng: Seedish = None,
+) -> SweepResult:
+    """Sweep the bandwidth chain's stay-probability (environment speed).
+
+    Each cell gets its own realization (the parameter *is* the
+    environment); learner parameters stay fixed.  Probes the paper's
+    "slowly changing random process" assumption: tracking should hold up
+    until the chain mixes faster than the learner's memory.
+    """
+    if not stay_probabilities:
+        raise ValueError("need at least one stay probability")
+    parent = as_generator(rng)
+    metric_fns = dict(metrics) if metrics is not None else default_metrics(u_max)
+    result = SweepResult()
+    for stay in stay_probabilities:
+        process = paper_bandwidth_process(
+            num_helpers, stay_probability=stay, rng=derive_seed(parent)
+        )
+        population = LearnerPopulation(
+            num_peers, num_helpers, epsilon=epsilon, u_max=u_max,
+            rng=derive_seed(parent),
+        )
+        trajectory = population.run(process, num_stages)
+        result.cells.append(
+            SweepCell(
+                parameters={"stay_probability": stay},
+                metrics={
+                    name: fn(trajectory) for name, fn in metric_fns.items()
+                },
+            )
+        )
+    return result

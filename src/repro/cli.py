@@ -1,0 +1,128 @@
+"""Command-line interface: reproduce paper figures and run custom scenarios.
+
+Usage::
+
+    python -m repro figure fig1 [--seed 0]
+    python -m repro figure all
+    python -m repro scenario --peers 30 --helpers 5 --stages 2000 --seed 1
+    python -m repro list
+
+``figure`` regenerates one (or all) of the paper's figures and prints the
+same text tables the benchmark harness writes to ``benchmarks/output/``.
+``scenario`` runs an ad-hoc helper-selection experiment and prints the
+headline metrics.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+import repro
+from repro.analysis.experiments import ALL_FIGURES
+from repro.core import LearnerPopulation, empirical_ce_regret
+from repro.mdp import solve_symmetric_optimum
+from repro.metrics import jain_index, load_balance_report
+from repro.sim import paper_bandwidth_process
+
+FIGURE_DESCRIPTIONS = {
+    "fig1": "worst-player regret decay (large scale)",
+    "fig2": "RTHS welfare vs. centralized MDP optimum (N=10, H=4)",
+    "fig3": "helper load distribution",
+    "fig4": "per-peer bandwidth fairness",
+    "fig5": "server workload vs. minimum bandwidth deficit",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Decentralized Adaptive Helper Selection in "
+        "Multi-channel P2P Streaming Systems' (ICDCS 2014).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fig = sub.add_parser("figure", help="regenerate a paper figure")
+    fig.add_argument(
+        "which",
+        choices=sorted(ALL_FIGURES) + ["all"],
+        help="figure id, or 'all'",
+    )
+    fig.add_argument("--seed", type=int, default=0)
+
+    scen = sub.add_parser("scenario", help="run a custom scenario")
+    scen.add_argument("--peers", type=int, default=20)
+    scen.add_argument("--helpers", type=int, default=4)
+    scen.add_argument("--stages", type=int, default=2000)
+    scen.add_argument("--seed", type=int, default=0)
+    scen.add_argument("--epsilon", type=float, default=0.05)
+    scen.add_argument("--delta", type=float, default=0.1)
+    scen.add_argument("--mu", type=float, default=None)
+    scen.add_argument(
+        "--stay", type=float, default=0.9,
+        help="bandwidth chain stay-probability",
+    )
+
+    sub.add_parser("list", help="list the available figures")
+    return parser
+
+
+def _run_figure(which: str, seed: int, out) -> None:
+    names = sorted(ALL_FIGURES) if which == "all" else [which]
+    for name in names:
+        result = ALL_FIGURES[name](seed=seed)
+        print(f"=== {name}: {FIGURE_DESCRIPTIONS[name]} ===", file=out)
+        print(result.text, file=out)
+        print(file=out)
+
+
+def _run_scenario(args, out) -> None:
+    process = paper_bandwidth_process(
+        args.helpers, stay_probability=args.stay, rng=args.seed
+    )
+    population = LearnerPopulation(
+        args.peers,
+        args.helpers,
+        epsilon=args.epsilon,
+        delta=args.delta,
+        mu=args.mu,
+        u_max=900.0,
+        rng=args.seed + 1,
+    )
+    trajectory = population.run(process, args.stages)
+    optimum = solve_symmetric_optimum(process.chains, args.peers).value
+    tail = trajectory.tail(0.25)
+    balance = load_balance_report(trajectory)
+    per_peer = tail.utilities.mean(axis=0)
+    steady = float(tail.welfare.mean())
+    print(f"scenario: N={args.peers} H={args.helpers} stages={args.stages} "
+          f"eps={args.epsilon} delta={args.delta} "
+          f"mu={'default' if args.mu is None else args.mu}", file=out)
+    print(f"MDP optimum          : {optimum:10.1f} kbit/s", file=out)
+    print(f"steady welfare       : {steady:10.1f} kbit/s "
+          f"({steady / optimum:.1%})", file=out)
+    print(f"CE regret (norm.)    : "
+          f"{empirical_ce_regret(trajectory, u_max=900.0):10.4f}", file=out)
+    print(f"Jain of helper loads : {balance.jain:10.4f}", file=out)
+    print(f"Jain of peer rates   : {jain_index(per_peer):10.4f}", file=out)
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(ALL_FIGURES):
+            print(f"{name}: {FIGURE_DESCRIPTIONS[name]}", file=out)
+        return 0
+    if args.command == "figure":
+        _run_figure(args.which, args.seed, out)
+        return 0
+    if args.command == "scenario":
+        _run_scenario(args, out)
+        return 0
+    return 2  # unreachable: argparse enforces the choices

@@ -1,0 +1,64 @@
+"""The paper's contribution: regret-tracking helper selection.
+
+Layout
+------
+
+* :mod:`repro.core.schedules` — step-size schedules.  The paper's regret
+  *tracking* is the constant-step-size member of a family that also contains
+  classic Hart & Mas-Colell regret *matching* (harmonic step 1/n); a single
+  implementation parameterized by the schedule covers both.
+* :mod:`repro.core.proxy_regret` — the bandit (proxy) regret estimators of
+  Eqs. (3-2)–(3-6): an exact history-based form (Algorithm 1 / RTHS) and the
+  O(H^2)-per-stage recursive form (Algorithm 2 / R2HS), proven equivalent in
+  the tests.
+* :mod:`repro.core.probability` — the play-probability update
+  ``p(k) = (1-delta) * min(Q(j,k)/mu, 1/(m-1)) + delta/m``.
+* :mod:`repro.core.rths` — :class:`RTHSLearner` (Algorithm 1, exact sums)
+  and :func:`regret_matching_learner` (uniform-average ancestor).
+* :mod:`repro.core.r2hs` — :class:`R2HSLearner` (Algorithm 2, recursive).
+* :mod:`repro.core.population` — vectorized population of R2HS learners for
+  large-scale runs (paper Fig. 1).
+* :mod:`repro.core.equilibrium` — correlated-equilibrium machinery: the CE
+  inequality (Eq. 3-1) on empirical play, and an exact CE linear program
+  for small tabular games.
+"""
+
+from repro.core.diagnostics import (
+    sliding_ce_regret,
+    strategy_entropy,
+    switching_statistics,
+)
+from repro.core.equilibrium import (
+    CERegretReport,
+    empirical_ce_regret,
+    empirical_ce_regret_report,
+    is_epsilon_correlated_equilibrium,
+    solve_ce_lp,
+)
+from repro.core.population import LearnerPopulation
+from repro.core.probability import update_play_probabilities
+from repro.core.proxy_regret import ExactProxyRegret, RecursiveProxyRegret
+from repro.core.r2hs import R2HSLearner
+from repro.core.rths import RTHSLearner, regret_matching_learner
+from repro.core.schedules import constant_step, harmonic_step, polynomial_step
+
+__all__ = [
+    "constant_step",
+    "harmonic_step",
+    "polynomial_step",
+    "ExactProxyRegret",
+    "RecursiveProxyRegret",
+    "update_play_probabilities",
+    "RTHSLearner",
+    "R2HSLearner",
+    "regret_matching_learner",
+    "LearnerPopulation",
+    "empirical_ce_regret",
+    "empirical_ce_regret_report",
+    "CERegretReport",
+    "is_epsilon_correlated_equilibrium",
+    "solve_ce_lp",
+    "sliding_ce_regret",
+    "strategy_entropy",
+    "switching_statistics",
+]

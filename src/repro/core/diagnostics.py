@@ -1,0 +1,103 @@
+"""Convergence diagnostics for recorded play.
+
+Scalar summaries used by the benches and handy for downstream users
+monitoring a live deployment:
+
+* :func:`sliding_ce_regret` — empirical CE regret over a sliding window
+  (a *local in time* version of Eq. 3-1; under tracking it stays small
+  even through environment drift, unlike the all-history average);
+* :func:`strategy_entropy` — mixing of a strategy profile (converged
+  populations sit near the delta-exploration floor);
+* :func:`switching_statistics` — how often peers actually re-select, and
+  the mean sojourn (run length) on a helper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.equilibrium import empirical_ce_regret_report
+from repro.game.repeated_game import Trajectory
+
+
+def sliding_ce_regret(
+    trajectory: Trajectory,
+    window: int,
+    stride: Optional[int] = None,
+    u_max: Optional[float] = None,
+) -> np.ndarray:
+    """Max empirical CE regret over sliding windows of ``window`` stages.
+
+    Returns one value per window start (stride defaults to the window, so
+    windows tile the run without overlap).
+    """
+    t = trajectory.num_stages
+    if window < 1 or window > t:
+        raise ValueError(f"window must lie in 1..{t}")
+    step = window if stride is None else stride
+    if step < 1:
+        raise ValueError("stride must be >= 1")
+    values = []
+    for start in range(0, t - window + 1, step):
+        piece = Trajectory(
+            capacities=trajectory.capacities[start : start + window],
+            actions=trajectory.actions[start : start + window],
+            loads=trajectory.loads[start : start + window],
+            utilities=trajectory.utilities[start : start + window],
+        )
+        values.append(empirical_ce_regret_report(piece, u_max=u_max).max_regret)
+    return np.asarray(values)
+
+
+def strategy_entropy(strategies: np.ndarray, base: float = 2.0) -> np.ndarray:
+    """Shannon entropy of each row of a strategy matrix ``(N, H)``.
+
+    Zero entries contribute zero; the result is in units of ``log base``
+    (bits by default).  A converged RTHS peer's entropy approaches the
+    entropy of the delta-exploration floor distribution.
+    """
+    probs = np.asarray(strategies, dtype=float)
+    if probs.ndim == 1:
+        probs = probs[None, :]
+    if np.any(probs < -1e-12) or np.any(np.abs(probs.sum(axis=1) - 1) > 1e-6):
+        raise ValueError("rows must be probability vectors")
+    safe = np.clip(probs, 1e-300, None)
+    h = -(probs * np.log(safe)).sum(axis=1) / np.log(base)
+    return h if h.size > 1 else h
+
+
+@dataclass(frozen=True)
+class SwitchingStatistics:
+    """Per-peer re-selection behaviour over a run."""
+
+    switch_rate: np.ndarray    # (N,) fraction of stages with a helper change
+    mean_sojourn: np.ndarray   # (N,) average consecutive stages per helper
+
+    @property
+    def population_switch_rate(self) -> float:
+        """Mean switch rate across peers."""
+        return float(self.switch_rate.mean())
+
+    @property
+    def population_mean_sojourn(self) -> float:
+        """Mean sojourn length across peers."""
+        return float(self.mean_sojourn.mean())
+
+
+def switching_statistics(trajectory: Trajectory) -> SwitchingStatistics:
+    """Compute per-peer switch rates and mean sojourn lengths."""
+    actions = trajectory.actions
+    t, n = actions.shape
+    if t < 2:
+        return SwitchingStatistics(
+            switch_rate=np.zeros(n), mean_sojourn=np.full(n, float(t))
+        )
+    changes = actions[1:] != actions[:-1]
+    rate = changes.mean(axis=0)
+    # Number of runs = number of changes + 1; mean sojourn = T / runs.
+    runs = changes.sum(axis=0) + 1
+    sojourn = t / runs
+    return SwitchingStatistics(switch_rate=rate, mean_sojourn=sojourn)

@@ -1,0 +1,220 @@
+"""Vectorized population of R2HS learners.
+
+Per-object learners (one Python object per peer) are convenient but slow
+for the paper's large-scale scenario (Fig. 1: hundreds of peers, thousands
+of stages).  :class:`LearnerPopulation` carries the whole population's state
+in three arrays —
+
+* ``S``  of shape ``(N, H, H)`` — every peer's normalized regret accumulator,
+* ``probs`` of shape ``(N, H)`` — every peer's mixed strategy,
+* per-peer RNG streams collapsed into one generator —
+
+and advances all peers per stage with a handful of numpy operations.  The
+dynamics are *identical* to ``N`` independent
+:class:`repro.core.r2hs.R2HSLearner` objects (asserted distributionally in
+the tests); only the arithmetic is batched.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.probability import default_mu
+from repro.core.schedules import StepSchedule, constant_step
+from repro.game.repeated_game import CapacityProcess, Trajectory
+from repro.util.rng import Seedish, as_generator
+from repro.util.validation import require_positive, require_positive_int
+
+
+class LearnerPopulation:
+    """``N`` R2HS learners advanced in lock-step with vectorized numpy ops.
+
+    Parameters
+    ----------
+    num_peers, num_helpers:
+        Population and action-set sizes.
+    epsilon:
+        Constant tracking step size (or pass ``schedule``).
+    mu, delta, u_max:
+        As in :class:`repro.core.regret_learner.RegretLearner`; ``mu`` is in
+        normalized utility units.
+    rng:
+        One generator drives the whole population (actions are sampled as a
+        single ``(N,)`` uniform draw per stage).
+    """
+
+    def __init__(
+        self,
+        num_peers: int,
+        num_helpers: int,
+        epsilon: float = 0.05,
+        mu: Optional[float] = None,
+        delta: float = 0.1,
+        u_max: float = 1.0,
+        rng: Seedish = None,
+        schedule: Optional[StepSchedule] = None,
+    ) -> None:
+        self._n = require_positive_int(num_peers, "num_peers")
+        self._h = require_positive_int(num_helpers, "num_helpers")
+        if self._h < 2:
+            raise ValueError("need at least two helpers")
+        if not 0 < delta < 1:
+            raise ValueError("delta must lie strictly in (0, 1)")
+        self._schedule = schedule if schedule is not None else constant_step(epsilon)
+        self._mu = require_positive(
+            mu if mu is not None else default_mu(num_helpers), "mu"
+        )
+        self._delta = float(delta)
+        self._u_max = require_positive(u_max, "u_max")
+        self._rng = as_generator(rng)
+        self._s = np.zeros((self._n, self._h, self._h))
+        self._probs = np.full((self._n, self._h), 1.0 / self._h)
+        self._stage = 0
+        self._peer_index = np.arange(self._n)
+        self._last_played_regrets = np.zeros((self._n, self._h))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_peers(self) -> int:
+        """Population size ``N``."""
+        return self._n
+
+    @property
+    def num_helpers(self) -> int:
+        """Number of helpers ``H``."""
+        return self._h
+
+    @property
+    def stage(self) -> int:
+        """Stages completed so far."""
+        return self._stage
+
+    def strategies(self) -> np.ndarray:
+        """All mixed strategies, shape ``(N, H)`` (copy)."""
+        return self._probs.copy()
+
+    def regret_matrices(self) -> np.ndarray:
+        """All proxy-regret matrices ``Q``, shape ``(N, H, H)``."""
+        diag = np.einsum("ijj->ij", self._s)
+        q = np.clip(self._s - diag[:, :, None], 0.0, None)
+        idx = np.arange(self._h)
+        q[:, idx, idx] = 0.0
+        return q
+
+    def max_regrets(self) -> np.ndarray:
+        """Per-peer maximum pairwise regret, shape ``(N,)``."""
+        return self.regret_matrices().max(axis=(1, 2))
+
+    def worst_player_regret(self) -> float:
+        """``max_i max_k Q_i(a_i^n, k)`` — the Fig. 1 quantity.
+
+        The regret of the worst player *at its current play*: the largest
+        estimated gain any peer attributes to switching away from the
+        action it just used.  This is the row of ``Q`` that actually drives
+        the probability update; it decays to the tracking noise floor as
+        play converges to the CE set.  (Rows of rarely-played actions stay
+        noisy by construction — the importance weights divide by small
+        probabilities — so the full-matrix max of :meth:`max_regrets` is
+        not the convergence diagnostic.)
+        """
+        if self._stage == 0:
+            return 0.0
+        return float(self._last_played_regrets.max())
+
+    def played_regrets(self) -> np.ndarray:
+        """Per-peer regret rows of the last played actions, shape ``(N, H)``."""
+        return self._last_played_regrets.copy()
+
+    # ------------------------------------------------------------------
+    # Dynamics
+    # ------------------------------------------------------------------
+
+    def act_all(self) -> np.ndarray:
+        """Sample one action per peer from the current mixed strategies."""
+        cdf = np.cumsum(self._probs, axis=1)
+        draws = self._rng.random(self._n)
+        actions = (cdf < draws[:, None]).sum(axis=1)
+        return np.minimum(actions, self._h - 1)
+
+    def observe_all(self, actions: np.ndarray, utilities: np.ndarray) -> None:
+        """Batch regret + probability update for one stage.
+
+        ``actions`` and ``utilities`` are the per-peer played helpers and
+        realized rates (raw units; normalization happens here).
+        """
+        actions = np.asarray(actions, dtype=int)
+        utilities = np.asarray(utilities, dtype=float)
+        if actions.shape != (self._n,) or utilities.shape != (self._n,):
+            raise ValueError("actions and utilities must both have shape (N,)")
+        if actions.min(initial=0) < 0 or actions.max(initial=0) >= self._h:
+            raise ValueError("actions out of range")
+        self._stage += 1
+        eps = self._schedule(self._stage)
+        normalized = utilities / self._u_max
+
+        # Eq. (3-5), batched: decay, then rank-one column update per peer.
+        self._s *= 1.0 - eps
+        played_prob = self._probs[self._peer_index, actions]
+        weight = eps * normalized / played_prob
+        self._s[self._peer_index, :, actions] += weight[:, None] * self._probs
+
+        # Regret rows for the played actions (Eq. 3-6, row j = a_i).
+        rows = self._s[self._peer_index, actions, :]
+        diag = self._s[self._peer_index, actions, actions]
+        q = np.clip(rows - diag[:, None], 0.0, None)
+        q[self._peer_index, actions] = 0.0
+        self._last_played_regrets = q.copy()
+
+        # Probability update (Algorithm 2).
+        cap = 1.0 / (self._h - 1)
+        new_probs = np.minimum(q / self._mu, cap)
+        new_probs *= 1.0 - self._delta
+        new_probs += self._delta / self._h
+        new_probs[self._peer_index, actions] = 0.0
+        new_probs[self._peer_index, actions] = 1.0 - new_probs.sum(axis=1)
+        self._probs = new_probs
+
+    def run(
+        self,
+        capacity_process: CapacityProcess,
+        num_stages: int,
+        stage_callback: Optional[Callable[[int, np.ndarray], None]] = None,
+    ) -> Trajectory:
+        """Play ``num_stages`` stages of the helper-selection game.
+
+        Semantics match :class:`repro.game.repeated_game.RepeatedGameDriver`
+        with even capacity splitting; returns the same dense
+        :class:`~repro.game.repeated_game.Trajectory`.
+        """
+        if num_stages < 1:
+            raise ValueError("num_stages must be >= 1")
+        if capacity_process.num_helpers != self._h:
+            raise ValueError(
+                f"capacity process has {capacity_process.num_helpers} helpers, "
+                f"population expects {self._h}"
+            )
+        capacities = np.empty((num_stages, self._h))
+        actions = np.empty((num_stages, self._n), dtype=int)
+        loads = np.empty((num_stages, self._h), dtype=int)
+        utilities = np.empty((num_stages, self._n))
+        for t in range(num_stages):
+            caps = np.asarray(capacity_process.capacities(), dtype=float)
+            acts = self.act_all()
+            counts = np.bincount(acts, minlength=self._h)
+            utils = caps[acts] / counts[acts]
+            self.observe_all(acts, utils)
+            capacities[t] = caps
+            actions[t] = acts
+            loads[t] = counts
+            utilities[t] = utils
+            if stage_callback is not None:
+                stage_callback(t, utils)
+            capacity_process.advance()
+        return Trajectory(
+            capacities=capacities, actions=actions, loads=loads, utilities=utilities
+        )

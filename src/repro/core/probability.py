@@ -1,0 +1,116 @@
+"""The RTHS/R2HS play-probability update (Algorithms 1 and 2).
+
+Given the regret row ``Q^n(j, ·)`` for the action ``j`` just played, the
+next stage's mixed strategy is
+
+    p^{n+1}(k) = (1 - delta) * min( Q^n(j,k) / mu , 1/(m-1) ) + delta / m
+                                                       for k != j
+    p^{n+1}(j) = 1 - sum_{k != j} p^{n+1}(k)
+
+where ``m = |A_i|`` is the number of helpers, ``mu`` the normalization
+constant and ``delta`` the exploration floor.  Properties enforced here and
+property-tested in ``tests/core/test_probability.py``:
+
+* the result is a probability vector for any non-negative regret row;
+* every action keeps probability at least ``delta / m`` (so the importance
+  ratios in the proxy-regret estimator stay bounded by ``m/delta``);
+* the played action keeps probability at least ``delta/m`` as well, and at
+  least ``1 - (1-delta) - delta(m-1)/m = delta/m`` in the worst case, giving
+  the inertia regret matching requires;
+* with zero regrets the strategy collapses to "stay on j, explore delta".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import (
+    require_in_closed_unit_interval,
+    require_positive,
+)
+
+
+def update_play_probabilities(
+    regret_row: np.ndarray,
+    played: int,
+    mu: float,
+    delta: float,
+    out: "np.ndarray | None" = None,
+) -> np.ndarray:
+    """Compute ``p^{n+1}`` from the played action's regret row.
+
+    Parameters
+    ----------
+    regret_row:
+        ``Q^n(j, ·)`` — non-negative, entry ``j`` ignored.
+    played:
+        Index ``j`` of the action played at stage ``n``.
+    mu:
+        Normalization constant; larger values make switching less eager.
+        Must be positive.  The classical sufficient condition for the
+        regret-matching inertia argument is ``mu > 2 * u_max * (m - 1)`` in
+        the utility units used by the regret estimator.
+    delta:
+        Exploration weight in [0, 1); mass ``delta`` is spread uniformly.
+    out:
+        Optional output array (shape ``(m,)``) to avoid allocation.
+
+    Returns
+    -------
+    numpy.ndarray
+        The next mixed strategy, a valid probability vector.
+    """
+    row = np.asarray(regret_row, dtype=float)
+    if row.ndim != 1 or row.size < 2:
+        raise ValueError("regret_row must be 1-D with at least two actions")
+    m = row.size
+    if not 0 <= played < m:
+        raise ValueError(f"played action {played} out of range 0..{m - 1}")
+    require_positive(mu, "mu")
+    require_in_closed_unit_interval(delta, "delta")
+    if delta >= 1:
+        raise ValueError("delta must be < 1")
+    if np.any(row < 0) or np.any(~np.isfinite(row)):
+        raise ValueError("regret_row must be finite and non-negative")
+
+    if out is None:
+        out = np.empty(m, dtype=float)
+    elif out.shape != (m,):
+        raise ValueError(f"out must have shape ({m},)")
+
+    cap = 1.0 / (m - 1)
+    np.minimum(row / mu, cap, out=out)
+    out *= 1.0 - delta
+    out += delta / m
+    out[played] = 0.0
+    out[played] = 1.0 - out.sum()
+    return out
+
+
+def probability_floor(num_actions: int, delta: float) -> float:
+    """The guaranteed minimum probability of any action, ``delta / m``."""
+    if num_actions < 2:
+        raise ValueError("num_actions must be >= 2")
+    require_in_closed_unit_interval(delta, "delta")
+    return delta / num_actions
+
+
+def default_mu(num_actions: int, u_max: float = 1.0) -> float:
+    """The library's default normalization constant.
+
+    ``2 * u_max * (m - 1)`` — the smallest value satisfying the classical
+    inertia condition for utilities bounded by ``u_max``.
+
+    Trade-off: ``mu`` divides the regret before it becomes switching
+    probability, so large values make peers sluggish.  In the helper
+    selection game realized shares ``C/n`` sit far below the bound
+    ``u_max = C_max``, so the theory-compliant default converges slowly on
+    strongly capacity-asymmetric instances; passing a ``mu`` of the order
+    of the typical (normalized) utility *difference* between helpers gives
+    much faster convergence at the cost of the formal inertia guarantee.
+    The parameter ablation bench (``bench_ablation_params``) sweeps this.
+    """
+    if num_actions < 2:
+        raise ValueError("num_actions must be >= 2")
+    require_positive(u_max, "u_max")
+    return 2.0 * u_max * (num_actions - 1)

@@ -1,0 +1,71 @@
+"""R2HS — Recursive Regret-Tracking Helper Selection (paper Algorithm 2).
+
+Identical decisions to :class:`repro.core.rths.RTHSLearner` (asserted to
+floating-point tolerance in the tests), but the proxy regrets are carried
+by the rank-one recursion on the ``T`` matrix (Eqs. 3-4/3-5/3-6): O(H^2)
+time and memory per stage regardless of the horizon.  This is the form to
+deploy and the one the vectorized population
+(:class:`repro.core.population.LearnerPopulation`) replicates for
+large-scale runs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.proxy_regret import RecursiveProxyRegret
+from repro.core.regret_learner import RegretLearner
+from repro.core.schedules import StepSchedule, constant_step
+from repro.util.rng import Seedish
+
+
+class R2HSLearner(RegretLearner):
+    """Algorithm 2: recursive regret tracking.
+
+    Parameters
+    ----------
+    num_actions:
+        Number of helpers ``H``.
+    epsilon:
+        Constant step size of the tracking recursion (paper's ``eps``).
+    mu, delta, u_max:
+        As in :class:`repro.core.regret_learner.RegretLearner`.
+    schedule:
+        Optional custom step schedule overriding ``epsilon`` (used to build
+        the regret-matching ancestor and stochastic-approximation variants).
+    """
+
+    def __init__(
+        self,
+        num_actions: int,
+        rng: Seedish = None,
+        epsilon: float = 0.05,
+        mu: Optional[float] = None,
+        delta: float = 0.1,
+        u_max: float = 1.0,
+        schedule: Optional[StepSchedule] = None,
+    ) -> None:
+        if schedule is None:
+            schedule = constant_step(epsilon)
+        estimator = RecursiveProxyRegret(num_actions, schedule=schedule)
+        super().__init__(
+            num_actions,
+            estimator,
+            rng=rng,
+            mu=mu,
+            delta=delta,
+            u_max=u_max,
+        )
+        self._epsilon = float(epsilon)
+
+    @property
+    def epsilon(self) -> float:
+        """The constant step size (ignored if a custom schedule was given)."""
+        return self._epsilon
+
+    @property
+    def accumulator(self) -> np.ndarray:
+        """The normalized ``S = eps * T`` matrix of the recursion."""
+        return self._estimator.accumulator  # type: ignore[attr-defined]

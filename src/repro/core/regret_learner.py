@@ -1,0 +1,149 @@
+"""Shared machinery for regret-driven learners (RTHS / R2HS / matching).
+
+A regret learner is the composition of three pieces, all from this package:
+
+1. a **proxy regret estimator** (exact or recursive) fed with
+   ``(action, normalized utility, play probabilities)`` each stage;
+2. the **probability update** of Algorithms 1/2;
+3. a **sampler** drawing the next action from the current mixed strategy.
+
+Utilities are normalized by ``u_max`` before entering the estimator so the
+regret scale — and hence ``mu`` — is independent of whether rates are
+expressed in kbit/s or Mbit/s.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.core.probability import default_mu, update_play_probabilities
+from repro.game.interfaces import LearnerBase
+from repro.util.rng import Seedish, as_generator
+from repro.util.validation import require_in_closed_unit_interval, require_positive
+
+
+class ProxyRegretEstimator(Protocol):
+    """Structural type implemented by Exact/RecursiveProxyRegret."""
+
+    def update(self, action: int, utility: float, probabilities: np.ndarray) -> None: ...
+    def regret_row(self, action: int) -> np.ndarray: ...
+    def regret_matrix(self) -> np.ndarray: ...
+    def max_regret(self) -> float: ...
+
+
+class RegretLearner(LearnerBase):
+    """A peer strategy driven by proxy regrets.
+
+    Parameters
+    ----------
+    num_actions:
+        Number of helpers ``H`` (must be >= 2 for the update to be defined).
+    estimator:
+        Proxy-regret estimator, already constructed with the desired
+        step-size schedule.
+    rng:
+        Seed or generator for action sampling.
+    mu:
+        Normalization constant of the probability update, in *normalized*
+        utility units; defaults to ``2 (H - 1)`` (see
+        :func:`repro.core.probability.default_mu`).
+    delta:
+        Exploration weight; must be strictly positive so importance ratios
+        stay bounded (paper Algorithm 1 uses a fixed small ``delta``).
+    u_max:
+        Utility normalizer: observed utilities are divided by this before
+        entering the estimator.  For the paper's setting the natural choice
+        is the maximum helper capacity (900 kbit/s).
+    """
+
+    def __init__(
+        self,
+        num_actions: int,
+        estimator: ProxyRegretEstimator,
+        rng: Seedish = None,
+        mu: Optional[float] = None,
+        delta: float = 0.1,
+        u_max: float = 1.0,
+    ) -> None:
+        super().__init__(num_actions, as_generator(rng))
+        if num_actions < 2:
+            raise ValueError("regret learners need at least two actions")
+        require_in_closed_unit_interval(delta, "delta")
+        if delta <= 0 or delta >= 1:
+            raise ValueError("delta must lie strictly in (0, 1)")
+        require_positive(u_max, "u_max")
+        self._estimator = estimator
+        self._mu = require_positive(
+            mu if mu is not None else default_mu(num_actions), "mu"
+        )
+        self._delta = float(delta)
+        self._u_max = float(u_max)
+        # Stage 0: uniform initial mixed strategy (paper: p_i^0 = 1/|H|).
+        self._probs = np.full(num_actions, 1.0 / num_actions)
+        self._last_played_row = np.zeros(num_actions)
+
+    @property
+    def mu(self) -> float:
+        """Normalization constant of the probability update."""
+        return self._mu
+
+    @property
+    def delta(self) -> float:
+        """Exploration weight."""
+        return self._delta
+
+    @property
+    def u_max(self) -> float:
+        """Utility normalizer."""
+        return self._u_max
+
+    @property
+    def estimator(self) -> ProxyRegretEstimator:
+        """The underlying proxy-regret estimator."""
+        return self._estimator
+
+    def act(self) -> int:
+        """Sample the next action from the current mixed strategy."""
+        return int(self._rng.choice(self.num_actions, p=self._probs))
+
+    def observe(self, action: int, utility: float) -> None:
+        """Feed the realized utility; update regrets and play probabilities."""
+        if not 0 <= action < self.num_actions:
+            raise ValueError(f"action {action} out of range")
+        if not np.isfinite(utility):
+            raise ValueError(f"utility must be finite, got {utility!r}")
+        normalized = utility / self._u_max
+        self._estimator.update(action, normalized, self._probs)
+        row = self._estimator.regret_row(action)
+        self._last_played_row = np.asarray(row, dtype=float).copy()
+        self._probs = update_play_probabilities(
+            row, action, self._mu, self._delta
+        )
+        self._advance_stage()
+
+    def strategy(self) -> np.ndarray:
+        """The mixed strategy the next action will be drawn from."""
+        return self._probs.copy()
+
+    def max_regret(self) -> float:
+        """Largest pairwise proxy regret over the full matrix (normalized).
+
+        Note: rows of rarely-played actions are noisy by construction
+        (importance weights divide by small probabilities); the convergence
+        diagnostic plotted in paper Fig. 1 is :meth:`played_regret`.
+        """
+        return self._estimator.max_regret()
+
+    def played_regret(self) -> float:
+        """Max regret at the last played action, ``max_k Q(a^n, k)``.
+
+        The row that drives the probability update; decays to the tracking
+        noise floor as play converges (the Fig. 1 per-player scalar).
+        """
+        return float(self._last_played_row.max(initial=0.0))
+
+    def regret_matrix(self) -> np.ndarray:
+        """Full proxy-regret matrix ``Q^n`` (normalized units)."""
+        return self._estimator.regret_matrix()

@@ -1,0 +1,90 @@
+"""RTHS — Regret-Tracking-based Helper Selection (paper Algorithm 1).
+
+:class:`RTHSLearner` is the literal form: it stores the private history
+``h_i^n = (a^0, u^0, ..., a^{n-1}, u^{n-1})`` and evaluates the weighted
+sums of Eqs. (3-2)/(3-3) directly each stage.  It is O(n) in memory and
+O(n·H) per stage — fine for validation and small experiments; use
+:class:`repro.core.r2hs.R2HSLearner` (mathematically identical, recursive)
+for anything large.
+
+:func:`regret_matching_learner` builds the uniform-average ancestor of the
+algorithm (Hart & Mas-Colell's reinforcement procedure): identical code
+path with the harmonic step schedule.  The tracking-vs-matching ablation
+bench contrasts the two under bandwidth drift.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.proxy_regret import ExactProxyRegret, RecursiveProxyRegret
+from repro.core.regret_learner import RegretLearner
+from repro.core.schedules import StepSchedule, constant_step, harmonic_step
+from repro.util.rng import Seedish
+
+
+class RTHSLearner(RegretLearner):
+    """Algorithm 1: regret tracking with explicit history sums.
+
+    Parameters mirror the paper's notation: ``epsilon`` is the constant
+    step size, ``mu`` the normalization constant, ``delta`` the exploration
+    weight, and ``u_max`` the utility normalizer (maximum helper capacity).
+    """
+
+    def __init__(
+        self,
+        num_actions: int,
+        rng: Seedish = None,
+        epsilon: float = 0.05,
+        mu: Optional[float] = None,
+        delta: float = 0.1,
+        u_max: float = 1.0,
+        schedule: Optional[StepSchedule] = None,
+    ) -> None:
+        if schedule is None:
+            schedule = constant_step(epsilon)
+        estimator = ExactProxyRegret(num_actions, schedule=schedule)
+        super().__init__(
+            num_actions,
+            estimator,
+            rng=rng,
+            mu=mu,
+            delta=delta,
+            u_max=u_max,
+        )
+        self._epsilon = float(epsilon)
+
+    @property
+    def epsilon(self) -> float:
+        """The constant step size (ignored if a custom schedule was given)."""
+        return self._epsilon
+
+
+def regret_matching_learner(
+    num_actions: int,
+    rng: Seedish = None,
+    mu: Optional[float] = None,
+    delta: float = 0.1,
+    u_max: float = 1.0,
+    recursive: bool = True,
+) -> RegretLearner:
+    """Classic regret matching (uniform averaging over all history).
+
+    This is the Hart & Mas-Colell reinforcement procedure the paper builds
+    on: the same proxy-regret machinery with step schedule ``1/n``.  It
+    converges to the CE set in stationary environments but cannot track a
+    drifting one — the property the tracking ablation demonstrates.
+    """
+    schedule = harmonic_step()
+    if recursive:
+        estimator = RecursiveProxyRegret(num_actions, schedule=schedule)
+    else:
+        estimator = ExactProxyRegret(num_actions, schedule=schedule)
+    return RegretLearner(
+        num_actions,
+        estimator,
+        rng=rng,
+        mu=mu,
+        delta=delta,
+        u_max=u_max,
+    )

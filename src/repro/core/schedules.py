@@ -1,0 +1,68 @@
+"""Step-size schedules for the regret recursions.
+
+The regret estimate is maintained as the stochastic-approximation recursion
+
+    S^n = (1 - eps_n) * S^{n-1} + eps_n * increment_n
+
+(cf. paper Sec. II and refs. [7][8]).  The schedule ``eps_n`` determines the
+algorithm's memory:
+
+* constant ``eps`` — exponential recency weighting; this is **regret
+  tracking**, the paper's choice for non-stationary helper bandwidth.  The
+  weight of the stage-``tau`` increment in ``S^n`` is exactly the paper's
+  ``eps * (1 - eps)^{n - tau}``.
+* ``eps_n = 1/n`` — uniform averaging over all history; this recovers
+  classic **regret matching** (Hart & Mas-Colell), rigid under drift.
+* ``eps_n = c / n^rho`` with ``rho`` in (0.5, 1] — the usual
+  stochastic-approximation middle ground.
+
+A schedule is a callable mapping the 1-based stage index ``n`` to a step in
+``(0, 1]``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.util.validation import require_in_closed_unit_interval, require_positive
+
+StepSchedule = Callable[[int], float]
+
+
+def constant_step(eps: float) -> StepSchedule:
+    """Constant step size: regret *tracking* (the paper's RTHS/R2HS)."""
+    eps = require_in_closed_unit_interval(eps, "eps")
+    if eps == 0:
+        raise ValueError("eps must be strictly positive")
+
+    def schedule(n: int) -> float:
+        return eps
+
+    schedule.__name__ = f"constant_step({eps})"
+    return schedule
+
+
+def harmonic_step() -> StepSchedule:
+    """``eps_n = 1/n``: uniform averaging, i.e. classic regret matching."""
+
+    def schedule(n: int) -> float:
+        if n < 1:
+            raise ValueError(f"stage index must be >= 1, got {n}")
+        return 1.0 / n
+
+    schedule.__name__ = "harmonic_step"
+    return schedule
+
+
+def polynomial_step(exponent: float = 0.75, scale: float = 1.0) -> StepSchedule:
+    """``eps_n = min(1, scale / n**exponent)`` — decaying but slower than 1/n."""
+    require_positive(exponent, "exponent")
+    require_positive(scale, "scale")
+
+    def schedule(n: int) -> float:
+        if n < 1:
+            raise ValueError(f"stage index must be >= 1, got {n}")
+        return min(1.0, scale / float(n) ** exponent)
+
+    schedule.__name__ = f"polynomial_step({exponent}, {scale})"
+    return schedule

@@ -1,0 +1,82 @@
+"""Game-theoretic substrate: the helper-selection game and baseline dynamics.
+
+The paper models helper selection as a non-cooperative repeated game (a
+player-specific congestion game in the sense of Milchtaich [16]): each of
+``N`` peers picks one of ``H`` helpers, a helper's capacity is split evenly
+among the peers that picked it, and each peer's stage utility is its
+received streaming rate.
+
+This package contains:
+
+* :mod:`repro.game.interfaces` — the minimal ``Learner`` protocol every
+  strategy object implements (``act``/``observe``), shared by the learning
+  algorithms in :mod:`repro.core` and the baselines here.
+* :mod:`repro.game.strategic_game` — generic finite normal-form games.
+* :mod:`repro.game.helper_selection` — the stage game itself.
+* :mod:`repro.game.nash` — pure Nash equilibria of the stage game.
+* :mod:`repro.game.best_response` — (simultaneous) best-response dynamics,
+  exhibiting the herd-oscillation pathology of paper Sec. III-B, plus the
+  sequential variant that converges.
+* :mod:`repro.game.fictitious_play` and :mod:`repro.game.baselines` —
+  additional comparison strategies (fictitious play, uniform random,
+  sticky-random).
+* :mod:`repro.game.repeated_game` — the stage-synchronous driver that runs a
+  population of learners against a (possibly time-varying) capacity process
+  and records full trajectories.
+"""
+
+from repro.game.asynchronous import AsynchronousGameDriver
+from repro.game.baselines import (
+    EpsilonGreedyLearner,
+    ProportionalSamplerLearner,
+    StickyLearner,
+    UniformRandomLearner,
+)
+from repro.game.best_response import (
+    BestResponseLearner,
+    sequential_best_response,
+    simultaneous_best_response_path,
+)
+from repro.game.fictitious_play import FictitiousPlayLearner
+from repro.game.helper_selection import HelperSelectionGame, loads_from_profile
+from repro.game.interfaces import Learner
+from repro.game.nash import (
+    enumerate_pure_nash,
+    greedy_balanced_assignment,
+    is_pure_nash,
+)
+from repro.game.potential import (
+    exact_potential,
+    greedy_potential_ascent,
+    potential_maximizing_loads,
+    potential_of_profile,
+)
+from repro.game.repeated_game import RepeatedGameDriver, StageRecord, Trajectory
+from repro.game.strategic_game import NormalFormGame, TabularGame
+
+__all__ = [
+    "Learner",
+    "NormalFormGame",
+    "TabularGame",
+    "HelperSelectionGame",
+    "loads_from_profile",
+    "enumerate_pure_nash",
+    "greedy_balanced_assignment",
+    "is_pure_nash",
+    "exact_potential",
+    "potential_of_profile",
+    "potential_maximizing_loads",
+    "greedy_potential_ascent",
+    "BestResponseLearner",
+    "sequential_best_response",
+    "simultaneous_best_response_path",
+    "FictitiousPlayLearner",
+    "UniformRandomLearner",
+    "StickyLearner",
+    "EpsilonGreedyLearner",
+    "ProportionalSamplerLearner",
+    "RepeatedGameDriver",
+    "AsynchronousGameDriver",
+    "StageRecord",
+    "Trajectory",
+]

@@ -1,0 +1,75 @@
+"""Bandit fictitious play baseline.
+
+Classic fictitious play best-responds to the empirical distribution of
+opponents' play, which requires observing their actions.  In the paper's
+zero-knowledge setting only one's own realized rate is visible, so we use
+the standard bandit adaptation: track the empirical *average utility* each
+action produced when played, best-respond to those averages, and explore
+with a decaying rate so every action keeps being sampled.
+
+Compared with RTHS this learner (a) averages uniformly over all history,
+so it adapts poorly when helper bandwidth drifts, and (b) has no regret/CE
+guarantee — it is the natural "smooth best response" straw man between pure
+best response and regret tracking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.game.interfaces import LearnerBase
+from repro.util.rng import Seedish, as_generator
+
+
+class FictitiousPlayLearner(LearnerBase):
+    """Bandit fictitious play with epsilon_n = min(1, c/n) exploration."""
+
+    def __init__(
+        self,
+        num_actions: int,
+        rng: Seedish = None,
+        exploration_constant: float = 5.0,
+    ) -> None:
+        super().__init__(num_actions, as_generator(rng))
+        if exploration_constant <= 0:
+            raise ValueError("exploration_constant must be positive")
+        self._c = float(exploration_constant)
+        self._sums = np.zeros(num_actions)
+        self._counts = np.zeros(num_actions, dtype=int)
+
+    @property
+    def empirical_means(self) -> np.ndarray:
+        """Average utility observed per action (0 where never played)."""
+        means = np.zeros(self.num_actions)
+        played = self._counts > 0
+        means[played] = self._sums[played] / self._counts[played]
+        return means
+
+    def _exploration_rate(self) -> float:
+        return min(1.0, self._c / max(1, self.stage))
+
+    def act(self) -> int:
+        unplayed = np.flatnonzero(self._counts == 0)
+        if unplayed.size:
+            return int(self._rng.choice(unplayed))
+        if self._rng.random() < self._exploration_rate():
+            return int(self._rng.integers(self.num_actions))
+        return int(np.argmax(self.empirical_means))
+
+    def observe(self, action: int, utility: float) -> None:
+        if not 0 <= action < self.num_actions:
+            raise ValueError(f"action {action} out of range")
+        self._sums[action] += utility
+        self._counts[action] += 1
+        self._advance_stage()
+
+    def strategy(self) -> np.ndarray:
+        probs = np.full(self.num_actions, 0.0)
+        unplayed = np.flatnonzero(self._counts == 0)
+        if unplayed.size:
+            probs[unplayed] = 1.0 / unplayed.size
+            return probs
+        eps = self._exploration_rate()
+        probs += eps / self.num_actions
+        probs[int(np.argmax(self.empirical_means))] += 1.0 - eps
+        return probs

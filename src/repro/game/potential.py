@@ -1,0 +1,166 @@
+"""Exact potential of the helper-selection game.
+
+The stage game is a congestion game: moving one peer from helper ``j``
+(load ``n_j``) to helper ``l`` changes its utility by
+``C_l/(n_l+1) - C_j/n_j``.  The Rosenthal-style function
+
+    Phi(loads) = sum_j sum_{k=1..n_j} C_j / k
+
+changes by exactly the same amount, so it is an **exact potential**
+(costs extend it with a ``- n_j c_j`` term).  Consequences used by the
+library and asserted in the tests:
+
+* better-response dynamics strictly increase ``Phi`` and therefore
+  terminate (the finite improvement property behind
+  :func:`repro.game.best_response.sequential_best_response`);
+* the maximizers of ``Phi`` are pure Nash equilibria;
+* ``Phi`` gives a cheap global progress measure for dynamics.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.game.helper_selection import HelperSelectionGame, loads_from_profile
+from repro.game.nash import compositions
+
+
+def exact_potential(
+    loads: Sequence[int],
+    capacities: Sequence[float],
+    connection_costs: Optional[Sequence[float]] = None,
+) -> float:
+    """``Phi(loads) = sum_j (C_j * H_{n_j} - n_j * c_j)`` with harmonic ``H``."""
+    loads_arr = np.asarray(loads, dtype=int)
+    caps = np.asarray(capacities, dtype=float)
+    if loads_arr.shape != caps.shape:
+        raise ValueError("loads and capacities must have matching shapes")
+    if np.any(loads_arr < 0):
+        raise ValueError("loads must be non-negative")
+    if connection_costs is None:
+        costs = np.zeros(caps.size)
+    else:
+        costs = np.asarray(connection_costs, dtype=float)
+        if costs.shape != caps.shape:
+            raise ValueError("connection_costs must match capacities")
+    total = 0.0
+    for j in range(caps.size):
+        n = int(loads_arr[j])
+        if n > 0:
+            harmonic = float(np.sum(1.0 / np.arange(1, n + 1)))
+            total += caps[j] * harmonic - n * costs[j]
+    return total
+
+
+def potential_of_profile(game: HelperSelectionGame, profile: Sequence[int]) -> float:
+    """Exact potential of an action profile of the stage game."""
+    loads = loads_from_profile(profile, game.num_helpers)
+    return exact_potential(loads, game.capacities, game.connection_costs)
+
+
+def potential_difference_matches_utility(
+    game: HelperSelectionGame,
+    profile: Sequence[int],
+    player: int,
+    action: int,
+) -> Tuple[float, float]:
+    """Return ``(delta_potential, delta_utility)`` for a unilateral move.
+
+    The exact-potential property says these are always equal; the tests
+    assert it over random instances.
+    """
+    profile_arr = np.asarray(profile, dtype=int)
+    before_u = game.utility(player, tuple(profile_arr))
+    before_phi = potential_of_profile(game, profile_arr)
+    deviated = profile_arr.copy()
+    deviated[player] = action
+    after_u = game.utility(player, tuple(deviated))
+    after_phi = potential_of_profile(game, deviated)
+    return after_phi - before_phi, after_u - before_u
+
+
+def potential_maximizing_loads(game: HelperSelectionGame) -> np.ndarray:
+    """The load vector maximizing the exact potential (a pure NE).
+
+    Enumerates compositions; intended for small/medium instances (the
+    count is C(N+H-1, H-1)).
+    """
+    best_value = -np.inf
+    best: Optional[np.ndarray] = None
+    caps = game.capacities
+    costs = game.connection_costs
+    for loads in compositions(game.num_players, game.num_helpers):
+        value = exact_potential(np.asarray(loads), caps, costs)
+        if value > best_value:
+            best_value = value
+            best = np.asarray(loads, dtype=int)
+    assert best is not None  # compositions is never empty
+    return best
+
+
+def greedy_potential_ascent(
+    game: HelperSelectionGame,
+    initial_profile: Sequence[int],
+    max_moves: int = 100000,
+) -> Tuple[np.ndarray, List[float], bool]:
+    """Repeatedly apply the single best improving move until none exists.
+
+    Returns ``(profile, potential_trace, converged)``.  Because the
+    potential strictly increases with every move and the profile space is
+    finite, convergence is guaranteed; ``max_moves`` is a safety valve.
+    """
+    profile = np.asarray(initial_profile, dtype=int).copy()
+    if profile.size != game.num_players:
+        raise ValueError("initial_profile has wrong length")
+    caps = np.asarray(game.capacities, dtype=float)
+    costs = np.asarray(game.connection_costs, dtype=float)
+    loads = loads_from_profile(profile, game.num_helpers)
+    trace = [exact_potential(loads, caps, costs)]
+    for _ in range(max_moves):
+        best_gain = 0.0
+        best_move: Optional[Tuple[int, int]] = None
+        current_rates = caps[profile] / loads[profile] - costs[profile]
+        for i in range(profile.size):
+            j = profile[i]
+            for l in range(game.num_helpers):
+                if l == j:
+                    continue
+                gain = (caps[l] / (loads[l] + 1) - costs[l]) - current_rates[i]
+                if gain > best_gain + 1e-12:
+                    best_gain = gain
+                    best_move = (i, l)
+        if best_move is None:
+            return profile, trace, True
+        i, l = best_move
+        loads[profile[i]] -= 1
+        profile[i] = l
+        loads[l] += 1
+        trace.append(exact_potential(loads, caps, costs))
+    return profile, trace, False
+
+
+def is_finite_improvement_property_witnessed(
+    game: HelperSelectionGame,
+    trials: int = 20,
+    max_moves: int = 10000,
+    rng: "np.random.Generator | int | None" = None,
+) -> bool:
+    """Empirically witness the FIP: random better-response paths terminate.
+
+    Runs ``trials`` random-start greedy ascents; returns True iff every one
+    converged within ``max_moves`` with a strictly increasing potential.
+    """
+    from repro.util.rng import as_generator
+
+    gen = as_generator(rng)
+    for _ in range(trials):
+        start = gen.integers(0, game.num_helpers, size=game.num_players)
+        _, trace, converged = greedy_potential_ascent(game, start, max_moves)
+        if not converged:
+            return False
+        diffs = np.diff(trace)
+        if np.any(diffs <= 0):
+            return False
+    return True

@@ -1,0 +1,132 @@
+"""Generic finite normal-form games.
+
+:class:`NormalFormGame` is the abstract interface (player count, action-set
+sizes, per-player utility of a pure profile).  :class:`TabularGame` stores
+explicit payoff tensors and is used by the equilibrium tests and the exact
+correlated-equilibrium LP on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from abc import ABC, abstractmethod
+from typing import Iterator, Sequence, Tuple
+
+import numpy as np
+
+Profile = Tuple[int, ...]
+
+
+class NormalFormGame(ABC):
+    """A finite game in strategic (normal) form."""
+
+    @property
+    @abstractmethod
+    def num_players(self) -> int:
+        """Number of players ``|N|``."""
+
+    @abstractmethod
+    def num_actions(self, player: int) -> int:
+        """Size of player ``player``'s action set."""
+
+    @abstractmethod
+    def utility(self, player: int, profile: Profile) -> float:
+        """Utility of ``player`` under the pure action profile ``profile``."""
+
+    # ------------------------------------------------------------------
+    # Derived helpers (shared by all game implementations)
+    # ------------------------------------------------------------------
+
+    def utilities(self, profile: Profile) -> np.ndarray:
+        """Vector of all players' utilities under ``profile``."""
+        return np.array(
+            [self.utility(i, profile) for i in range(self.num_players)], dtype=float
+        )
+
+    def welfare(self, profile: Profile) -> float:
+        """Social welfare (sum of utilities) under ``profile``."""
+        return float(self.utilities(profile).sum())
+
+    def deviate(self, profile: Profile, player: int, action: int) -> Profile:
+        """``profile`` with ``player``'s action replaced by ``action``."""
+        if not 0 <= player < self.num_players:
+            raise ValueError(f"player {player} out of range")
+        if not 0 <= action < self.num_actions(player):
+            raise ValueError(f"action {action} out of range for player {player}")
+        mutated = list(profile)
+        mutated[player] = action
+        return tuple(mutated)
+
+    def best_response(self, player: int, profile: Profile) -> int:
+        """A utility-maximizing action for ``player`` holding others fixed.
+
+        Ties break toward the lowest action index (deterministic, so tests
+        are stable); the player's current action in ``profile`` is ignored.
+        """
+        payoffs = [
+            self.utility(player, self.deviate(profile, player, a))
+            for a in range(self.num_actions(player))
+        ]
+        return int(np.argmax(payoffs))
+
+    def regret_of_profile(self, player: int, profile: Profile) -> float:
+        """Gain of ``player``'s best deviation from ``profile`` (>= 0)."""
+        current = self.utility(player, profile)
+        best = self.utility(
+            player, self.deviate(profile, player, self.best_response(player, profile))
+        )
+        return max(0.0, best - current)
+
+    def all_profiles(self) -> Iterator[Profile]:
+        """Iterate over every pure action profile (exponential; small games)."""
+        ranges = [range(self.num_actions(i)) for i in range(self.num_players)]
+        return itertools.product(*ranges)
+
+
+class TabularGame(NormalFormGame):
+    """A normal-form game backed by explicit payoff tensors.
+
+    Parameters
+    ----------
+    payoffs:
+        One array per player, each of shape
+        ``(num_actions(0), ..., num_actions(n-1))``.
+    """
+
+    def __init__(self, payoffs: Sequence[np.ndarray]) -> None:
+        if not payoffs:
+            raise ValueError("need at least one player")
+        tensors = [np.asarray(p, dtype=float) for p in payoffs]
+        shape = tensors[0].shape
+        if len(shape) != len(tensors):
+            raise ValueError(
+                f"payoff tensors must have one axis per player: "
+                f"{len(tensors)} players but shape {shape}"
+            )
+        for idx, tensor in enumerate(tensors):
+            if tensor.shape != shape:
+                raise ValueError(
+                    f"player {idx} payoff shape {tensor.shape} != {shape}"
+                )
+        self._payoffs = tensors
+        self._shape = shape
+
+    @property
+    def num_players(self) -> int:
+        return len(self._payoffs)
+
+    def num_actions(self, player: int) -> int:
+        return self._shape[player]
+
+    def utility(self, player: int, profile: Profile) -> float:
+        return float(self._payoffs[player][tuple(profile)])
+
+    @classmethod
+    def from_game(cls, game: NormalFormGame) -> "TabularGame":
+        """Materialize any finite game into payoff tensors (small games only)."""
+        shape = tuple(game.num_actions(i) for i in range(game.num_players))
+        tensors = [np.zeros(shape) for _ in range(game.num_players)]
+        for profile in game.all_profiles():
+            for i in range(game.num_players):
+                tensors[i][profile] = game.utility(i, profile)
+        return cls(tensors)

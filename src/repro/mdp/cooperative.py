@@ -1,0 +1,80 @@
+"""Build the cooperative helper-assignment MDP explicitly.
+
+State: the joint helper bandwidth vector ``y`` (product of the per-helper
+chains).  Action: an anonymous load vector ``(n_1..n_H)`` with
+``sum n_j = N`` (peer exchangeability makes identities irrelevant).
+Dynamics: the product chain, independent of the action.  Reward: social
+welfare of the load vector under the stage capacities.
+
+The resulting :class:`~repro.mdp.value_iteration.FiniteMDP` feeds relative
+value iteration; because dynamics are uncontrolled its optimal gain equals
+the occupation-LP optimum and the symmetric closed form.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.game.nash import compositions
+from repro.mdp.markov_chain import MarkovChain
+from repro.mdp.value_iteration import FiniteMDP
+
+StateVector = Tuple[int, ...]
+
+
+def build_cooperative_mdp(
+    chains: Sequence[MarkovChain],
+    num_peers: int,
+    connection_costs: Optional[Sequence[float]] = None,
+    state_limit: int = 5000,
+    action_limit: int = 5000,
+) -> Tuple[FiniteMDP, List[StateVector], List[Tuple[int, ...]]]:
+    """Materialize the cooperative MDP as dense tensors.
+
+    Returns ``(mdp, states, actions)`` where ``states`` indexes the joint
+    helper-state vectors and ``actions`` the load vectors.
+    """
+    if not chains:
+        raise ValueError("need at least one helper chain")
+    if num_peers < 1:
+        raise ValueError("num_peers must be >= 1")
+    num_helpers = len(chains)
+    states: List[StateVector] = list(
+        itertools.product(*[range(c.num_states) for c in chains])
+    )
+    if len(states) > state_limit:
+        raise ValueError(f"{len(states)} joint states exceed limit {state_limit}")
+    actions: List[Tuple[int, ...]] = list(compositions(num_peers, num_helpers))
+    if len(actions) > action_limit:
+        raise ValueError(f"{len(actions)} load vectors exceed limit {action_limit}")
+    if connection_costs is None:
+        costs = np.zeros(num_helpers)
+    else:
+        costs = np.asarray(connection_costs, dtype=float)
+        if costs.shape != (num_helpers,):
+            raise ValueError("connection_costs must have one entry per helper")
+
+    num_states, num_actions = len(states), len(actions)
+    state_index = {y: i for i, y in enumerate(states)}
+
+    transitions = np.zeros((num_states, num_actions, num_states))
+    rewards = np.zeros((num_states, num_actions))
+    for si, y in enumerate(states):
+        caps = np.array([chains[j].states[y[j]] for j in range(num_helpers)])
+        for ai, loads in enumerate(actions):
+            loads_arr = np.asarray(loads)
+            occupied = loads_arr > 0
+            rewards[si, ai] = float(
+                caps[occupied].sum() - (loads_arr[occupied] * costs[occupied]).sum()
+            )
+        # Uncontrolled product dynamics: same row for every action.
+        for y_next in states:
+            prob = 1.0
+            for j in range(num_helpers):
+                prob *= chains[j].transition[y[j], y_next[j]]
+            if prob > 0:
+                transitions[si, :, state_index[y_next]] = prob
+    return FiniteMDP(transitions=transitions, rewards=rewards), states, actions

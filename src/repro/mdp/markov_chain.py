@@ -1,0 +1,213 @@
+"""Finite ergodic Markov chains.
+
+The paper models each helper's available upload bandwidth as an independent
+ergodic finite Markov chain over the levels ``[700, 800, 900]`` that switches
+"according to a slowly changing random process" (Sec. IV).  This module
+provides the chain abstraction plus the two canned constructors used by the
+experiments:
+
+* :func:`birth_death_chain` — nearest-neighbour transitions with a large
+  self-loop probability (the "slowly changing" process);
+* :func:`lazy_uniform_chain` — a lazy chain that jumps uniformly on change,
+  used in ablations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.util.rng import Seedish, as_generator
+from repro.util.validation import (
+    require_in_closed_unit_interval,
+    require_probability_vector,
+    require_stochastic_matrix,
+)
+
+
+@dataclass
+class MarkovChain:
+    """A finite, time-homogeneous Markov chain.
+
+    Parameters
+    ----------
+    transition:
+        Row-stochastic ``S x S`` transition matrix ``P[s, s']``.
+    states:
+        Optional per-state labels/values (e.g. bandwidth levels in kbit/s).
+        Defaults to ``0..S-1``.
+    rng:
+        Seed or generator driving the sample path.
+    initial:
+        Optional distribution over the initial state; defaults to the
+        stationary distribution, so sample paths start in steady state as
+        assumed by the occupation-measure LP.
+    """
+
+    transition: np.ndarray
+    states: Optional[np.ndarray] = None
+    rng: Seedish = None
+    initial: Optional[Sequence[float]] = None
+    _state: int = field(init=False, repr=False, default=0)
+
+    def __post_init__(self) -> None:
+        self.transition = require_stochastic_matrix(self.transition, "transition")
+        n = self.transition.shape[0]
+        if self.states is None:
+            self.states = np.arange(n, dtype=float)
+        else:
+            self.states = np.asarray(self.states, dtype=float)
+            if self.states.shape != (n,):
+                raise ValueError(
+                    f"states must have length {n}, got shape {self.states.shape}"
+                )
+        self.rng = as_generator(self.rng)
+        if self.initial is None:
+            init = self.stationary_distribution()
+        else:
+            init = require_probability_vector(self.initial, "initial")
+            if init.size != n:
+                raise ValueError(f"initial must have length {n}")
+        self._state = int(self.rng.choice(n, p=init))
+
+    @property
+    def num_states(self) -> int:
+        """Number of states ``S``."""
+        return self.transition.shape[0]
+
+    @property
+    def state_index(self) -> int:
+        """Current state index in ``0..S-1``."""
+        return self._state
+
+    @property
+    def state_value(self) -> float:
+        """Label/value of the current state."""
+        return float(self.states[self._state])
+
+    def step(self) -> int:
+        """Advance one step; return the new state index."""
+        self._state = int(
+            self.rng.choice(self.num_states, p=self.transition[self._state])
+        )
+        return self._state
+
+    def sample_path(self, length: int) -> np.ndarray:
+        """Advance ``length`` steps and return the visited state indices."""
+        if length < 0:
+            raise ValueError("length must be >= 0")
+        path = np.empty(length, dtype=int)
+        for t in range(length):
+            path[t] = self.step()
+        return path
+
+    def set_state(self, index: int) -> None:
+        """Force the chain into state ``index`` (used by tests/scenarios)."""
+        if not 0 <= index < self.num_states:
+            raise ValueError(f"state index {index} out of range 0..{self.num_states - 1}")
+        self._state = int(index)
+
+    def stationary_distribution(self) -> np.ndarray:
+        """Stationary distribution ``pi`` with ``pi P = pi``.
+
+        Computed from the eigenvector of ``P^T`` at eigenvalue 1; raises
+        :class:`ValueError` if the chain is not ergodic enough for a unique
+        strictly positive solution (up to numerical tolerance).
+        """
+        return stationary_distribution(self.transition)
+
+    def expected_state_value(self) -> float:
+        """Stationary expectation of the state value ``E_pi[states]``."""
+        return float(self.stationary_distribution() @ self.states)
+
+
+def stationary_distribution(transition: np.ndarray) -> np.ndarray:
+    """Stationary distribution of a row-stochastic matrix.
+
+    Solves ``pi (P - I) = 0`` with the normalization ``sum(pi) = 1`` via a
+    least-squares system, then validates uniqueness by checking the
+    eigenvalue-1 multiplicity.
+    """
+    p = require_stochastic_matrix(transition, "transition")
+    n = p.shape[0]
+    # pi solves A^T pi = b with A = [P^T - I; 1^T].
+    a = np.vstack([p.T - np.eye(n), np.ones((1, n))])
+    b = np.zeros(n + 1)
+    b[-1] = 1.0
+    pi, *_ = np.linalg.lstsq(a, b, rcond=None)
+    if np.any(pi < -1e-8):
+        raise ValueError("transition matrix has no non-negative stationary vector; "
+                         "is the chain ergodic?")
+    pi = np.clip(pi, 0.0, None)
+    total = pi.sum()
+    if total <= 0 or abs(total - 1.0) > 1e-6:
+        raise ValueError("failed to normalize stationary distribution")
+    resid = np.linalg.norm(pi @ p - pi, ord=1)
+    if resid > 1e-6:
+        raise ValueError(f"stationary residual too large ({resid}); chain may be periodic")
+    return pi / total
+
+
+def birth_death_chain(
+    levels: Sequence[float],
+    stay_probability: float = 0.9,
+    rng: Seedish = None,
+    initial: Optional[Sequence[float]] = None,
+) -> MarkovChain:
+    """Slowly-switching nearest-neighbour chain over ``levels``.
+
+    With probability ``stay_probability`` the chain keeps its level; the
+    remaining mass moves to adjacent levels (split evenly for interior
+    states, all of it for boundary states).  With the default 0.9 this is
+    the "slowly changing random process" over ``[700, 800, 900]`` of the
+    paper's evaluation.
+    """
+    values = np.asarray(levels, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("levels must be a 1-D sequence of at least two values")
+    stay = require_in_closed_unit_interval(stay_probability, "stay_probability")
+    n = values.size
+    move = 1.0 - stay
+    p = np.zeros((n, n))
+    for s in range(n):
+        p[s, s] = stay
+        if s == 0:
+            p[s, 1] += move
+        elif s == n - 1:
+            p[s, n - 2] += move
+        else:
+            p[s, s - 1] += move / 2
+            p[s, s + 1] += move / 2
+    return MarkovChain(transition=p, states=values, rng=rng, initial=initial)
+
+
+def lazy_uniform_chain(
+    levels: Sequence[float],
+    stay_probability: float = 0.9,
+    rng: Seedish = None,
+) -> MarkovChain:
+    """Lazy chain that, when it moves, jumps uniformly over the other levels."""
+    values = np.asarray(levels, dtype=float)
+    if values.ndim != 1 or values.size < 2:
+        raise ValueError("levels must be a 1-D sequence of at least two values")
+    stay = require_in_closed_unit_interval(stay_probability, "stay_probability")
+    n = values.size
+    p = np.full((n, n), (1.0 - stay) / (n - 1))
+    np.fill_diagonal(p, stay)
+    return MarkovChain(transition=p, states=values, rng=rng)
+
+
+def product_stationary(chains: Sequence[MarkovChain]) -> np.ndarray:
+    """Joint stationary distribution of independent chains.
+
+    Returns an array of shape ``(S_1, ..., S_H)`` with
+    ``pi(y) = prod_i pi_i(y_i)`` — the ``pi(x)`` of paper Sec. IV-A.
+    """
+    if not chains:
+        raise ValueError("need at least one chain")
+    joint = np.array([1.0])
+    for chain in chains:
+        joint = np.multiply.outer(joint, chain.stationary_distribution())
+    return joint[0] if joint.ndim > len(chains) else joint

@@ -1,0 +1,115 @@
+"""Generic finite MDPs and (relative) value iteration.
+
+Used to cross-check the occupation-measure LP: the cooperative helper
+assignment problem is an average-reward MDP whose state is the helper
+bandwidth vector, whose actions are load vectors, and whose dynamics are
+*uncontrolled* (the chains move on their own).  Relative value iteration on
+that MDP must recover the same optimal gain as the LP and the symmetric
+closed form — ``tests/mdp/test_cross_check.py`` asserts all three agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class FiniteMDP:
+    """A finite MDP with dense tensors.
+
+    Attributes
+    ----------
+    transitions:
+        Array ``(S, A, S)``; ``transitions[s, a, s']`` is the probability of
+        moving to ``s'`` when playing ``a`` in ``s``.  Rows must sum to 1.
+    rewards:
+        Array ``(S, A)`` of expected one-step rewards.
+    """
+
+    transitions: np.ndarray
+    rewards: np.ndarray
+
+    def __post_init__(self) -> None:
+        t = np.asarray(self.transitions, dtype=float)
+        r = np.asarray(self.rewards, dtype=float)
+        if t.ndim != 3 or t.shape[0] != t.shape[2]:
+            raise ValueError(f"transitions must be (S, A, S), got {t.shape}")
+        if r.shape != t.shape[:2]:
+            raise ValueError(
+                f"rewards shape {r.shape} incompatible with transitions {t.shape}"
+            )
+        if np.any(t < -1e-9):
+            raise ValueError("transition probabilities must be non-negative")
+        sums = t.sum(axis=2)
+        if np.any(np.abs(sums - 1.0) > 1e-6):
+            raise ValueError("transition rows must sum to 1")
+        object.__setattr__(self, "transitions", t)
+        object.__setattr__(self, "rewards", r)
+
+    @property
+    def num_states(self) -> int:
+        """Number of states ``S``."""
+        return self.transitions.shape[0]
+
+    @property
+    def num_actions(self) -> int:
+        """Number of actions ``A``."""
+        return self.transitions.shape[1]
+
+
+def value_iteration(
+    mdp: FiniteMDP,
+    discount: float,
+    tolerance: float = 1e-9,
+    max_iterations: int = 100000,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Discounted value iteration.
+
+    Returns ``(values, policy)`` where ``values`` has shape ``(S,)`` and
+    ``policy[s]`` is a greedy optimal action.
+    """
+    if not 0 <= discount < 1:
+        raise ValueError("discount must lie in [0, 1)")
+    v = np.zeros(mdp.num_states)
+    for _ in range(max_iterations):
+        q = mdp.rewards + discount * np.einsum("sat,t->sa", mdp.transitions, v)
+        new_v = q.max(axis=1)
+        if np.max(np.abs(new_v - v)) < tolerance * (1.0 - discount):
+            v = new_v
+            break
+        v = new_v
+    else:
+        raise RuntimeError("value iteration did not converge")
+    q = mdp.rewards + discount * np.einsum("sat,t->sa", mdp.transitions, v)
+    return v, q.argmax(axis=1)
+
+
+def relative_value_iteration(
+    mdp: FiniteMDP,
+    tolerance: float = 1e-9,
+    max_iterations: int = 200000,
+) -> Tuple[float, np.ndarray, np.ndarray]:
+    """Average-reward (relative) value iteration for unichain MDPs.
+
+    Returns ``(gain, bias, policy)`` — ``gain`` is the optimal long-run
+    average reward (the quantity the occupation LP maximizes).
+    """
+    h = np.zeros(mdp.num_states)
+    gain = 0.0
+    for _ in range(max_iterations):
+        q = mdp.rewards + np.einsum("sat,t->sa", mdp.transitions, h)
+        new_h = q.max(axis=1)
+        # Span-based convergence test.
+        diff = new_h - h
+        span = diff.max() - diff.min()
+        gain = 0.5 * (diff.max() + diff.min())
+        h = new_h - new_h[0]  # pin one component to keep the iterates bounded
+        if span < tolerance:
+            break
+    else:
+        raise RuntimeError("relative value iteration did not converge")
+    q = mdp.rewards + np.einsum("sat,t->sa", mdp.transitions, h)
+    return float(gain), h, q.argmax(axis=1)

@@ -1,0 +1,46 @@
+"""Evaluation metrics for the paper's figures.
+
+* :mod:`repro.metrics.fairness` — Jain's index, max/min ratio, coefficient
+  of variation (Figs. 3 and 4).
+* :mod:`repro.metrics.welfare` — social welfare series, optimality ratios
+  (Fig. 2).
+* :mod:`repro.metrics.convergence` — regret trajectories, smoothing,
+  convergence detection (Fig. 1).
+* :mod:`repro.metrics.server_load` — server workload vs. the minimum
+  bandwidth deficit of helpers (Fig. 5).
+* :mod:`repro.metrics.distributions` — helper-load distribution statistics
+  (Fig. 3).
+"""
+
+from repro.metrics.convergence import (
+    convergence_stage,
+    exponential_smooth,
+    moving_average,
+    regret_trajectory,
+    time_averaged_regret_series,
+)
+from repro.metrics.distributions import (
+    load_balance_report,
+    load_distance_to_proportional,
+    mean_loads,
+)
+from repro.metrics.fairness import coefficient_of_variation, jain_index, max_min_ratio
+from repro.metrics.server_load import server_load_report
+from repro.metrics.welfare import optimality_ratio, welfare_report
+
+__all__ = [
+    "jain_index",
+    "max_min_ratio",
+    "coefficient_of_variation",
+    "welfare_report",
+    "optimality_ratio",
+    "regret_trajectory",
+    "time_averaged_regret_series",
+    "moving_average",
+    "exponential_smooth",
+    "convergence_stage",
+    "mean_loads",
+    "load_balance_report",
+    "load_distance_to_proportional",
+    "server_load_report",
+]

@@ -1,0 +1,84 @@
+"""Helper-load distribution statistics (paper Fig. 3).
+
+Fig. 3 shows RTHS spreading peers evenly over the helpers.  The natural
+reference is the capacity-proportional load ``N * C_j / sum(C)``; these
+helpers quantify how far realized loads sit from it and how the balance
+evolves over a run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.game.repeated_game import Trajectory
+from repro.metrics.fairness import coefficient_of_variation, jain_index
+
+
+def mean_loads(trajectory: Trajectory, tail_fraction: float = 0.5) -> np.ndarray:
+    """Mean per-helper load over the final ``tail_fraction`` of the run."""
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must lie in (0, 1]")
+    tail = trajectory.tail(tail_fraction)
+    return tail.loads.mean(axis=0)
+
+
+def load_distance_to_proportional(
+    loads: np.ndarray, capacities: np.ndarray, num_peers: int
+) -> float:
+    """L1 distance between mean loads and capacity-proportional targets,
+    normalized by the population size (0 = perfectly proportional)."""
+    loads = np.asarray(loads, dtype=float)
+    caps = np.asarray(capacities, dtype=float)
+    if loads.shape != caps.shape:
+        raise ValueError("loads and capacities must have matching shapes")
+    if num_peers < 1:
+        raise ValueError("num_peers must be >= 1")
+    total = caps.sum()
+    if total <= 0:
+        raise ValueError("total capacity must be positive")
+    target = num_peers * caps / total
+    return float(np.abs(loads - target).sum() / num_peers)
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Summary of how evenly a run loaded the helpers.
+
+    All statistics are computed on the steady-state tail of the run.
+    """
+
+    mean_loads: np.ndarray
+    proportional_target: np.ndarray
+    jain: float
+    cv: float
+    distance_to_proportional: float
+    per_stage_cv: np.ndarray
+
+
+def load_balance_report(
+    trajectory: Trajectory, tail_fraction: float = 0.5
+) -> LoadBalanceReport:
+    """Build the Fig. 3 summary from a trajectory."""
+    if not 0 < tail_fraction <= 1:
+        raise ValueError("tail_fraction must lie in (0, 1]")
+    tail = trajectory.tail(tail_fraction)
+    loads = tail.loads.mean(axis=0)
+    mean_caps = tail.capacities.mean(axis=0)
+    num_peers = trajectory.num_peers
+    total = mean_caps.sum()
+    target = num_peers * mean_caps / total if total > 0 else np.zeros_like(mean_caps)
+    per_stage_cv = np.array(
+        [coefficient_of_variation(row.astype(float)) for row in tail.loads]
+    )
+    return LoadBalanceReport(
+        mean_loads=loads,
+        proportional_target=target,
+        jain=jain_index(loads),
+        cv=coefficient_of_variation(loads),
+        distance_to_proportional=load_distance_to_proportional(
+            loads, mean_caps, num_peers
+        ),
+        per_stage_cv=per_stage_cv,
+    )

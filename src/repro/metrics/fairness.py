@@ -1,0 +1,52 @@
+"""Fairness indices (paper Figs. 3 and 4).
+
+The paper argues the convexity of the CE set "allows for better fairness
+between the peers" and demonstrates it with per-helper load balance and
+per-peer bandwidth shares; these are the standard scalar summaries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _clean(values: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError(f"{name} must be a non-empty 1-D array")
+    if np.any(~np.isfinite(arr)) or np.any(arr < 0):
+        raise ValueError(f"{name} must be finite and non-negative")
+    return arr
+
+
+def jain_index(values: np.ndarray) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    1.0 means perfectly equal; ``1/n`` means one participant takes all.
+    An all-zero allocation is defined here as perfectly fair (1.0).
+    """
+    arr = _clean(values, "values")
+    denom = arr.size * float((arr**2).sum())
+    if denom == 0:
+        return 1.0
+    # Mathematically in [1/n, 1] (Cauchy-Schwarz); clip away the floating-
+    # point overshoot that subnormal inputs can produce.
+    return float(min(1.0, float(arr.sum()) ** 2 / denom))
+
+
+def max_min_ratio(values: np.ndarray) -> float:
+    """``max / min`` of the allocation; ``inf`` if some entry is zero."""
+    arr = _clean(values, "values")
+    low = arr.min()
+    if low == 0:
+        return float("inf") if arr.max() > 0 else 1.0
+    return float(arr.max() / low)
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """Standard deviation divided by mean (0 for an all-zero allocation)."""
+    arr = _clean(values, "values")
+    mean = arr.mean()
+    if mean == 0:
+        return 0.0
+    return float(arr.std() / mean)

@@ -1,0 +1,78 @@
+"""Social-welfare summaries (paper Fig. 2).
+
+Fig. 2 compares the distributed RTHS against the centralized MDP optimum;
+these helpers turn raw trajectories into that comparison: smoothed welfare
+series, long-run means, and the optimality ratio against a reference
+optimum (the occupation-LP value or the per-stage symmetric upper envelope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.game.repeated_game import Trajectory
+
+
+@dataclass(frozen=True)
+class WelfareReport:
+    """Welfare summary of a run.
+
+    Attributes
+    ----------
+    series:
+        Per-stage social welfare, shape ``(T,)``.
+    mean:
+        Mean welfare over the whole run.
+    steady_state_mean:
+        Mean over the final half of the run (after convergence transients).
+    optimum:
+        Reference optimal welfare, if supplied.
+    """
+
+    series: np.ndarray
+    mean: float
+    steady_state_mean: float
+    optimum: Optional[float] = None
+
+    @property
+    def optimality(self) -> Optional[float]:
+        """``steady_state_mean / optimum`` (None if no reference)."""
+        if self.optimum is None or self.optimum <= 0:
+            return None
+        return self.steady_state_mean / self.optimum
+
+
+def welfare_report(
+    trajectory: Trajectory,
+    optimum: Optional[float] = None,
+    steady_state_fraction: float = 0.5,
+) -> WelfareReport:
+    """Summarize a trajectory's social welfare."""
+    if not 0 < steady_state_fraction <= 1:
+        raise ValueError("steady_state_fraction must lie in (0, 1]")
+    series = trajectory.welfare
+    start = int(round(series.size * (1.0 - steady_state_fraction)))
+    tail = series[start:] if start < series.size else series
+    return WelfareReport(
+        series=series,
+        mean=float(series.mean()),
+        steady_state_mean=float(tail.mean()),
+        optimum=optimum,
+    )
+
+
+def optimality_ratio(
+    welfare_series: np.ndarray,
+    optimum_series: np.ndarray,
+) -> np.ndarray:
+    """Per-stage ``welfare / optimum`` against a matched optimum path."""
+    w = np.asarray(welfare_series, dtype=float)
+    o = np.asarray(optimum_series, dtype=float)
+    if w.shape != o.shape:
+        raise ValueError("series must have matching shapes")
+    if np.any(o <= 0):
+        raise ValueError("optimum series must be strictly positive")
+    return w / o

@@ -1,0 +1,33 @@
+"""Multi-channel extension (the paper's stated future work, Sec. V).
+
+"Our future work is to extend the RTHS to the problem of joint bandwidth
+allocation in the helper level to the video channels and helper selection
+in the peer level."  This package implements that extension:
+
+* :mod:`repro.multichannel.allocation` — policies dividing each helper's
+  upload bandwidth among channels: equal split, demand-proportional split,
+  and an adaptive multiplicative-weights allocator driven by observed
+  per-channel deficits.
+* :mod:`repro.multichannel.joint` — the joint system: every stage, helpers
+  allocate bandwidth to channels and each channel's peers run R2HS helper
+  selection over their channel's slices.
+
+The ablation bench contrasts adaptive allocation + RTHS selection against
+a static equal split, showing the allocation layer absorbing popularity
+skew that selection alone cannot.
+"""
+
+from repro.multichannel.allocation import (
+    AdaptiveAllocator,
+    equal_allocation,
+    proportional_allocation,
+)
+from repro.multichannel.joint import JointMultiChannelSystem, JointTrace
+
+__all__ = [
+    "equal_allocation",
+    "proportional_allocation",
+    "AdaptiveAllocator",
+    "JointMultiChannelSystem",
+    "JointTrace",
+]

@@ -1,0 +1,164 @@
+"""Helper-bandwidth-to-channel allocation policies.
+
+An allocation is a matrix ``B`` of shape ``(H, C)`` with ``B[j, c] >= 0``
+and ``sum_c B[j, c] = C_j``: helper ``j`` dedicates ``B[j, c]`` of its
+upload bandwidth to channel ``c``.  Within a channel, peers then share the
+per-helper slices exactly as in the single-channel game.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.util.validation import require_positive
+
+
+def _validate_capacities(capacities: np.ndarray) -> np.ndarray:
+    caps = np.asarray(capacities, dtype=float)
+    if caps.ndim != 1 or caps.size == 0:
+        raise ValueError("capacities must be a non-empty 1-D vector")
+    if np.any(caps < 0) or np.any(~np.isfinite(caps)):
+        raise ValueError("capacities must be finite and non-negative")
+    return caps
+
+
+def equal_allocation(capacities: np.ndarray, num_channels: int) -> np.ndarray:
+    """Every helper splits evenly across channels: ``B[j, c] = C_j / C``."""
+    caps = _validate_capacities(capacities)
+    if num_channels < 1:
+        raise ValueError("num_channels must be >= 1")
+    return np.tile(caps[:, None] / num_channels, (1, num_channels))
+
+
+def proportional_allocation(
+    capacities: np.ndarray, channel_demands: np.ndarray
+) -> np.ndarray:
+    """Every helper splits proportionally to aggregate channel demand."""
+    caps = _validate_capacities(capacities)
+    demands = np.asarray(channel_demands, dtype=float)
+    if demands.ndim != 1 or demands.size == 0 or np.any(demands < 0):
+        raise ValueError("channel_demands must be a non-negative 1-D vector")
+    total = demands.sum()
+    if total <= 0:
+        raise ValueError("channel_demands must not be all zero")
+    weights = demands / total
+    return caps[:, None] * weights[None, :]
+
+
+class AdaptiveAllocator:
+    """Multiplicative-weights allocation driven by observed channel deficits.
+
+    Maintains per-helper channel weights ``w[j, c]``; after each stage the
+    system reports per-channel deficits (unserved demand), and weights move
+    toward hungry channels:
+
+        w[j, c] <- w[j, c] * exp(eta * deficit_c / demand_scale)
+
+    followed by per-helper normalization.  With all-zero deficits the
+    allocation is stationary; a floor keeps every channel minimally served
+    so selection learners never lose their action set.
+    """
+
+    def __init__(
+        self,
+        num_helpers: int,
+        num_channels: int,
+        learning_rate: float = 0.2,
+        floor: float = 0.02,
+        demand_scale: float = 1000.0,
+    ) -> None:
+        if num_helpers < 1 or num_channels < 1:
+            raise ValueError("num_helpers and num_channels must be >= 1")
+        require_positive(learning_rate, "learning_rate")
+        require_positive(demand_scale, "demand_scale")
+        if not 0 <= floor < 1.0 / num_channels:
+            raise ValueError("floor must lie in [0, 1/num_channels)")
+        self._h = int(num_helpers)
+        self._c = int(num_channels)
+        self._eta = float(learning_rate)
+        self._floor = float(floor)
+        self._scale = float(demand_scale)
+        self._weights = np.full((self._h, self._c), 1.0 / self._c)
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Current per-helper channel weights (rows sum to 1)."""
+        return self._weights.copy()
+
+    def allocation(self, capacities: np.ndarray) -> np.ndarray:
+        """Materialize ``B = diag(C) @ weights`` for this stage."""
+        caps = _validate_capacities(capacities)
+        if caps.size != self._h:
+            raise ValueError(f"expected {self._h} capacities, got {caps.size}")
+        return caps[:, None] * self._weights
+
+    def update(self, channel_deficits: np.ndarray) -> None:
+        """Shift weights toward channels with positive deficit."""
+        deficits = np.asarray(channel_deficits, dtype=float)
+        if deficits.shape != (self._c,):
+            raise ValueError(f"expected {self._c} channel deficits")
+        if np.any(deficits < 0) or np.any(~np.isfinite(deficits)):
+            raise ValueError("deficits must be finite and non-negative")
+        # Shift the exponent so the largest boost is exp(0); the per-row
+        # normalization below makes this exactly equivalent while avoiding
+        # overflow for large deficits.
+        exponent = self._eta * deficits / self._scale
+        boost = np.exp(exponent - exponent.max())
+        self._weights = self._weights * boost[None, :]
+        row_sums = self._weights.sum(axis=1, keepdims=True)
+        # Guard against total underflow (all boosts collapsing to zero).
+        dead = row_sums[:, 0] <= 0
+        if np.any(dead):
+            self._weights[dead] = np.where(
+                exponent == exponent.max(), 1.0, 0.0
+            )[None, :]
+        self._weights /= self._weights.sum(axis=1, keepdims=True)
+        if self._floor > 0:
+            self._weights = _project_rows_above_floor(self._weights, self._floor)
+
+    def reset(self) -> None:
+        """Back to the uniform split."""
+        self._weights = np.full((self._h, self._c), 1.0 / self._c)
+
+
+def _project_rows_above_floor(weights: np.ndarray, floor: float) -> np.ndarray:
+    """Project each row of a stochastic matrix onto the simplex slice
+    ``{w : w_c >= floor, sum w = 1}``.
+
+    Entries below the floor are pinned at it; the remaining mass is scaled
+    over the free entries.  Scaling can push further entries under the
+    floor, so iterate (at most ``C`` rounds).
+    """
+    out = weights.copy()
+    num_channels = out.shape[1]
+    for row in out:
+        pinned = np.zeros(num_channels, dtype=bool)
+        for _ in range(num_channels):
+            below = (~pinned) & (row < floor)
+            if not below.any():
+                break
+            pinned |= below
+            row[pinned] = floor
+            free = ~pinned
+            free_mass = 1.0 - pinned.sum() * floor
+            current = row[free].sum()
+            if current <= 0:
+                row[free] = free_mass / max(1, free.sum())
+            else:
+                row[free] *= free_mass / current
+    return out
+
+
+def allocation_is_valid(
+    allocation: np.ndarray, capacities: np.ndarray, atol: float = 1e-6
+) -> bool:
+    """Check ``B >= 0`` and ``sum_c B[j, c] = C_j`` (within tolerance)."""
+    b = np.asarray(allocation, dtype=float)
+    caps = _validate_capacities(capacities)
+    if b.ndim != 2 or b.shape[0] != caps.size:
+        return False
+    if np.any(b < -atol):
+        return False
+    return bool(np.all(np.abs(b.sum(axis=1) - caps) <= atol * np.maximum(caps, 1.0)))

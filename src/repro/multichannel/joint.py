@@ -1,0 +1,166 @@
+"""Joint bandwidth allocation + helper selection (paper Sec. V future work).
+
+Every stage:
+
+1. helpers publish per-channel bandwidth slices ``B[j, c]`` (from a static
+   or adaptive allocation policy);
+2. each channel's peers play one stage of the helper-selection game over
+   their channel's slices, using their own R2HS learners;
+3. per-channel deficits (demand not covered by the received shares) feed
+   back into the adaptive allocator.
+
+All channels see all helpers (the allocation layer, not helper
+partitioning, differentiates channels — the richer model the paper's
+future-work sentence points at).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.population import LearnerPopulation
+from repro.game.repeated_game import CapacityProcess
+from repro.multichannel.allocation import AdaptiveAllocator, equal_allocation
+from repro.util.rng import Seedish, as_generator, spawn
+
+
+@dataclass
+class JointTrace:
+    """Per-stage history of a joint allocation + selection run."""
+
+    welfare: np.ndarray           # (T,) total shares delivered
+    channel_deficits: np.ndarray  # (T, C) unmet demand per channel
+    allocations: np.ndarray       # (T, H, C) bandwidth slices
+    server_load: np.ndarray       # (T,) total deficit (server top-up)
+
+    @property
+    def num_stages(self) -> int:
+        """Number of stages ``T``."""
+        return self.welfare.size
+
+    def tail_mean_deficit(self, fraction: float = 0.5) -> np.ndarray:
+        """Steady-state mean deficit per channel."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must lie in (0, 1]")
+        start = int(round(self.num_stages * (1.0 - fraction)))
+        return self.channel_deficits[start:].mean(axis=0)
+
+
+class JointMultiChannelSystem:
+    """Stage-synchronous joint allocation + selection runner.
+
+    Parameters
+    ----------
+    peers_per_channel:
+        Population size of each channel (length ``C``).
+    demands_per_peer:
+        Per-channel playback bitrate (length ``C``).
+    capacity_process:
+        Helper bandwidth environment over all ``H`` helpers.
+    allocator:
+        ``None`` for a static equal split, or an
+        :class:`~repro.multichannel.allocation.AdaptiveAllocator`.
+    epsilon, delta, u_max:
+        R2HS learner parameters shared by all channels' populations.
+    """
+
+    def __init__(
+        self,
+        peers_per_channel: Sequence[int],
+        demands_per_peer: Sequence[float],
+        capacity_process: CapacityProcess,
+        allocator: Optional[AdaptiveAllocator] = None,
+        epsilon: float = 0.05,
+        delta: float = 0.1,
+        u_max: float = 900.0,
+        rng: Seedish = None,
+    ) -> None:
+        counts = [int(n) for n in peers_per_channel]
+        demands = [float(d) for d in demands_per_peer]
+        if not counts or len(counts) != len(demands):
+            raise ValueError(
+                "peers_per_channel and demands_per_peer must be non-empty "
+                "and of equal length"
+            )
+        if any(n < 1 for n in counts):
+            raise ValueError("every channel needs at least one peer")
+        if any(d <= 0 for d in demands):
+            raise ValueError("demands must be positive")
+        self._counts = counts
+        self._demands = demands
+        self._process = capacity_process
+        self._h = capacity_process.num_helpers
+        self._c = len(counts)
+        if allocator is not None and (
+            allocator.weights.shape != (self._h, self._c)
+        ):
+            raise ValueError("allocator shape does not match helpers/channels")
+        self._allocator = allocator
+        parent = as_generator(rng)
+        self._populations: List[LearnerPopulation] = [
+            LearnerPopulation(
+                num_peers=counts[c],
+                num_helpers=self._h,
+                epsilon=epsilon,
+                delta=delta,
+                u_max=u_max,
+                rng=spawn(parent),
+            )
+            for c in range(self._c)
+        ]
+
+    @property
+    def num_channels(self) -> int:
+        """Number of channels ``C``."""
+        return self._c
+
+    @property
+    def num_helpers(self) -> int:
+        """Number of helpers ``H``."""
+        return self._h
+
+    @property
+    def populations(self) -> List[LearnerPopulation]:
+        """Per-channel learner populations."""
+        return self._populations
+
+    def run(self, num_stages: int) -> JointTrace:
+        """Advance the joint system ``num_stages`` stages."""
+        if num_stages < 1:
+            raise ValueError("num_stages must be >= 1")
+        welfare = np.empty(num_stages)
+        deficits = np.empty((num_stages, self._c))
+        allocations = np.empty((num_stages, self._h, self._c))
+        server_load = np.empty(num_stages)
+        for t in range(num_stages):
+            caps = np.asarray(self._process.capacities(), dtype=float)
+            if self._allocator is None:
+                slices = equal_allocation(caps, self._c)
+            else:
+                slices = self._allocator.allocation(caps)
+            total_share = 0.0
+            for c, population in enumerate(self._populations):
+                channel_caps = slices[:, c]
+                actions = population.act_all()
+                loads = np.bincount(actions, minlength=self._h)
+                shares = channel_caps[actions] / loads[actions]
+                population.observe_all(actions, shares)
+                total_share += float(shares.sum())
+                deficits[t, c] = float(
+                    np.maximum(self._demands[c] - shares, 0.0).sum()
+                )
+            welfare[t] = total_share
+            allocations[t] = slices
+            server_load[t] = float(deficits[t].sum())
+            if self._allocator is not None:
+                self._allocator.update(deficits[t])
+            self._process.advance()
+        return JointTrace(
+            welfare=welfare,
+            channel_deficits=deficits,
+            allocations=allocations,
+            server_load=server_load,
+        )

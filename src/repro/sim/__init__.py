@@ -1,0 +1,60 @@
+"""Discrete-event P2P streaming substrate.
+
+* :mod:`repro.sim.engine` — the event engine (calendar queue, periodic
+  events, deterministic tie-breaking).
+* :mod:`repro.sim.bandwidth` — Markov-modulated helper capacity processes
+  (the paper's ``[700, 800, 900]`` slow-switching environment) and trace
+  replay for paired comparisons.
+* :mod:`repro.sim.entities` / :mod:`repro.sim.tracker` — channels, helpers,
+  peers, origin server, and the directory service.
+* :mod:`repro.sim.churn` — Poisson join / exponential-lifetime leave.
+* :mod:`repro.sim.system` — the runnable system tying it all together.
+* :mod:`repro.sim.trace` — per-round metric recording.
+"""
+
+from repro.sim.bandwidth import (
+    PAPER_BANDWIDTH_LEVELS,
+    MarkovCapacityProcess,
+    TraceCapacityProcess,
+    paper_bandwidth_process,
+    record_capacity_trace,
+)
+from repro.sim.chunks import ChunkConfig, ChunkLevelSystem, HelperUploader
+from repro.sim.churn import ChurnConfig, ChurnProcess
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.failures import FailureInjectingProcess
+from repro.sim.playback import PlaybackBuffer, QoEReport, playback_qoe, switch_rate
+from repro.sim.entities import Channel, Helper, Peer, StreamingServer
+from repro.sim.system import LearnerFactory, StreamingSystem, SystemConfig
+from repro.sim.trace import RoundRecord, SystemTrace
+from repro.sim.tracker import Tracker
+
+__all__ = [
+    "Simulator",
+    "EventHandle",
+    "PAPER_BANDWIDTH_LEVELS",
+    "MarkovCapacityProcess",
+    "TraceCapacityProcess",
+    "paper_bandwidth_process",
+    "record_capacity_trace",
+    "ChurnConfig",
+    "ChurnProcess",
+    "Channel",
+    "Helper",
+    "Peer",
+    "StreamingServer",
+    "StreamingSystem",
+    "SystemConfig",
+    "LearnerFactory",
+    "RoundRecord",
+    "SystemTrace",
+    "Tracker",
+    "PlaybackBuffer",
+    "QoEReport",
+    "playback_qoe",
+    "switch_rate",
+    "ChunkConfig",
+    "ChunkLevelSystem",
+    "HelperUploader",
+    "FailureInjectingProcess",
+]

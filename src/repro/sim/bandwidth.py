@@ -1,0 +1,132 @@
+"""Helper-bandwidth processes (the environment of the repeated game).
+
+The paper's evaluation drives each helper's available upload bandwidth with
+an independent, slowly-switching ergodic Markov chain over the levels
+``[700, 800, 900]`` kbit/s.  :class:`MarkovCapacityProcess` implements the
+:class:`repro.game.repeated_game.CapacityProcess` protocol on top of
+:mod:`repro.mdp.markov_chain`; :func:`paper_bandwidth_process` builds the
+canonical paper configuration; :class:`TraceCapacityProcess` replays a
+recorded path (for deterministic tests and paired algorithm comparisons).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.mdp.markov_chain import MarkovChain, birth_death_chain
+from repro.util.rng import Seedish, as_generator, spawn_many
+
+PAPER_BANDWIDTH_LEVELS = (700.0, 800.0, 900.0)
+
+
+class MarkovCapacityProcess:
+    """Per-helper capacities driven by independent Markov chains."""
+
+    def __init__(self, chains: Sequence[MarkovChain]) -> None:
+        if not chains:
+            raise ValueError("need at least one chain")
+        self._chains = list(chains)
+
+    @property
+    def num_helpers(self) -> int:
+        """Number of helpers ``H``."""
+        return len(self._chains)
+
+    @property
+    def chains(self) -> List[MarkovChain]:
+        """The underlying chains (same objects)."""
+        return self._chains
+
+    def capacities(self) -> np.ndarray:
+        """Current per-helper capacities."""
+        return np.array([c.state_value for c in self._chains])
+
+    def advance(self) -> None:
+        """Step every chain once."""
+        for chain in self._chains:
+            chain.step()
+
+    def expected_capacities(self) -> np.ndarray:
+        """Stationary mean capacity of each helper."""
+        return np.array([c.expected_state_value() for c in self._chains])
+
+    def minimum_capacities(self) -> np.ndarray:
+        """Lowest bandwidth level of each helper (for the Fig. 5 deficit)."""
+        return np.array([float(np.min(c.states)) for c in self._chains])
+
+
+def paper_bandwidth_process(
+    num_helpers: int,
+    levels: Sequence[float] = PAPER_BANDWIDTH_LEVELS,
+    stay_probability: float = 0.9,
+    rng: Seedish = None,
+) -> MarkovCapacityProcess:
+    """The paper's environment: independent slow birth–death chains.
+
+    Each helper switches between ``levels`` (default ``[700, 800, 900]``)
+    with the given per-stage stay probability.
+    """
+    if num_helpers < 1:
+        raise ValueError("num_helpers must be >= 1")
+    parent = as_generator(rng)
+    children = spawn_many(parent, num_helpers)
+    chains = [
+        birth_death_chain(levels, stay_probability=stay_probability, rng=child)
+        for child in children
+    ]
+    return MarkovCapacityProcess(chains)
+
+
+class TraceCapacityProcess:
+    """Replay a recorded ``(T, H)`` capacity path; wraps around at the end."""
+
+    def __init__(self, trace: np.ndarray) -> None:
+        arr = np.asarray(trace, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] == 0 or arr.shape[1] == 0:
+            raise ValueError("trace must be a non-empty (T, H) array")
+        if np.any(arr < 0) or np.any(~np.isfinite(arr)):
+            raise ValueError("trace capacities must be finite and non-negative")
+        self._trace = arr
+        self._t = 0
+
+    @property
+    def num_helpers(self) -> int:
+        """Number of helpers ``H``."""
+        return self._trace.shape[1]
+
+    @property
+    def length(self) -> int:
+        """Length of the recorded path ``T``."""
+        return self._trace.shape[0]
+
+    def capacities(self) -> np.ndarray:
+        """Capacities at the current position."""
+        return self._trace[self._t % self.length].copy()
+
+    def advance(self) -> None:
+        """Move to the next recorded stage (wrapping)."""
+        self._t += 1
+
+    def reset(self) -> None:
+        """Rewind to the start of the trace."""
+        self._t = 0
+
+
+def record_capacity_trace(
+    process: MarkovCapacityProcess, num_stages: int
+) -> np.ndarray:
+    """Sample a ``(num_stages, H)`` path from a live process.
+
+    Advances the process; use the result with
+    :class:`TraceCapacityProcess` to give several algorithms the *same*
+    environment realization (paired comparisons in the ablation benches).
+    """
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    out = np.empty((num_stages, process.num_helpers))
+    for t in range(num_stages):
+        out[t] = process.capacities()
+        process.advance()
+    return out

@@ -1,0 +1,191 @@
+"""A small discrete-event simulation engine.
+
+The streaming system (helpers, peers, churn, bandwidth switches, learning
+rounds) runs on this engine.  It is a classic calendar-queue design:
+
+* events are ``(time, priority, sequence, callback)`` tuples in a binary
+  heap; ties break by priority, then FIFO by insertion sequence, so runs
+  are fully deterministic;
+* callbacks receive the :class:`Simulator` and may schedule further events;
+* :meth:`Simulator.schedule_periodic` installs recurring events (learning
+  rounds, metric sampling).
+
+The engine knows nothing about streaming — it is reused by the churn and
+bandwidth processes and available to downstream users as a substrate.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+EventCallback = Callable[["Simulator"], None]
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    priority: int
+    sequence: int
+    callback: EventCallback = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class EventHandle:
+    """Returned by ``schedule``; allows cancellation."""
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """True if :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (lazy deletion from the heap)."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event simulator."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: List[_ScheduledEvent] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total callbacks executed so far."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def schedule_at(
+        self, time: float, callback: EventCallback, priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self._now}"
+            )
+        event = _ScheduledEvent(
+            time=float(time),
+            priority=int(priority),
+            sequence=next(self._sequence),
+            callback=callback,
+        )
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def schedule(
+        self, delay: float, callback: EventCallback, priority: int = 0
+    ) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` time units (>= 0)."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule_at(self._now + delay, callback, priority=priority)
+
+    def schedule_periodic(
+        self,
+        period: float,
+        callback: EventCallback,
+        priority: int = 0,
+        first_delay: Optional[float] = None,
+    ) -> EventHandle:
+        """Schedule ``callback`` every ``period`` units until cancelled.
+
+        The returned handle cancels the *whole series*.
+        """
+        if period <= 0:
+            raise ValueError(f"period must be > 0, got {period}")
+        delay = period if first_delay is None else first_delay
+        series_cancelled = {"flag": False}
+
+        outer_handle: List[EventHandle] = []
+
+        def fire(sim: "Simulator") -> None:
+            if series_cancelled["flag"]:
+                return
+            callback(sim)
+            if not series_cancelled["flag"]:
+                inner = sim.schedule(period, fire, priority=priority)
+                outer_handle[0] = inner
+
+        first = self.schedule(delay, fire, priority=priority)
+        outer_handle.append(first)
+
+        class _SeriesHandle(EventHandle):
+            def __init__(self) -> None:  # noqa: D401 - wraps the live handle
+                pass
+
+            @property
+            def time(self) -> float:
+                return outer_handle[0].time
+
+            @property
+            def cancelled(self) -> bool:
+                return series_cancelled["flag"]
+
+            def cancel(self) -> None:
+                series_cancelled["flag"] = True
+                outer_handle[0].cancel()
+
+        return _SeriesHandle()
+
+    def step(self) -> bool:
+        """Run the next event; return False if the queue is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(self)
+            return True
+        return False
+
+    def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
+        """Run all events with ``time <= end_time`` then set now = end_time."""
+        if end_time < self._now:
+            raise ValueError(f"end_time {end_time} is before now {self._now}")
+        budget = max_events
+        while self._queue:
+            head = self._queue[0]
+            if head.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if head.time > end_time:
+                break
+            if budget is not None:
+                if budget <= 0:
+                    raise RuntimeError("max_events exhausted before end_time")
+                budget -= 1
+            self.step()
+        self._now = float(end_time)
+
+    def run(self, max_events: Optional[int] = None) -> None:
+        """Run until the queue drains (or ``max_events`` is hit)."""
+        count = 0
+        while self.step():
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise RuntimeError("max_events exhausted with events still pending")

@@ -1,0 +1,102 @@
+"""Helper failure injection.
+
+Helpers are ordinary peers volunteering surplus bandwidth; they crash,
+leave, or throttle without warning.  :class:`FailureInjectingProcess`
+wraps any capacity process and knocks helpers out for random outages:
+
+* each stage, every healthy helper fails independently with probability
+  ``failure_rate``;
+* a failed helper's capacity reads 0 until it recovers;
+* outage lengths are geometric with mean ``mean_outage_rounds``.
+
+Because a failed helper still *accepts* connections (peers discover the
+outage only through a zero rate — bandit feedback, as everywhere in the
+paper), failure injection exercises exactly the adaptation path RTHS is
+designed for.  The failure ablation bench compares RTHS against a sticky
+(fixed-overlay) population under increasing failure rates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.game.repeated_game import CapacityProcess
+from repro.util.rng import Seedish, as_generator
+from repro.util.validation import require_in_closed_unit_interval, require_positive
+
+
+class FailureInjectingProcess:
+    """Wrap a capacity process with random helper outages."""
+
+    def __init__(
+        self,
+        base: CapacityProcess,
+        failure_rate: float,
+        mean_outage_rounds: float = 20.0,
+        rng: Seedish = None,
+    ) -> None:
+        require_in_closed_unit_interval(failure_rate, "failure_rate")
+        require_positive(mean_outage_rounds, "mean_outage_rounds")
+        self._base = base
+        self._failure_rate = float(failure_rate)
+        self._recovery_probability = 1.0 / float(mean_outage_rounds)
+        self._rng = as_generator(rng)
+        self._failed = np.zeros(base.num_helpers, dtype=bool)
+        self._outages_started = 0
+        self._stages_failed = 0
+
+    @property
+    def num_helpers(self) -> int:
+        """Helper count of the wrapped process."""
+        return self._base.num_helpers
+
+    @property
+    def failed(self) -> np.ndarray:
+        """Current outage mask (True = helper down)."""
+        return self._failed.copy()
+
+    @property
+    def outages_started(self) -> int:
+        """Total outage events injected so far."""
+        return self._outages_started
+
+    @property
+    def failed_helper_stages(self) -> int:
+        """Cumulative helper-stages spent in outage."""
+        return self._stages_failed
+
+    def capacities(self) -> np.ndarray:
+        """Base capacities with failed helpers zeroed."""
+        caps = np.asarray(self._base.capacities(), dtype=float).copy()
+        caps[self._failed] = 0.0
+        return caps
+
+    def advance(self) -> None:
+        """Advance the base process and the failure/recovery dynamics."""
+        self._base.advance()
+        self._stages_failed += int(self._failed.sum())
+        draws = self._rng.random(self.num_helpers)
+        # Recoveries first (a helper cannot fail and recover in one stage).
+        recovering = self._failed & (draws < self._recovery_probability)
+        self._failed[recovering] = False
+        fresh = (~self._failed) & ~recovering & (draws < self._failure_rate)
+        self._outages_started += int(fresh.sum())
+        self._failed[fresh] = True
+
+
+def availability(process: FailureInjectingProcess, num_stages: int) -> float:
+    """Empirical helper availability over ``num_stages`` advances.
+
+    Advances the process; returns the fraction of helper-stages that were
+    healthy.  Utility for calibrating failure parameters in experiments.
+    """
+    if num_stages < 1:
+        raise ValueError("num_stages must be >= 1")
+    healthy = 0
+    total = num_stages * process.num_helpers
+    for _ in range(num_stages):
+        healthy += int((~process.failed).sum())
+        process.advance()
+    return healthy / total

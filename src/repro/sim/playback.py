@@ -1,0 +1,194 @@
+"""Playback buffers and quality-of-experience metrics.
+
+The paper motivates correlated equilibria with QoE: herding "will result in
+frequent interruption in the streaming flow and poor quality of
+experience" (Sec. III-B).  This module makes that claim measurable: a
+standard fluid playback-buffer model driven by the per-stage rates a peer
+received, plus the QoE summaries used by the QoE ablation bench —
+
+* stall (rebuffering) fraction,
+* number of distinct stall events,
+* startup delay,
+* helper-switch rate (each switch interrupts the one-directional stream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.game.repeated_game import Trajectory
+from repro.util.validation import require_non_negative, require_positive
+
+
+@dataclass
+class PlaybackBuffer:
+    """Fluid playback buffer for one viewer.
+
+    Content arrives at the received rate and drains at the channel bitrate
+    while playing.  Playback starts (and restarts after a stall) once
+    ``startup_buffer`` seconds of content are buffered.
+
+    Parameters
+    ----------
+    bitrate:
+        Playback rate (kbit/s).
+    startup_buffer:
+        Seconds of content required before playback (re)starts.
+    capacity_seconds:
+        Maximum buffered content; surplus arrivals are discarded.
+    """
+
+    bitrate: float
+    startup_buffer: float = 2.0
+    capacity_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        require_positive(self.bitrate, "bitrate")
+        require_non_negative(self.startup_buffer, "startup_buffer")
+        require_positive(self.capacity_seconds, "capacity_seconds")
+        self._level = 0.0           # seconds of content buffered
+        self._playing = False
+        self._stalled_time = 0.0
+        self._played_time = 0.0
+        self._stall_events = 0
+        self._startup_delay: Optional[float] = None
+        self._clock = 0.0
+
+    @property
+    def level_seconds(self) -> float:
+        """Seconds of content currently buffered."""
+        return self._level
+
+    @property
+    def playing(self) -> bool:
+        """Whether playback is currently running."""
+        return self._playing
+
+    @property
+    def stalled_fraction(self) -> float:
+        """Fraction of elapsed time spent stalled (after first start)."""
+        total = self._played_time + self._stalled_time
+        if total <= 0:
+            return 0.0
+        return self._stalled_time / total
+
+    @property
+    def stall_events(self) -> int:
+        """Number of distinct rebuffering events (excludes initial startup)."""
+        return self._stall_events
+
+    @property
+    def startup_delay(self) -> Optional[float]:
+        """Time until playback first started (None if it never did)."""
+        return self._startup_delay
+
+    def advance(self, received_rate: float, duration: float = 1.0) -> None:
+        """Advance ``duration`` seconds with the given arrival rate.
+
+        Uses a conservative order: content arrives, then playback drains;
+        a stall is declared when the buffer cannot cover the interval.
+        """
+        if received_rate < 0:
+            raise ValueError("received_rate must be >= 0")
+        require_positive(duration, "duration")
+        self._clock += duration
+        self._level += received_rate / self.bitrate * duration
+        self._level = min(self._level, self.capacity_seconds)
+
+        if not self._playing:
+            if self._level >= self.startup_buffer:
+                self._playing = True
+                if self._startup_delay is None:
+                    self._startup_delay = self._clock
+            else:
+                if self._startup_delay is not None:
+                    self._stalled_time += duration
+                return
+
+        # Playing: drain.
+        if self._level >= duration:
+            self._level -= duration
+            self._played_time += duration
+        else:
+            played = max(0.0, self._level)
+            self._level = 0.0
+            self._played_time += played
+            self._stalled_time += duration - played
+            self._playing = False
+            self._stall_events += 1
+
+
+@dataclass(frozen=True)
+class QoEReport:
+    """Population-level quality-of-experience summary."""
+
+    stall_fraction: np.ndarray     # (N,) per-peer stalled-time fraction
+    stall_events: np.ndarray       # (N,) per-peer rebuffer count
+    startup_delay: np.ndarray      # (N,) NaN if playback never started
+    switch_rate: np.ndarray        # (N,) fraction of stages with a switch
+
+    @property
+    def mean_stall_fraction(self) -> float:
+        """Population mean stalled-time fraction."""
+        return float(self.stall_fraction.mean())
+
+    @property
+    def mean_switch_rate(self) -> float:
+        """Population mean helper-switch rate."""
+        return float(self.switch_rate.mean())
+
+    @property
+    def peers_with_stalls(self) -> float:
+        """Fraction of peers that rebuffered at least once."""
+        return float(np.mean(self.stall_events > 0))
+
+
+def switch_rate(trajectory: Trajectory) -> np.ndarray:
+    """Per-peer fraction of stages where the chosen helper changed."""
+    actions = trajectory.actions
+    if actions.shape[0] < 2:
+        return np.zeros(actions.shape[1])
+    changes = actions[1:] != actions[:-1]
+    return changes.mean(axis=0)
+
+
+def playback_qoe(
+    trajectory: Trajectory,
+    bitrate: float,
+    round_duration: float = 1.0,
+    startup_buffer: float = 2.0,
+) -> QoEReport:
+    """Run every peer's received-rate series through a playback buffer.
+
+    Parameters
+    ----------
+    trajectory:
+        A recorded run; ``utilities`` are the per-stage received rates.
+    bitrate:
+        Channel playback bitrate (kbit/s).
+    round_duration:
+        Seconds per stage.
+    startup_buffer:
+        Buffer threshold (seconds) for starting/resuming playback.
+    """
+    t, n = trajectory.utilities.shape
+    stall_fraction = np.empty(n)
+    stall_events = np.empty(n, dtype=int)
+    startup = np.full(n, np.nan)
+    for i in range(n):
+        buffer = PlaybackBuffer(bitrate=bitrate, startup_buffer=startup_buffer)
+        for stage in range(t):
+            buffer.advance(float(trajectory.utilities[stage, i]), round_duration)
+        stall_fraction[i] = buffer.stalled_fraction
+        stall_events[i] = buffer.stall_events
+        if buffer.startup_delay is not None:
+            startup[i] = buffer.startup_delay
+    return QoEReport(
+        stall_fraction=stall_fraction,
+        stall_events=stall_events,
+        startup_delay=startup,
+        switch_rate=switch_rate(trajectory),
+    )

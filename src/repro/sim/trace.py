@@ -1,0 +1,124 @@
+"""Recorded output of a streaming-system run.
+
+:class:`SystemTrace` accumulates one row per learning round and exposes the
+aggregates the paper's figures are built from.  Per-peer detail is kept as
+cumulative statistics on the :class:`~repro.sim.entities.Peer` objects
+(population size may change under churn); when the population is fixed the
+system can additionally export a dense
+:class:`~repro.game.repeated_game.Trajectory` for CE analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.game.repeated_game import Trajectory
+
+
+@dataclass
+class RoundRecord:
+    """Aggregates of one learning round."""
+
+    time: float
+    capacities: np.ndarray          # (H,) helper capacities this round
+    loads: np.ndarray               # (H,) connected-peer counts
+    welfare: float                  # sum of helper shares delivered
+    server_load: float              # total server top-up requested
+    min_deficit: float              # Fig. 5 lower bound this round
+    online_peers: int
+    total_demand: float
+
+
+@dataclass
+class SystemTrace:
+    """Dense per-round history of a system run."""
+
+    rounds: List[RoundRecord] = field(default_factory=list)
+    actions: Optional[List[np.ndarray]] = None     # per-round (N,) if fixed pop
+    utilities: Optional[List[np.ndarray]] = None   # per-round (N,) if fixed pop
+
+    def append(self, record: RoundRecord) -> None:
+        """Add one round."""
+        self.rounds.append(record)
+
+    # ------------------------------------------------------------------
+    # Column views
+    # ------------------------------------------------------------------
+
+    @property
+    def num_rounds(self) -> int:
+        """Rounds recorded."""
+        return len(self.rounds)
+
+    def _column(self, name: str) -> np.ndarray:
+        return np.array([getattr(r, name) for r in self.rounds])
+
+    @property
+    def times(self) -> np.ndarray:
+        """Round timestamps, shape ``(T,)``."""
+        return self._column("time")
+
+    @property
+    def welfare(self) -> np.ndarray:
+        """Per-round social welfare, shape ``(T,)``."""
+        return self._column("welfare")
+
+    @property
+    def server_load(self) -> np.ndarray:
+        """Per-round server top-up, shape ``(T,)`` (Fig. 5 solid line)."""
+        return self._column("server_load")
+
+    @property
+    def min_deficit(self) -> np.ndarray:
+        """Per-round minimum bandwidth deficit, shape ``(T,)`` (Fig. 5 bound)."""
+        return self._column("min_deficit")
+
+    @property
+    def online_peers(self) -> np.ndarray:
+        """Per-round online population, shape ``(T,)``."""
+        return self._column("online_peers")
+
+    @property
+    def total_demand(self) -> np.ndarray:
+        """Per-round aggregate demand, shape ``(T,)``."""
+        return self._column("total_demand")
+
+    @property
+    def loads(self) -> np.ndarray:
+        """Per-round helper loads, shape ``(T, H)``."""
+        return np.stack([r.loads for r in self.rounds])
+
+    @property
+    def capacities(self) -> np.ndarray:
+        """Per-round helper capacities, shape ``(T, H)``."""
+        return np.stack([r.capacities for r in self.rounds])
+
+    def to_trajectory(self) -> Trajectory:
+        """Dense trajectory for CE analysis (fixed population runs only)."""
+        if not self.actions or not self.utilities:
+            raise ValueError(
+                "per-peer recording was not enabled or the population changed; "
+                "run the system with record_peers=True and no churn"
+            )
+        return Trajectory(
+            capacities=self.capacities,
+            actions=np.stack(self.actions),
+            loads=self.loads,
+            utilities=np.stack(self.utilities),
+        )
+
+    def summary(self) -> Dict[str, float]:
+        """Headline aggregates over the whole run."""
+        if not self.rounds:
+            raise ValueError("trace is empty")
+        return {
+            "rounds": float(self.num_rounds),
+            "mean_welfare": float(self.welfare.mean()),
+            "mean_server_load": float(self.server_load.mean()),
+            "mean_min_deficit": float(self.min_deficit.mean()),
+            "mean_online_peers": float(self.online_peers.mean()),
+            "final_welfare": float(self.welfare[-1]),
+        }

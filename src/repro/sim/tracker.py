@@ -1,0 +1,44 @@
+"""The tracker: the only (lightweight) central component.
+
+Real multi-channel P2P deployments run a tracker that hands joining peers a
+contact list — here, the helpers assigned to their channel.  The tracker
+does *not* coordinate helper selection (that is the point of the paper);
+it only maintains the channel -> helpers directory and hands out lists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+class Tracker:
+    """Directory of helpers per channel."""
+
+    def __init__(self) -> None:
+        self._by_channel: Dict[int, List[int]] = {}
+
+    def register_helper(self, helper_id: int, channel_id: int) -> None:
+        """Add a helper to a channel's directory (idempotent)."""
+        helpers = self._by_channel.setdefault(channel_id, [])
+        if helper_id not in helpers:
+            helpers.append(helper_id)
+
+    def unregister_helper(self, helper_id: int, channel_id: int) -> None:
+        """Remove a helper from a channel's directory."""
+        helpers = self._by_channel.get(channel_id, [])
+        if helper_id in helpers:
+            helpers.remove(helper_id)
+
+    def helpers_for(self, channel_id: int) -> List[int]:
+        """Contact list (helper ids) for ``channel_id`` (copy)."""
+        if channel_id not in self._by_channel:
+            raise KeyError(f"unknown channel {channel_id}")
+        return list(self._by_channel[channel_id])
+
+    def channels(self) -> Sequence[int]:
+        """All channels with at least one registered helper."""
+        return sorted(self._by_channel)
+
+    def num_helpers(self, channel_id: int) -> int:
+        """Number of helpers registered for ``channel_id``."""
+        return len(self._by_channel.get(channel_id, []))

@@ -1,0 +1,29 @@
+"""Shared utilities: seeded randomness, argument validation, small numerics.
+
+Every stochastic component in :mod:`repro` draws randomness from a
+:class:`numpy.random.Generator` injected at construction time.  The helpers
+in :mod:`repro.util.rng` make it easy to derive independent, reproducible
+streams for sub-components from a single experiment seed.
+"""
+
+from repro.util.rng import as_generator, spawn, spawn_many
+from repro.util.validation import (
+    require_in_closed_unit_interval,
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+    require_probability_vector,
+    require_square_matrix,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "spawn_many",
+    "require_in_closed_unit_interval",
+    "require_non_negative",
+    "require_positive",
+    "require_positive_int",
+    "require_probability_vector",
+    "require_square_matrix",
+]

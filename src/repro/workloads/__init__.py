@@ -1,0 +1,38 @@
+"""Workload generators and the paper's canned scenarios.
+
+* :mod:`repro.workloads.popularity` — Zipf-like channel popularity (the
+  time-varying popularity motivating multi-channel helper systems).
+* :mod:`repro.workloads.demand` — per-peer streaming-demand profiles.
+* :mod:`repro.workloads.scenarios` — the concrete experiment setups of the
+  paper's Section IV (small-scale N=10/H=4, large-scale, Fig. 5 demand
+  setting), each bundling population, environment and learner parameters.
+"""
+
+from repro.workloads.demand import constant_demand, heterogeneous_demand
+from repro.workloads.popularity import zipf_popularity
+from repro.workloads.scenarios import (
+    Scenario,
+    fig5_scenario,
+    heterogeneous_scenario,
+    large_scale_scenario,
+    make_capacity_process,
+    make_heterogeneous_process,
+    make_learner_population,
+    run_scenario,
+    small_scale_scenario,
+)
+
+__all__ = [
+    "zipf_popularity",
+    "constant_demand",
+    "heterogeneous_demand",
+    "Scenario",
+    "small_scale_scenario",
+    "large_scale_scenario",
+    "fig5_scenario",
+    "heterogeneous_scenario",
+    "make_capacity_process",
+    "make_heterogeneous_process",
+    "make_learner_population",
+    "run_scenario",
+]

@@ -1,0 +1,54 @@
+"""Per-peer streaming-demand profiles.
+
+A peer's demand is the playback bitrate of its channel.  Fig. 5 needs the
+aggregate demand to exceed the helpers' minimum provisioned bandwidth part
+of the time, so the canned scenarios size demands relative to capacity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import Seedish, as_generator
+from repro.util.validation import require_positive, require_positive_int
+
+
+def constant_demand(num_peers: int, rate: float) -> np.ndarray:
+    """Every peer demands the same ``rate`` (kbit/s)."""
+    require_positive_int(num_peers, "num_peers")
+    require_positive(rate, "rate")
+    return np.full(num_peers, float(rate))
+
+
+def heterogeneous_demand(
+    num_peers: int,
+    low: float,
+    high: float,
+    rng: Seedish = None,
+) -> np.ndarray:
+    """Demands drawn uniformly from ``[low, high]`` (mixed-quality viewers)."""
+    require_positive_int(num_peers, "num_peers")
+    require_positive(low, "low")
+    require_positive(high, "high")
+    if high < low:
+        raise ValueError("high must be >= low")
+    gen = as_generator(rng)
+    return gen.uniform(low, high, size=num_peers)
+
+
+def demand_to_capacity_ratio(
+    demands: np.ndarray, minimum_capacities: np.ndarray
+) -> float:
+    """Aggregate demand over aggregate minimum helper capacity.
+
+    > 1 means the server must carry a structural deficit (the Fig. 5
+    regime); <= 1 means helpers could in principle carry everything.
+    """
+    d = np.asarray(demands, dtype=float)
+    c = np.asarray(minimum_capacities, dtype=float)
+    if np.any(d < 0) or np.any(c < 0):
+        raise ValueError("demands and capacities must be non-negative")
+    total_capacity = c.sum()
+    if total_capacity <= 0:
+        raise ValueError("total minimum capacity must be positive")
+    return float(d.sum() / total_capacity)

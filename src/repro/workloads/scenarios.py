@@ -1,0 +1,188 @@
+"""The paper's experiment scenarios, as reusable bundles.
+
+Section IV fixes the environment (helper bandwidth switching over
+``[700, 800, 900]``) and varies scale:
+
+* :func:`small_scale_scenario` — "N = 10 peers and |H| = 4 helpers" used
+  for the RTHS-vs-centralized-MDP comparison (Fig. 2).
+* :func:`large_scale_scenario` — the "large-scale cooperative multi-channel"
+  run behind Fig. 1 (exact size unreported; we default to N=100, H=10 and
+  expose both as parameters).
+* :func:`fig5_scenario` — a demand-bearing configuration where aggregate
+  demand exceeds the helpers' minimum provisioned bandwidth, so the server
+  carries a structural deficit (the Fig. 5 regime).
+
+Learner hyper-parameters (unreported in the paper) default to
+``epsilon=0.05, delta=0.1, mu = 2 (H-1)`` in normalized units and are swept
+by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.population import LearnerPopulation
+from repro.sim.bandwidth import (
+    PAPER_BANDWIDTH_LEVELS,
+    MarkovCapacityProcess,
+    paper_bandwidth_process,
+)
+from repro.util.rng import Seedish, as_generator, spawn
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, fully-parameterized experiment setup."""
+
+    name: str
+    num_peers: int
+    num_helpers: int
+    bandwidth_levels: Tuple[float, ...] = PAPER_BANDWIDTH_LEVELS
+    stay_probability: float = 0.9
+    epsilon: float = 0.05
+    delta: float = 0.1
+    mu: Optional[float] = None
+    demand_per_peer: Optional[float] = None
+    num_stages: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.num_peers < 1 or self.num_helpers < 2:
+            raise ValueError("need num_peers >= 1 and num_helpers >= 2")
+        if not 0 < self.epsilon <= 1 or not 0 < self.delta < 1:
+            raise ValueError("epsilon in (0,1], delta in (0,1) required")
+        if self.num_stages < 1:
+            raise ValueError("num_stages must be >= 1")
+
+    @property
+    def u_max(self) -> float:
+        """Utility normalizer: the highest bandwidth level."""
+        return float(max(self.bandwidth_levels))
+
+
+def small_scale_scenario(num_stages: int = 2000) -> Scenario:
+    """Paper Fig. 2 setting: N = 10 peers, H = 4 helpers."""
+    return Scenario(
+        name="small-scale",
+        num_peers=10,
+        num_helpers=4,
+        num_stages=num_stages,
+    )
+
+
+def large_scale_scenario(
+    num_peers: int = 100,
+    num_helpers: int = 10,
+    num_stages: int = 3000,
+) -> Scenario:
+    """Paper Fig. 1 setting (scale unreported; defaults N=100, H=10)."""
+    return Scenario(
+        name="large-scale",
+        num_peers=num_peers,
+        num_helpers=num_helpers,
+        num_stages=num_stages,
+    )
+
+
+def fig5_scenario(num_stages: int = 1500) -> Scenario:
+    """Fig. 5 setting: demands exceed the helpers' minimum bandwidth.
+
+    40 peers at 100 kbit/s each (4000 total) against 4 helpers with minimum
+    aggregate 2800 kbit/s: the minimum deficit is 1200 kbit/s, and good
+    selection should keep realized server load near it.
+    """
+    return Scenario(
+        name="fig5-server-load",
+        num_peers=40,
+        num_helpers=4,
+        demand_per_peer=100.0,
+        num_stages=num_stages,
+    )
+
+
+def make_capacity_process(
+    scenario: Scenario, rng: Seedish = None
+) -> MarkovCapacityProcess:
+    """The scenario's helper-bandwidth environment."""
+    return paper_bandwidth_process(
+        scenario.num_helpers,
+        levels=scenario.bandwidth_levels,
+        stay_probability=scenario.stay_probability,
+        rng=rng,
+    )
+
+
+def make_learner_population(
+    scenario: Scenario, rng: Seedish = None
+) -> LearnerPopulation:
+    """A vectorized R2HS population with the scenario's parameters."""
+    return LearnerPopulation(
+        num_peers=scenario.num_peers,
+        num_helpers=scenario.num_helpers,
+        epsilon=scenario.epsilon,
+        mu=scenario.mu,
+        delta=scenario.delta,
+        u_max=scenario.u_max,
+        rng=rng,
+    )
+
+
+def run_scenario(
+    scenario: Scenario, seed: int = 0
+) -> Tuple[LearnerPopulation, "np.ndarray"]:
+    """Run a scenario end to end; returns (population, welfare series)."""
+    parent = as_generator(seed)
+    process = make_capacity_process(scenario, rng=spawn(parent))
+    population = make_learner_population(scenario, rng=spawn(parent))
+    trajectory = population.run(process, scenario.num_stages)
+    return population, trajectory.welfare
+
+
+def heterogeneous_scenario(num_stages: int = 2000) -> Scenario:
+    """Helpers of two classes: strong (fiber) and weak (DSL) uploaders.
+
+    Not a paper figure — an extension scenario exercising the asymmetric
+    regime where helper selection actually matters for welfare (with
+    symmetric helpers, any non-degenerate rule is near-optimal; see
+    DESIGN.md §8).  Four helpers at levels [1400, 1600, 1800] and four at
+    [350, 400, 450]; the proportional split is 4:1.
+    """
+    return Scenario(
+        name="heterogeneous-helpers",
+        num_peers=40,
+        num_helpers=8,
+        bandwidth_levels=(350.0, 400.0, 450.0, 1400.0, 1600.0, 1800.0),
+        num_stages=num_stages,
+    )
+
+
+def make_heterogeneous_process(
+    scenario: Scenario, rng: Seedish = None
+) -> MarkovCapacityProcess:
+    """Environment for :func:`heterogeneous_scenario`.
+
+    Half the helpers switch over the strong levels, half over the weak
+    ones (each a slow birth-death chain).
+    """
+    from repro.mdp.markov_chain import birth_death_chain
+    from repro.util.rng import spawn_many
+
+    levels = list(scenario.bandwidth_levels)
+    if len(levels) % 2 != 0:
+        raise ValueError("scenario must carry an even number of levels "
+                         "(weak half + strong half)")
+    half = len(levels) // 2
+    weak_levels, strong_levels = levels[:half], levels[half:]
+    parent = as_generator(rng)
+    children = spawn_many(parent, scenario.num_helpers)
+    chains = []
+    for j, child in enumerate(children):
+        chosen = strong_levels if j < scenario.num_helpers // 2 else weak_levels
+        chains.append(
+            birth_death_chain(
+                chosen, stay_probability=scenario.stay_probability, rng=child
+            )
+        )
+    return MarkovCapacityProcess(chains)

@@ -1,0 +1,75 @@
+"""Tests for trajectory persistence."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.analysis.io import load_trajectory, save_trajectory
+from repro.core import empirical_ce_regret
+from repro.game.repeated_game import StaticCapacities
+
+
+def make_trajectory(stages=30, seed=0):
+    population = repro.LearnerPopulation(6, 3, u_max=900.0, rng=seed)
+    return population.run(StaticCapacities([700.0, 800.0, 900.0]), stages)
+
+
+class TestRoundTrip:
+    def test_arrays_survive(self, tmp_path):
+        trajectory = make_trajectory()
+        path = tmp_path / "run.npz"
+        save_trajectory(path, trajectory, metadata={"seed": 0})
+        loaded, metadata = load_trajectory(path)
+        assert np.array_equal(loaded.actions, trajectory.actions)
+        assert np.array_equal(loaded.loads, trajectory.loads)
+        assert np.allclose(loaded.utilities, trajectory.utilities)
+        assert np.allclose(loaded.capacities, trajectory.capacities)
+        assert metadata["seed"] == 0
+        assert metadata["format_version"] == 1
+
+    def test_analysis_works_on_loaded_trajectory(self, tmp_path):
+        trajectory = make_trajectory(stages=100)
+        path = tmp_path / "run.npz"
+        save_trajectory(path, trajectory)
+        loaded, _ = load_trajectory(path)
+        assert empirical_ce_regret(loaded, u_max=900.0) == pytest.approx(
+            empirical_ce_regret(trajectory, u_max=900.0)
+        )
+
+    def test_metadata_optional(self, tmp_path):
+        path = tmp_path / "run.npz"
+        save_trajectory(path, make_trajectory())
+        _, metadata = load_trajectory(path)
+        assert metadata["format_version"] == 1
+
+
+class TestValidation:
+    def test_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, actions=np.zeros((3, 2), dtype=int))
+        with pytest.raises(ValueError, match="missing arrays"):
+            load_trajectory(path)
+
+    def test_length_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            capacities=np.ones((3, 2)),
+            actions=np.zeros((4, 2), dtype=int),
+            loads=np.ones((3, 2), dtype=int),
+            utilities=np.ones((3, 2)),
+        )
+        with pytest.raises(ValueError, match="corrupt"):
+            load_trajectory(path)
+
+    def test_helper_count_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(
+            path,
+            capacities=np.ones((3, 2)),
+            actions=np.zeros((3, 2), dtype=int),
+            loads=np.ones((3, 3), dtype=int),
+            utilities=np.ones((3, 2)),
+        )
+        with pytest.raises(ValueError, match="helper count"):
+            load_trajectory(path)

@@ -1,0 +1,102 @@
+"""Tests for repro.analysis.reporting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.reporting import (
+    downsample,
+    format_float,
+    render_series_table,
+    render_table,
+    sparkline,
+)
+
+
+class TestFormatFloat:
+    def test_plain(self):
+        assert format_float(3.14159) == "3.142"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_large_switches_to_general(self):
+        assert "e" in format_float(123456789.0) or "1.23" in format_float(123456789.0)
+
+    def test_nan_and_inf(self):
+        assert format_float(float("nan")) == "nan"
+        assert format_float(float("inf")) == "inf"
+        assert format_float(float("-inf")) == "-inf"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        out = render_table(["name", "value"], [["a", 1.5], ["bb", 22.25]])
+        lines = out.splitlines()
+        assert lines[0].startswith("name")
+        assert "1.500" in out
+        assert "22.250" in out
+        assert len(lines) == 4  # header, rule, 2 rows
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [["only-one"]])
+
+    def test_integers_render_plain(self):
+        out = render_table(["n"], [[5]])
+        assert "5" in out
+
+
+class TestDownsample:
+    def test_short_series_unchanged(self):
+        series = np.array([1.0, 2.0])
+        assert np.array_equal(downsample(series, 10), series)
+
+    def test_bucket_means(self):
+        series = np.array([1.0, 3.0, 5.0, 7.0])
+        assert downsample(series, 2).tolist() == [2.0, 6.0]
+
+    def test_length(self):
+        assert downsample(np.arange(1000.0), 12).shape == (12,)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            downsample(np.array([]), 3)
+        with pytest.raises(ValueError):
+            downsample(np.ones(5), 0)
+
+
+class TestSparkline:
+    def test_length_capped_by_width(self):
+        assert len(sparkline(np.arange(100.0), width=20)) == 20
+
+    def test_constant_series(self):
+        assert set(sparkline(np.full(10, 3.0))) == {"▁"}
+
+    def test_monotone_rises(self):
+        line = sparkline(np.arange(8.0), width=8)
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+
+class TestRenderSeriesTable:
+    def test_columns_and_rows(self):
+        out = render_series_table(
+            ["welfare", "optimum"],
+            [np.linspace(0, 1, 100), np.linspace(1, 2, 100)],
+            num_points=5,
+        )
+        lines = out.splitlines()
+        assert "welfare" in lines[0] and "optimum" in lines[0]
+        assert len(lines) == 2 + 5
+
+    def test_validates_lengths(self):
+        with pytest.raises(ValueError):
+            render_series_table(["a"], [np.ones(5), np.ones(5)])
+        with pytest.raises(ValueError):
+            render_series_table(["a", "b"], [np.ones(5), np.ones(6)])
+
+    def test_no_stage_axis(self):
+        out = render_series_table(
+            ["x"], [np.ones(10)], num_points=2, stage_axis=False
+        )
+        assert "stage" not in out

@@ -1,0 +1,103 @@
+"""Tests for repro.core.diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.diagnostics import (
+    sliding_ce_regret,
+    strategy_entropy,
+    switching_statistics,
+)
+from repro.game.repeated_game import Trajectory
+
+
+def trajectory_from_actions(actions, capacities):
+    actions = np.asarray(actions, dtype=int)
+    t, n = actions.shape
+    caps = np.tile(np.asarray(capacities, dtype=float), (t, 1))
+    h = caps.shape[1]
+    loads = np.stack([np.bincount(actions[s], minlength=h) for s in range(t)])
+    utilities = np.stack(
+        [caps[s][actions[s]] / loads[s][actions[s]] for s in range(t)]
+    )
+    return Trajectory(
+        capacities=caps, actions=actions, loads=loads, utilities=utilities
+    )
+
+
+class TestSlidingCERegret:
+    def test_constant_anticoordination_is_zero_everywhere(self):
+        traj = trajectory_from_actions([[0, 1]] * 40, [800.0, 800.0])
+        values = sliding_ce_regret(traj, window=10)
+        assert values.shape == (4,)
+        assert np.allclose(values, 0.0)
+
+    def test_detects_local_herding(self):
+        # First half herds, second half splits: the sliding view separates
+        # them while the all-history average would smear.
+        actions = [[0, 0]] * 20 + [[0, 1]] * 20
+        traj = trajectory_from_actions(actions, [800.0, 800.0])
+        values = sliding_ce_regret(traj, window=20)
+        assert values[0] > 100.0
+        assert values[1] == pytest.approx(0.0)
+
+    def test_stride_controls_count(self):
+        traj = trajectory_from_actions([[0, 1]] * 30, [800.0, 800.0])
+        assert sliding_ce_regret(traj, window=10, stride=5).shape == (5,)
+
+    def test_validation(self):
+        traj = trajectory_from_actions([[0, 1]] * 10, [800.0, 800.0])
+        with pytest.raises(ValueError):
+            sliding_ce_regret(traj, window=0)
+        with pytest.raises(ValueError):
+            sliding_ce_regret(traj, window=20)
+        with pytest.raises(ValueError):
+            sliding_ce_regret(traj, window=5, stride=0)
+
+
+class TestStrategyEntropy:
+    def test_uniform_is_log_h(self):
+        h = strategy_entropy(np.full((1, 4), 0.25))
+        assert h[0] == pytest.approx(2.0)  # log2(4)
+
+    def test_deterministic_is_zero(self):
+        h = strategy_entropy(np.array([[1.0, 0.0, 0.0]]))
+        assert h[0] == pytest.approx(0.0)
+
+    def test_batch_rows(self):
+        probs = np.array([[0.5, 0.5], [1.0, 0.0]])
+        h = strategy_entropy(probs)
+        assert h.shape == (2,)
+        assert h[0] == pytest.approx(1.0)
+        assert h[1] == pytest.approx(0.0)
+
+    def test_rejects_non_distribution(self):
+        with pytest.raises(ValueError):
+            strategy_entropy(np.array([[0.5, 0.6]]))
+
+
+class TestSwitchingStatistics:
+    def test_no_switching(self):
+        traj = trajectory_from_actions([[0, 1]] * 10, [800.0, 800.0])
+        stats = switching_statistics(traj)
+        assert np.all(stats.switch_rate == 0.0)
+        assert np.all(stats.mean_sojourn == 10.0)
+
+    def test_alternating(self):
+        actions = [[0], [1], [0], [1]]
+        traj = trajectory_from_actions(actions, [800.0, 800.0])
+        stats = switching_statistics(traj)
+        assert stats.switch_rate[0] == pytest.approx(1.0)
+        assert stats.mean_sojourn[0] == pytest.approx(1.0)
+
+    def test_single_stage(self):
+        traj = trajectory_from_actions([[0, 1]], [800.0, 800.0])
+        stats = switching_statistics(traj)
+        assert np.all(stats.switch_rate == 0.0)
+
+    def test_population_aggregates(self):
+        actions = [[0, 0], [1, 0], [0, 0], [1, 0]]
+        traj = trajectory_from_actions(actions, [800.0, 800.0])
+        stats = switching_statistics(traj)
+        assert stats.population_switch_rate == pytest.approx((1.0 + 0.0) / 2)
+        assert stats.population_mean_sojourn == pytest.approx((1.0 + 4.0) / 2)

@@ -1,0 +1,152 @@
+"""Tests for repro.core.equilibrium (Eq. 3-1 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.core.equilibrium import (
+    ce_welfare_bounds,
+    empirical_ce_regret,
+    empirical_ce_regret_report,
+    is_epsilon_correlated_equilibrium,
+    solve_ce_lp,
+)
+from repro.game.helper_selection import HelperSelectionGame
+from repro.game.repeated_game import Trajectory
+from repro.game.strategic_game import TabularGame
+
+
+def trajectory_from_profiles(profiles, capacities):
+    """Build a Trajectory replaying fixed pure profiles each stage."""
+    profiles = np.asarray(profiles, dtype=int)
+    t, n = profiles.shape
+    caps = np.asarray(capacities, dtype=float)
+    h = caps.size
+    loads = np.stack(
+        [np.bincount(profiles[s], minlength=h) for s in range(t)]
+    )
+    utilities = np.stack(
+        [caps[profiles[s]] / loads[s][profiles[s]] for s in range(t)]
+    )
+    return Trajectory(
+        capacities=np.tile(caps, (t, 1)),
+        actions=profiles,
+        loads=loads,
+        utilities=utilities,
+    )
+
+
+class TestEmpiricalCERegret:
+    def test_anticoordination_play_has_zero_regret(self):
+        # Two equal helpers, two peers, always split: staying is 800,
+        # switching would give 800/2 = 400 -> no positive regret.
+        traj = trajectory_from_profiles([[0, 1]] * 50, [800.0, 800.0])
+        assert empirical_ce_regret(traj) == 0.0
+
+    def test_herd_play_has_positive_regret(self):
+        # Both peers always on helper 0: each gets 400; switching to the
+        # empty helper would give 800 -> regret 400 per stage.
+        traj = trajectory_from_profiles([[0, 0]] * 50, [800.0, 800.0])
+        report = empirical_ce_regret_report(traj)
+        assert report.max_regret == pytest.approx(400.0)
+
+    def test_alternating_herd_still_has_regret(self):
+        # The Sec. III-B oscillation: all peers flip together; the empty
+        # helper always beckons.
+        profiles = [[0, 0] if s % 2 == 0 else [1, 1] for s in range(60)]
+        traj = trajectory_from_profiles(profiles, [800.0, 800.0])
+        # Each (played j, alternative k) pair is active on half the stages,
+        # each contributing a 400 kbit/s gain -> average regret 200.
+        assert empirical_ce_regret(traj) == pytest.approx(200.0)
+
+    def test_normalization(self):
+        traj = trajectory_from_profiles([[0, 0]] * 10, [800.0, 800.0])
+        assert empirical_ce_regret(traj, u_max=800.0) == pytest.approx(0.5)
+
+    def test_report_worst_triple(self):
+        traj = trajectory_from_profiles([[0, 0]] * 10, [800.0, 800.0])
+        player, played, alternative = empirical_ce_regret_report(traj).worst_triple
+        assert played == 0
+        assert alternative == 1
+
+    def test_per_player_max_shape(self):
+        traj = trajectory_from_profiles([[0, 1, 1]] * 10, [800.0, 400.0])
+        report = empirical_ce_regret_report(traj)
+        assert report.per_player_max.shape == (3,)
+
+    def test_epsilon_ce_check(self):
+        traj = trajectory_from_profiles([[0, 1]] * 10, [800.0, 800.0])
+        assert is_epsilon_correlated_equilibrium(traj, 0.01)
+        herd = trajectory_from_profiles([[0, 0]] * 10, [800.0, 800.0])
+        assert not is_epsilon_correlated_equilibrium(herd, 0.01, u_max=800.0)
+
+    def test_rejects_negative_epsilon(self):
+        traj = trajectory_from_profiles([[0, 1]] * 5, [800.0, 800.0])
+        with pytest.raises(ValueError):
+            is_epsilon_correlated_equilibrium(traj, -0.1)
+
+    def test_rejects_bad_u_max(self):
+        traj = trajectory_from_profiles([[0, 1]] * 5, [800.0, 800.0])
+        with pytest.raises(ValueError):
+            empirical_ce_regret(traj, u_max=0.0)
+
+
+class TestSolveCELP:
+    def test_welfare_optimal_ce_of_anticoordination(self):
+        # 2 peers, 2 equal helpers: the best CE mixes the two split
+        # profiles; welfare 1600.
+        game = HelperSelectionGame(2, [800.0, 800.0])
+        dist, value = solve_ce_lp(game, objective="welfare")
+        assert value == pytest.approx(1600.0)
+        support = set(dist)
+        assert support <= {(0, 1), (1, 0)}
+
+    def test_distribution_is_normalized(self):
+        game = HelperSelectionGame(2, [900.0, 300.0])
+        dist, _ = solve_ce_lp(game)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_ce_constraints_hold_on_solution(self):
+        game = HelperSelectionGame(3, [900.0, 300.0])
+        dist, _ = solve_ce_lp(game, objective="welfare")
+        # Verify Eq. (3-1) directly on the returned distribution.
+        for i in range(game.num_players):
+            for j in range(game.num_helpers):
+                for k in range(game.num_helpers):
+                    if j == k:
+                        continue
+                    lhs = sum(
+                        prob
+                        * (
+                            game.utility(i, game.deviate(p, i, k))
+                            - game.utility(i, p)
+                        )
+                        for p, prob in dist.items()
+                        if p[i] == j
+                    )
+                    assert lhs <= 1e-6
+
+    def test_min_welfare_below_max_welfare(self):
+        game = HelperSelectionGame(2, [900.0, 300.0])
+        worst, best = ce_welfare_bounds(game)
+        assert worst <= best + 1e-9
+
+    def test_uniform_objective_feasible(self):
+        game = HelperSelectionGame(2, [800.0, 800.0])
+        dist, value = solve_ce_lp(game, objective="uniform")
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_unknown_objective_rejected(self):
+        game = HelperSelectionGame(2, [800.0, 800.0])
+        with pytest.raises(ValueError):
+            solve_ce_lp(game, objective="entropy")
+
+    def test_profile_limit_guard(self):
+        game = HelperSelectionGame(10, [800.0, 800.0])
+        with pytest.raises(ValueError):
+            solve_ce_lp(game, profile_limit=5)
+
+    def test_matching_pennies_ce_is_uniform_value_zero(self):
+        a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        game = TabularGame([a, -a])
+        _, value = solve_ce_lp(game, objective="welfare")
+        assert value == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,114 @@
+"""Tests for the RTHS probability update (Algorithms 1/2) — includes
+hypothesis property tests for the distribution invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.probability import (
+    default_mu,
+    probability_floor,
+    update_play_probabilities,
+)
+
+
+class TestUpdatePlayProbabilities:
+    def test_zero_regret_stays_mostly_put(self):
+        probs = update_play_probabilities(np.zeros(4), played=1, mu=6.0, delta=0.1)
+        # k != j get only the exploration floor delta/m.
+        assert probs[0] == pytest.approx(0.025)
+        assert probs[1] == pytest.approx(1 - 3 * 0.025)
+
+    def test_high_regret_capped_at_uniform_switch(self):
+        row = np.array([0.0, 1e9, 1e9, 1e9])
+        probs = update_play_probabilities(row, played=0, mu=6.0, delta=0.1)
+        # Each alternative gets (1-delta)/(m-1) + delta/m.
+        expected = 0.9 / 3 + 0.1 / 4
+        assert np.allclose(probs[1:], expected)
+        assert probs[0] == pytest.approx(1 - 3 * expected)
+
+    def test_proportional_region(self):
+        row = np.array([0.0, 0.6, 0.0])
+        probs = update_play_probabilities(row, played=0, mu=6.0, delta=0.0)
+        assert probs[1] == pytest.approx(0.1)
+        assert probs[2] == pytest.approx(0.0)
+        assert probs[0] == pytest.approx(0.9)
+
+    def test_out_buffer_used(self):
+        out = np.empty(3)
+        result = update_play_probabilities(
+            np.zeros(3), played=0, mu=1.0, delta=0.1, out=out
+        )
+        assert result is out
+
+    def test_rejects_negative_regret(self):
+        with pytest.raises(ValueError):
+            update_play_probabilities(np.array([-0.1, 0.0]), 0, mu=1.0, delta=0.1)
+
+    def test_rejects_bad_played(self):
+        with pytest.raises(ValueError):
+            update_play_probabilities(np.zeros(3), played=3, mu=1.0, delta=0.1)
+
+    def test_rejects_single_action(self):
+        with pytest.raises(ValueError):
+            update_play_probabilities(np.zeros(1), played=0, mu=1.0, delta=0.1)
+
+    def test_rejects_delta_one(self):
+        with pytest.raises(ValueError):
+            update_play_probabilities(np.zeros(3), played=0, mu=1.0, delta=1.0)
+
+    def test_rejects_nonpositive_mu(self):
+        with pytest.raises(ValueError):
+            update_play_probabilities(np.zeros(3), played=0, mu=0.0, delta=0.1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    m=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    mu=st.floats(min_value=0.05, max_value=100.0),
+    delta=st.floats(min_value=0.001, max_value=0.99),
+)
+def test_update_always_yields_distribution_with_floor(m, seed, mu, delta):
+    """Property: for any non-negative regret row the update yields a valid
+    probability vector with every action at or above delta/m."""
+    rng = np.random.default_rng(seed)
+    row = rng.exponential(scale=2.0, size=m)
+    played = int(rng.integers(m))
+    row[played] = 0.0
+    probs = update_play_probabilities(row, played, mu=mu, delta=delta)
+    assert probs.shape == (m,)
+    assert probs.sum() == pytest.approx(1.0, abs=1e-9)
+    floor = probability_floor(m, delta)
+    assert np.all(probs >= floor - 1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    m=st.integers(min_value=2, max_value=8),
+    scale=st.floats(min_value=0.1, max_value=10.0),
+)
+def test_update_is_monotone_in_regret(m, scale):
+    """Property: raising one alternative's regret never lowers its
+    probability (holding the others fixed)."""
+    base = np.linspace(0.0, 1.0, m)
+    base[0] = 0.0
+    low = update_play_probabilities(base, 0, mu=5.0, delta=0.1)
+    boosted = base.copy()
+    boosted[1] += scale
+    high = update_play_probabilities(boosted, 0, mu=5.0, delta=0.1)
+    assert high[1] >= low[1] - 1e-12
+
+
+class TestHelpers:
+    def test_probability_floor(self):
+        assert probability_floor(4, 0.2) == pytest.approx(0.05)
+
+    def test_default_mu(self):
+        assert default_mu(4) == pytest.approx(6.0)
+        assert default_mu(4, u_max=2.0) == pytest.approx(12.0)
+
+    def test_default_mu_validates(self):
+        with pytest.raises(ValueError):
+            default_mu(1)

@@ -1,0 +1,102 @@
+"""Tests for the exact potential of the helper-selection game."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.game.helper_selection import HelperSelectionGame
+from repro.game.nash import is_pure_nash
+from repro.game.potential import (
+    exact_potential,
+    greedy_potential_ascent,
+    is_finite_improvement_property_witnessed,
+    potential_difference_matches_utility,
+    potential_maximizing_loads,
+    potential_of_profile,
+)
+
+
+class TestExactPotential:
+    def test_known_value(self):
+        # Phi = C0 * (1 + 1/2) + C1 * 1 = 800 * 1.5 + 400 = 1600.
+        assert exact_potential([2, 1], [800.0, 400.0]) == pytest.approx(1600.0)
+
+    def test_empty_helper_contributes_nothing(self):
+        assert exact_potential([0, 1], [800.0, 400.0]) == pytest.approx(400.0)
+
+    def test_costs_subtract_linearly(self):
+        value = exact_potential([2, 0], [800.0, 400.0], connection_costs=[10.0, 0.0])
+        assert value == pytest.approx(800.0 * 1.5 - 20.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            exact_potential([1], [800.0, 400.0])
+        with pytest.raises(ValueError):
+            exact_potential([-1, 2], [800.0, 400.0])
+
+
+class TestExactPotentialProperty:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        num_peers=st.integers(min_value=2, max_value=6),
+        num_helpers=st.integers(min_value=2, max_value=4),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_unilateral_move_changes_potential_by_utility_delta(
+        self, num_peers, num_helpers, seed
+    ):
+        """The defining property of an exact potential, on random instances."""
+        rng = np.random.default_rng(seed)
+        caps = rng.uniform(100, 1000, size=num_helpers)
+        costs = rng.uniform(0, 50, size=num_helpers)
+        game = HelperSelectionGame(num_peers, caps, connection_costs=costs)
+        profile = rng.integers(0, num_helpers, size=num_peers)
+        player = int(rng.integers(num_peers))
+        action = int(rng.integers(num_helpers))
+        d_phi, d_u = potential_difference_matches_utility(
+            game, profile, player, action
+        )
+        assert d_phi == pytest.approx(d_u, abs=1e-9)
+
+
+class TestPotentialMaximizer:
+    def test_maximizer_is_nash(self):
+        game = HelperSelectionGame(5, [900.0, 600.0, 300.0])
+        loads = potential_maximizing_loads(game)
+        profile = []
+        for j, n in enumerate(loads):
+            profile.extend([j] * int(n))
+        assert is_pure_nash(game, tuple(profile))
+
+    def test_equal_helpers_balanced(self):
+        game = HelperSelectionGame(4, [800.0, 800.0])
+        assert potential_maximizing_loads(game).tolist() == [2, 2]
+
+
+class TestGreedyPotentialAscent:
+    def test_converges_to_nash(self):
+        game = HelperSelectionGame(8, [900.0, 500.0, 200.0])
+        profile, trace, converged = greedy_potential_ascent(game, [0] * 8)
+        assert converged
+        assert is_pure_nash(game, tuple(profile))
+
+    def test_potential_strictly_increases(self):
+        game = HelperSelectionGame(8, [900.0, 500.0, 200.0])
+        _, trace, _ = greedy_potential_ascent(game, [0] * 8)
+        assert np.all(np.diff(trace) > 0)
+
+    def test_trace_endpoints_match_profiles(self):
+        game = HelperSelectionGame(4, [800.0, 400.0])
+        profile, trace, _ = greedy_potential_ascent(game, [0, 0, 0, 0])
+        assert trace[-1] == pytest.approx(potential_of_profile(game, profile))
+
+    def test_wrong_length_rejected(self):
+        game = HelperSelectionGame(3, [800.0, 400.0])
+        with pytest.raises(ValueError):
+            greedy_potential_ascent(game, [0, 0])
+
+
+def test_finite_improvement_property_witnessed():
+    game = HelperSelectionGame(6, [900.0, 600.0, 300.0])
+    assert is_finite_improvement_property_witnessed(game, trials=10, rng=0)

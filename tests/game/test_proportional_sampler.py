@@ -1,0 +1,66 @@
+"""Tests for the proportional-sampling baseline."""
+
+import numpy as np
+import pytest
+
+from repro.game.baselines import ProportionalSamplerLearner
+from repro.game.repeated_game import RepeatedGameDriver, StaticCapacities
+
+
+class TestProportionalSamplerLearner:
+    def test_visits_all_actions_first(self):
+        learner = ProportionalSamplerLearner(3, rng=0)
+        seen = set()
+        for _ in range(3):
+            action = learner.act()
+            seen.add(action)
+            learner.observe(action, 1.0)
+        assert seen == {0, 1, 2}
+
+    def test_strategy_proportional_to_estimates(self):
+        learner = ProportionalSamplerLearner(2, rng=0, exploration=0.0, step_size=1.0)
+        learner.observe(0, 300.0)
+        learner.observe(1, 100.0)
+        assert learner.strategy().tolist() == [0.75, 0.25]
+
+    def test_exploration_floor(self):
+        learner = ProportionalSamplerLearner(4, rng=0, exploration=0.2, step_size=1.0)
+        for a in range(4):
+            learner.observe(a, 100.0 if a == 0 else 0.0)
+        assert np.all(learner.strategy() >= 0.05 - 1e-12)
+
+    def test_negative_utilities_clipped(self):
+        learner = ProportionalSamplerLearner(2, rng=0, step_size=1.0)
+        learner.observe(0, -50.0)
+        learner.observe(1, 100.0)
+        strategy = learner.strategy()
+        assert strategy[1] > strategy[0]
+
+    def test_all_zero_estimates_fall_back_to_uniform(self):
+        learner = ProportionalSamplerLearner(3, rng=0, step_size=1.0)
+        for a in range(3):
+            learner.observe(a, 0.0)
+        assert np.allclose(learner.strategy(), 1 / 3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProportionalSamplerLearner(2, step_size=0.0)
+        with pytest.raises(ValueError):
+            ProportionalSamplerLearner(2, exploration=1.0)
+        learner = ProportionalSamplerLearner(2, rng=0)
+        with pytest.raises(ValueError):
+            learner.observe(5, 1.0)
+
+    def test_population_fixed_point_is_sqrt_capacity(self):
+        """Sampling proportional to share balances at p ~ sqrt(C): the
+        4:1 capacity instance should show loads near 2:1, clearly away
+        from both uniform (1:1) and proportional (4:1)."""
+        learners = [
+            ProportionalSamplerLearner(2, rng=10 + i, exploration=0.02)
+            for i in range(30)
+        ]
+        driver = RepeatedGameDriver(learners, StaticCapacities([1600.0, 400.0]))
+        trajectory = driver.run(2000)
+        loads = trajectory.loads[-500:].mean(axis=0)
+        ratio = loads[0] / loads[1]
+        assert 1.4 < ratio < 3.0

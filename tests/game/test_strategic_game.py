@@ -1,0 +1,83 @@
+"""Tests for repro.game.strategic_game."""
+
+import numpy as np
+import pytest
+
+from repro.game.helper_selection import HelperSelectionGame
+from repro.game.strategic_game import TabularGame
+
+
+def matching_pennies():
+    a = np.array([[1.0, -1.0], [-1.0, 1.0]])
+    return TabularGame([a, -a])
+
+
+class TestTabularGame:
+    def test_basic_shape(self):
+        game = matching_pennies()
+        assert game.num_players == 2
+        assert game.num_actions(0) == 2
+        assert game.num_actions(1) == 2
+
+    def test_utility_lookup(self):
+        game = matching_pennies()
+        assert game.utility(0, (0, 0)) == 1.0
+        assert game.utility(1, (0, 0)) == -1.0
+
+    def test_utilities_vector(self):
+        game = matching_pennies()
+        assert game.utilities((0, 1)).tolist() == [-1.0, 1.0]
+
+    def test_welfare_zero_sum(self):
+        game = matching_pennies()
+        for profile in game.all_profiles():
+            assert game.welfare(profile) == 0.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            TabularGame([])
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            TabularGame([np.zeros((2, 2)), np.zeros((2, 3))])
+
+    def test_rejects_wrong_axis_count(self):
+        with pytest.raises(ValueError):
+            TabularGame([np.zeros((2,)), np.zeros((2,))])
+
+
+class TestDerivedHelpers:
+    def test_deviate(self):
+        game = matching_pennies()
+        assert game.deviate((0, 0), 1, 1) == (0, 1)
+
+    def test_deviate_validates_player(self):
+        with pytest.raises(ValueError):
+            matching_pennies().deviate((0, 0), 5, 1)
+
+    def test_deviate_validates_action(self):
+        with pytest.raises(ValueError):
+            matching_pennies().deviate((0, 0), 0, 9)
+
+    def test_best_response(self):
+        game = matching_pennies()
+        # Player 0 wants to match player 1's action.
+        assert game.best_response(0, (1, 0)) == 0
+        assert game.best_response(0, (0, 1)) == 1
+
+    def test_regret_of_profile(self):
+        game = matching_pennies()
+        # (0, 1): player 0 gets -1, could get +1 -> regret 2.
+        assert game.regret_of_profile(0, (0, 1)) == 2.0
+
+    def test_all_profiles_count(self):
+        assert len(list(matching_pennies().all_profiles())) == 4
+
+
+class TestFromGame:
+    def test_materializes_helper_selection_game(self):
+        source = HelperSelectionGame(2, [600.0, 300.0])
+        tabular = TabularGame.from_game(source)
+        for profile in source.all_profiles():
+            for i in range(2):
+                assert tabular.utility(i, profile) == source.utility(i, profile)

@@ -1,0 +1,49 @@
+"""Cross-check the three solutions of the cooperative problem.
+
+The occupation-measure LP (paper Sec. IV-A), the symmetric closed form and
+relative value iteration on the explicit cooperative MDP must all report
+the same optimal average welfare — they are three formulations of one
+optimization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mdp.cooperative import build_cooperative_mdp
+from repro.mdp.markov_chain import MarkovChain, birth_death_chain
+from repro.mdp.occupation_lp import decomposed_optimum, solve_occupation_lp
+from repro.mdp.symmetric import solve_symmetric_optimum
+from repro.mdp.value_iteration import relative_value_iteration
+
+PAPER_LEVELS = [700.0, 800.0, 900.0]
+
+
+@pytest.mark.parametrize("num_peers", [1, 2, 4])
+@pytest.mark.parametrize("stay", [0.5, 0.9])
+def test_lp_equals_symmetric_equals_rvi(num_peers, stay):
+    chains = [birth_death_chain(PAPER_LEVELS, stay, rng=i) for i in range(2)]
+    lp = solve_occupation_lp(chains, num_peers)
+    sym = solve_symmetric_optimum(chains, num_peers)
+    mdp, _, _ = build_cooperative_mdp(chains, num_peers)
+    gain, _, _ = relative_value_iteration(mdp, tolerance=1e-10)
+    assert lp.value == pytest.approx(sym.value, rel=1e-6)
+    assert gain == pytest.approx(sym.value, rel=1e-6)
+
+
+def test_decomposed_matches_lp_on_heterogeneous_chains():
+    chains = [
+        MarkovChain(
+            [[0.7, 0.3], [0.4, 0.6]], states=[500.0, 1000.0], rng=0
+        ),
+        birth_death_chain(PAPER_LEVELS, 0.8, rng=1),
+    ]
+    lp = solve_occupation_lp(chains, 2)
+    assert lp.value == pytest.approx(decomposed_optimum(chains, 2), rel=1e-6)
+
+
+def test_paper_small_scale_reference_value():
+    # N=10, H=4 (paper Fig. 2): the optimum occupies every helper, so the
+    # expected optimal welfare is 4 * E[C] = 4 * 800 = 3200 kbit/s.
+    chains = [birth_death_chain(PAPER_LEVELS, 0.9, rng=i) for i in range(4)]
+    sym = solve_symmetric_optimum(chains, num_peers=10)
+    assert sym.value == pytest.approx(3200.0, rel=1e-9)

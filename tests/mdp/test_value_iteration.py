@@ -1,0 +1,88 @@
+"""Tests for repro.mdp.value_iteration."""
+
+import numpy as np
+import pytest
+
+from repro.mdp.value_iteration import (
+    FiniteMDP,
+    relative_value_iteration,
+    value_iteration,
+)
+
+
+def two_state_mdp():
+    """Deterministic 2-state MDP: action 0 stays, action 1 swaps.
+
+    Rewards: staying in state 0 pays 1, staying in state 1 pays 0,
+    swapping pays 0.  Optimal: get to state 0 and stay.
+    """
+    transitions = np.zeros((2, 2, 2))
+    transitions[0, 0, 0] = 1.0
+    transitions[0, 1, 1] = 1.0
+    transitions[1, 0, 1] = 1.0
+    transitions[1, 1, 0] = 1.0
+    rewards = np.array([[1.0, 0.0], [0.0, 0.0]])
+    return FiniteMDP(transitions=transitions, rewards=rewards)
+
+
+class TestFiniteMDP:
+    def test_shapes_exposed(self):
+        mdp = two_state_mdp()
+        assert mdp.num_states == 2
+        assert mdp.num_actions == 2
+
+    def test_rejects_non_stochastic_rows(self):
+        bad = np.zeros((2, 1, 2))
+        with pytest.raises(ValueError):
+            FiniteMDP(transitions=bad, rewards=np.zeros((2, 1)))
+
+    def test_rejects_mismatched_rewards(self):
+        transitions = np.zeros((2, 1, 2))
+        transitions[:, :, 0] = 1.0
+        with pytest.raises(ValueError):
+            FiniteMDP(transitions=transitions, rewards=np.zeros((2, 2)))
+
+    def test_rejects_negative_probability(self):
+        transitions = np.zeros((1, 1, 1))
+        transitions[0, 0, 0] = 1.0
+        mdp = FiniteMDP(transitions=transitions, rewards=np.zeros((1, 1)))
+        assert mdp.num_states == 1
+        bad = transitions.copy()
+        bad[0, 0, 0] = -1.0
+        with pytest.raises(ValueError):
+            FiniteMDP(transitions=bad, rewards=np.zeros((1, 1)))
+
+
+class TestValueIteration:
+    def test_known_values(self):
+        mdp = two_state_mdp()
+        gamma = 0.9
+        values, policy = value_iteration(mdp, discount=gamma)
+        # V(0) = 1/(1-g); V(1) = 0 + g * V(0).
+        assert values[0] == pytest.approx(1 / (1 - gamma), rel=1e-6)
+        assert values[1] == pytest.approx(gamma / (1 - gamma), rel=1e-6)
+        assert policy[0] == 0  # stay in the rewarding state
+        assert policy[1] == 1  # swap into it
+
+    def test_discount_validated(self):
+        with pytest.raises(ValueError):
+            value_iteration(two_state_mdp(), discount=1.0)
+
+    def test_zero_discount_is_myopic(self):
+        values, policy = value_iteration(two_state_mdp(), discount=0.0)
+        assert np.allclose(values, [1.0, 0.0])
+
+
+class TestRelativeValueIteration:
+    def test_gain_of_two_state_mdp(self):
+        gain, _, policy = relative_value_iteration(two_state_mdp())
+        assert gain == pytest.approx(1.0, abs=1e-6)
+        assert policy[0] == 0
+
+    def test_uncontrolled_chain_gain_is_stationary_reward(self):
+        # One action; chain flips with prob 0.5; rewards 2 and 4.
+        transitions = np.full((2, 1, 2), 0.5)
+        rewards = np.array([[2.0], [4.0]])
+        mdp = FiniteMDP(transitions=transitions, rewards=rewards)
+        gain, _, _ = relative_value_iteration(mdp)
+        assert gain == pytest.approx(3.0, abs=1e-6)

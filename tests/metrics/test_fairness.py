@@ -1,0 +1,95 @@
+"""Tests for repro.metrics.fairness — with hypothesis invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.fairness import (
+    coefficient_of_variation,
+    jain_index,
+    max_min_ratio,
+)
+
+
+class TestJainIndex:
+    def test_perfectly_equal(self):
+        assert jain_index(np.full(7, 3.5)) == pytest.approx(1.0)
+
+    def test_single_taker(self):
+        values = np.zeros(5)
+        values[0] = 10.0
+        assert jain_index(values) == pytest.approx(0.2)
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * 14) = 36/42.
+        assert jain_index(np.array([1.0, 2.0, 3.0])) == pytest.approx(36 / 42)
+
+    def test_all_zero_is_fair(self):
+        assert jain_index(np.zeros(4)) == 1.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            jain_index(np.array([-1.0, 2.0]))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            jain_index(np.array([]))
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_jain_bounds_property(values):
+    """Property: 1/n <= Jain <= 1 for any non-negative allocation."""
+    arr = np.asarray(values)
+    index = jain_index(arr)
+    assert index <= 1.0 + 1e-9
+    if arr.sum() > 0:
+        assert index >= 1.0 / arr.size - 1e-9
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=1e3, allow_nan=False),
+        min_size=1,
+        max_size=20,
+    ),
+    st.floats(min_value=0.01, max_value=100.0),
+)
+def test_jain_scale_invariance(values, scale):
+    """Property: Jain's index is invariant to rescaling."""
+    arr = np.asarray(values)
+    assert jain_index(arr) == pytest.approx(jain_index(arr * scale), rel=1e-9)
+
+
+class TestMaxMinRatio:
+    def test_equal_is_one(self):
+        assert max_min_ratio(np.array([2.0, 2.0])) == 1.0
+
+    def test_known(self):
+        assert max_min_ratio(np.array([1.0, 4.0])) == 4.0
+
+    def test_zero_min_is_inf(self):
+        assert max_min_ratio(np.array([0.0, 4.0])) == float("inf")
+
+    def test_all_zero_is_one(self):
+        assert max_min_ratio(np.zeros(3)) == 1.0
+
+
+class TestCoefficientOfVariation:
+    def test_equal_is_zero(self):
+        assert coefficient_of_variation(np.full(5, 4.0)) == 0.0
+
+    def test_known(self):
+        values = np.array([1.0, 3.0])
+        assert coefficient_of_variation(values) == pytest.approx(0.5)
+
+    def test_all_zero(self):
+        assert coefficient_of_variation(np.zeros(3)) == 0.0

@@ -1,0 +1,114 @@
+"""Tests for repro.multichannel.allocation."""
+
+import numpy as np
+import pytest
+
+from repro.multichannel.allocation import (
+    AdaptiveAllocator,
+    allocation_is_valid,
+    equal_allocation,
+    proportional_allocation,
+)
+
+
+class TestEqualAllocation:
+    def test_rows_split_evenly(self):
+        b = equal_allocation(np.array([800.0, 900.0]), 2)
+        assert np.allclose(b, [[400.0, 400.0], [450.0, 450.0]])
+
+    def test_valid(self):
+        caps = np.array([700.0, 900.0])
+        assert allocation_is_valid(equal_allocation(caps, 3), caps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            equal_allocation(np.array([800.0]), 0)
+        with pytest.raises(ValueError):
+            equal_allocation(np.array([-1.0]), 2)
+
+
+class TestProportionalAllocation:
+    def test_weights_by_demand(self):
+        b = proportional_allocation(
+            np.array([900.0]), np.array([300.0, 100.0])
+        )
+        assert np.allclose(b, [[675.0, 225.0]])
+
+    def test_valid(self):
+        caps = np.array([700.0, 900.0])
+        b = proportional_allocation(caps, np.array([1.0, 3.0]))
+        assert allocation_is_valid(b, caps)
+
+    def test_zero_demand_rejected(self):
+        with pytest.raises(ValueError):
+            proportional_allocation(np.array([900.0]), np.array([0.0, 0.0]))
+
+
+class TestAdaptiveAllocator:
+    def test_initial_weights_uniform(self):
+        allocator = AdaptiveAllocator(3, 2)
+        assert np.allclose(allocator.weights, 0.5)
+
+    def test_allocation_scales_capacities(self):
+        allocator = AdaptiveAllocator(2, 2)
+        caps = np.array([800.0, 600.0])
+        assert allocation_is_valid(allocator.allocation(caps), caps)
+
+    def test_update_moves_toward_hungry_channel(self):
+        allocator = AdaptiveAllocator(2, 2, learning_rate=0.5)
+        for _ in range(20):
+            allocator.update(np.array([1000.0, 0.0]))
+        assert np.all(allocator.weights[:, 0] > 0.8)
+
+    def test_floor_keeps_minimum_share(self):
+        allocator = AdaptiveAllocator(2, 2, learning_rate=1.0, floor=0.05)
+        for _ in range(100):
+            allocator.update(np.array([1e6, 0.0]))
+        assert np.all(allocator.weights[:, 1] >= 0.05 - 1e-12)
+
+    def test_zero_deficits_are_stationary(self):
+        allocator = AdaptiveAllocator(2, 3)
+        before = allocator.weights
+        allocator.update(np.zeros(3))
+        assert np.allclose(allocator.weights, before)
+
+    def test_reset(self):
+        allocator = AdaptiveAllocator(2, 2)
+        allocator.update(np.array([100.0, 0.0]))
+        allocator.reset()
+        assert np.allclose(allocator.weights, 0.5)
+
+    def test_update_validates(self):
+        allocator = AdaptiveAllocator(2, 2)
+        with pytest.raises(ValueError):
+            allocator.update(np.array([1.0]))
+        with pytest.raises(ValueError):
+            allocator.update(np.array([-1.0, 0.0]))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveAllocator(0, 2)
+        with pytest.raises(ValueError):
+            AdaptiveAllocator(2, 2, floor=0.6)
+        with pytest.raises(ValueError):
+            AdaptiveAllocator(2, 2, learning_rate=0.0)
+
+    def test_allocation_size_validated(self):
+        allocator = AdaptiveAllocator(2, 2)
+        with pytest.raises(ValueError):
+            allocator.allocation(np.array([800.0, 800.0, 800.0]))
+
+
+class TestAllocationIsValid:
+    def test_detects_row_sum_violation(self):
+        caps = np.array([800.0])
+        bad = np.array([[500.0, 200.0]])
+        assert not allocation_is_valid(bad, caps)
+
+    def test_detects_negative_entry(self):
+        caps = np.array([800.0])
+        bad = np.array([[900.0, -100.0]])
+        assert not allocation_is_valid(bad, caps)
+
+    def test_detects_shape_mismatch(self):
+        assert not allocation_is_valid(np.ones((2, 2)), np.array([1.0]))

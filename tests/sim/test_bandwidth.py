@@ -1,0 +1,113 @@
+"""Tests for repro.sim.bandwidth."""
+
+import numpy as np
+import pytest
+
+from repro.mdp.markov_chain import birth_death_chain
+from repro.sim.bandwidth import (
+    PAPER_BANDWIDTH_LEVELS,
+    MarkovCapacityProcess,
+    TraceCapacityProcess,
+    paper_bandwidth_process,
+    record_capacity_trace,
+)
+
+
+class TestMarkovCapacityProcess:
+    def test_capacities_are_levels(self):
+        process = paper_bandwidth_process(4, rng=0)
+        caps = process.capacities()
+        assert caps.shape == (4,)
+        assert all(c in PAPER_BANDWIDTH_LEVELS for c in caps)
+
+    def test_advance_changes_state_eventually(self):
+        process = paper_bandwidth_process(2, stay_probability=0.2, rng=1)
+        seen = set()
+        for _ in range(100):
+            seen.add(tuple(process.capacities()))
+            process.advance()
+        assert len(seen) > 1
+
+    def test_expected_capacities(self):
+        process = paper_bandwidth_process(3, rng=0)
+        assert np.allclose(process.expected_capacities(), 800.0)
+
+    def test_minimum_capacities(self):
+        process = paper_bandwidth_process(3, rng=0)
+        assert np.allclose(process.minimum_capacities(), 700.0)
+
+    def test_seeded_reproducibility(self):
+        a = paper_bandwidth_process(3, rng=7)
+        b = paper_bandwidth_process(3, rng=7)
+        for _ in range(30):
+            assert np.array_equal(a.capacities(), b.capacities())
+            a.advance()
+            b.advance()
+
+    def test_helpers_evolve_independently(self):
+        process = paper_bandwidth_process(2, stay_probability=0.5, rng=3)
+        paths = [[], []]
+        for _ in range(300):
+            caps = process.capacities()
+            paths[0].append(caps[0])
+            paths[1].append(caps[1])
+            process.advance()
+        # Not identical paths (independent chains).
+        assert paths[0] != paths[1]
+
+    def test_empty_chain_list_rejected(self):
+        with pytest.raises(ValueError):
+            MarkovCapacityProcess([])
+
+    def test_custom_levels(self):
+        process = paper_bandwidth_process(2, levels=[100.0, 200.0], rng=0)
+        assert set(process.capacities()).issubset({100.0, 200.0})
+
+
+class TestTraceCapacityProcess:
+    def test_replays_in_order(self):
+        trace = np.array([[1.0, 2.0], [3.0, 4.0]])
+        process = TraceCapacityProcess(trace)
+        assert process.capacities().tolist() == [1.0, 2.0]
+        process.advance()
+        assert process.capacities().tolist() == [3.0, 4.0]
+
+    def test_wraps_around(self):
+        process = TraceCapacityProcess(np.array([[1.0], [2.0]]))
+        for _ in range(2):
+            process.advance()
+        assert process.capacities().tolist() == [1.0]
+
+    def test_reset(self):
+        process = TraceCapacityProcess(np.array([[1.0], [2.0]]))
+        process.advance()
+        process.reset()
+        assert process.capacities().tolist() == [1.0]
+
+    def test_validates_input(self):
+        with pytest.raises(ValueError):
+            TraceCapacityProcess(np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            TraceCapacityProcess(np.array([[-1.0]]))
+
+    def test_returns_copies(self):
+        process = TraceCapacityProcess(np.array([[5.0]]))
+        process.capacities()[0] = 0.0
+        assert process.capacities()[0] == 5.0
+
+
+class TestRecordCapacityTrace:
+    def test_shape_and_paired_replay(self):
+        live = paper_bandwidth_process(3, rng=5)
+        trace = record_capacity_trace(live, 40)
+        assert trace.shape == (40, 3)
+        replay = TraceCapacityProcess(trace)
+        fresh = paper_bandwidth_process(3, rng=5)
+        for _ in range(40):
+            assert np.array_equal(replay.capacities(), fresh.capacities())
+            replay.advance()
+            fresh.advance()
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            record_capacity_trace(paper_bandwidth_process(2, rng=0), 0)

@@ -1,0 +1,128 @@
+"""Tests for the playback buffer and QoE metrics."""
+
+import numpy as np
+import pytest
+
+from repro.game.repeated_game import Trajectory
+from repro.sim.playback import (
+    PlaybackBuffer,
+    playback_qoe,
+    switch_rate,
+)
+
+
+def make_trajectory(utilities, actions=None):
+    utilities = np.asarray(utilities, dtype=float)
+    t, n = utilities.shape
+    if actions is None:
+        actions = np.zeros((t, n), dtype=int)
+    else:
+        actions = np.asarray(actions, dtype=int)
+    h = int(actions.max()) + 1
+    loads = np.stack([np.bincount(actions[s], minlength=h) for s in range(t)])
+    return Trajectory(
+        capacities=np.ones((t, h)),
+        actions=actions,
+        loads=loads,
+        utilities=utilities,
+    )
+
+
+class TestPlaybackBuffer:
+    def test_startup_delay(self):
+        buffer = PlaybackBuffer(bitrate=100.0, startup_buffer=2.0)
+        # Fill at exactly bitrate: one second of content per second.
+        buffer.advance(100.0)
+        assert not buffer.playing
+        buffer.advance(100.0)
+        assert buffer.playing
+        assert buffer.startup_delay == 2.0
+
+    def test_smooth_playback_no_stalls(self):
+        buffer = PlaybackBuffer(bitrate=100.0, startup_buffer=1.0)
+        for _ in range(50):
+            buffer.advance(150.0)  # 1.5x bitrate
+        assert buffer.stall_events == 0
+        assert buffer.stalled_fraction == 0.0
+
+    def test_underrun_causes_stall(self):
+        buffer = PlaybackBuffer(bitrate=100.0, startup_buffer=1.0)
+        buffer.advance(150.0)  # start playing with 1.5s
+        for _ in range(10):
+            buffer.advance(20.0)  # 0.2x bitrate: drains fast
+        assert buffer.stall_events >= 1
+        assert buffer.stalled_fraction > 0.3
+
+    def test_playback_resumes_after_rebuffer(self):
+        buffer = PlaybackBuffer(bitrate=100.0, startup_buffer=1.0)
+        buffer.advance(150.0)
+        for _ in range(5):
+            buffer.advance(0.0)
+        assert not buffer.playing
+        events = buffer.stall_events
+        for _ in range(3):
+            buffer.advance(200.0)
+        assert buffer.playing
+        assert buffer.stall_events == events  # resuming is not a new stall
+
+    def test_buffer_capacity_caps_level(self):
+        buffer = PlaybackBuffer(
+            bitrate=100.0, startup_buffer=1.0, capacity_seconds=5.0
+        )
+        for _ in range(50):
+            buffer.advance(1000.0)
+        assert buffer.level_seconds <= 5.0
+
+    def test_never_started_stall_fraction_zero(self):
+        buffer = PlaybackBuffer(bitrate=100.0, startup_buffer=10.0)
+        for _ in range(5):
+            buffer.advance(10.0)
+        assert buffer.startup_delay is None
+        assert buffer.stalled_fraction == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlaybackBuffer(bitrate=0.0)
+        buffer = PlaybackBuffer(bitrate=100.0)
+        with pytest.raises(ValueError):
+            buffer.advance(-1.0)
+        with pytest.raises(ValueError):
+            buffer.advance(10.0, duration=0.0)
+
+
+class TestSwitchRate:
+    def test_no_switches(self):
+        traj = make_trajectory(np.ones((5, 2)), actions=np.zeros((5, 2), dtype=int))
+        assert switch_rate(traj).tolist() == [0.0, 0.0]
+
+    def test_alternating_switches_every_stage(self):
+        actions = np.array([[0], [1], [0], [1]])
+        traj = make_trajectory(np.ones((4, 1)), actions=actions)
+        assert switch_rate(traj).tolist() == [1.0]
+
+    def test_single_stage_is_zero(self):
+        traj = make_trajectory(np.ones((1, 3)))
+        assert np.all(switch_rate(traj) == 0.0)
+
+
+class TestPlaybackQoE:
+    def test_sufficient_rate_means_no_stalls(self):
+        traj = make_trajectory(np.full((100, 4), 200.0))
+        report = playback_qoe(traj, bitrate=100.0)
+        assert report.mean_stall_fraction == 0.0
+        assert report.peers_with_stalls == 0.0
+        assert np.all(np.isfinite(report.startup_delay))
+
+    def test_starved_peer_stalls(self):
+        utilities = np.full((100, 2), 200.0)
+        utilities[:, 1] = 30.0  # starved peer
+        report = playback_qoe(traj := make_trajectory(utilities), bitrate=100.0)
+        assert report.stall_fraction[0] == 0.0
+        assert report.stall_fraction[1] > 0.4
+
+    def test_report_shapes(self):
+        traj = make_trajectory(np.full((20, 3), 150.0))
+        report = playback_qoe(traj, bitrate=100.0)
+        assert report.stall_fraction.shape == (3,)
+        assert report.stall_events.shape == (3,)
+        assert report.switch_rate.shape == (3,)

@@ -1,0 +1,279 @@
+"""Tests for the end-to-end streaming system."""
+
+import numpy as np
+import pytest
+
+from repro.core.r2hs import R2HSLearner
+from repro.game.baselines import UniformRandomLearner
+from repro.sim.churn import ChurnConfig
+from repro.sim.system import StreamingSystem, SystemConfig
+
+
+def r2hs_factory(num_actions, rng):
+    return R2HSLearner(num_actions, rng=rng, u_max=900.0)
+
+
+def random_factory(num_actions, rng):
+    return UniformRandomLearner(num_actions, rng=rng)
+
+
+def build(config=None, factory=r2hs_factory, seed=0, **kwargs):
+    if config is None:
+        config = SystemConfig(
+            num_peers=12, num_helpers=4, channel_bitrates=100.0, **kwargs
+        )
+    return StreamingSystem(config, factory, rng=seed)
+
+
+class TestSystemConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_peers=0, num_helpers=2)
+        with pytest.raises(ValueError):
+            SystemConfig(num_peers=1, num_helpers=1, num_channels=2)
+        with pytest.raises(ValueError):
+            SystemConfig(num_peers=1, num_helpers=2, round_duration=0.0)
+
+    def test_bitrate_of_scalar(self):
+        config = SystemConfig(num_peers=2, num_helpers=2, channel_bitrates=250.0)
+        assert config.bitrate_of(0) == 250.0
+
+    def test_bitrate_of_sequence(self):
+        config = SystemConfig(
+            num_peers=2, num_helpers=4, num_channels=2, channel_bitrates=[100.0, 300.0]
+        )
+        assert config.bitrate_of(1) == 300.0
+
+    def test_bitrate_length_mismatch(self):
+        config = SystemConfig(
+            num_peers=2, num_helpers=4, num_channels=2, channel_bitrates=[100.0]
+        )
+        with pytest.raises(ValueError):
+            config.bitrate_of(0)
+
+
+class TestSingleChannelRun:
+    def test_round_count_and_times(self):
+        system = build()
+        trace = system.run(25)
+        assert trace.num_rounds == 25
+        assert np.allclose(np.diff(trace.times), 1.0)
+
+    def test_incremental_runs_accumulate(self):
+        system = build()
+        system.run(10)
+        trace = system.run(5)
+        assert trace.num_rounds == 15
+
+    def test_loads_sum_to_population(self):
+        system = build()
+        trace = system.run(20)
+        assert np.all(trace.loads.sum(axis=1) == 12)
+
+    def test_welfare_equals_share_sum(self):
+        system = build()
+        trace = system.run(10)
+        # Each round's welfare must equal occupied capacity.
+        for r in trace.rounds:
+            occupied = r.loads > 0
+            assert r.welfare == pytest.approx(r.capacities[occupied].sum())
+
+    def test_server_covers_deficits(self):
+        # Demand 100 each; shares C/n are mostly above demand for 12 peers
+        # on 4 helpers (~3 peers/helper -> ~266 each), so server load ~ 0.
+        system = build()
+        trace = system.run(30)
+        assert np.all(trace.server_load >= 0.0)
+        assert trace.server_load[-1] == pytest.approx(0.0)
+
+    def test_min_deficit_formula(self):
+        config = SystemConfig(
+            num_peers=40, num_helpers=4, channel_bitrates=100.0
+        )
+        system = StreamingSystem(config, r2hs_factory, rng=1)
+        trace = system.run(5)
+        # 40 * 100 demand vs 4 * 700 minimum capacity -> deficit 1200.
+        assert np.allclose(trace.min_deficit, 1200.0)
+
+    def test_peer_statistics_accumulate(self):
+        system = build()
+        system.run(15)
+        for peer in system.peers:
+            assert peer.rounds_participated == 15
+            assert peer.average_rate > 0
+
+    def test_server_capacity_bounds_topup(self):
+        config = SystemConfig(
+            num_peers=40,
+            num_helpers=4,
+            channel_bitrates=200.0,
+            server_capacity=500.0,
+        )
+        system = StreamingSystem(config, r2hs_factory, rng=2)
+        trace = system.run(10)
+        assert np.all(trace.server_load <= 500.0 + 1e-9)
+
+    def test_rejects_zero_rounds(self):
+        with pytest.raises(ValueError):
+            build().run(0)
+
+
+class TestRecordPeers:
+    def test_trajectory_export(self):
+        config = SystemConfig(
+            num_peers=8, num_helpers=4, channel_bitrates=100.0, record_peers=True
+        )
+        system = StreamingSystem(config, r2hs_factory, rng=3)
+        trace = system.run(20)
+        trajectory = trace.to_trajectory()
+        assert trajectory.actions.shape == (20, 8)
+        assert np.all(trajectory.loads.sum(axis=1) == 8)
+
+    def test_export_requires_recording(self):
+        system = build()
+        trace = system.run(5)
+        with pytest.raises(ValueError):
+            trace.to_trajectory()
+
+    def test_record_peers_with_churn_raises(self):
+        config = SystemConfig(
+            num_peers=8,
+            num_helpers=4,
+            channel_bitrates=100.0,
+            record_peers=True,
+            churn=ChurnConfig(arrival_rate=2.0),
+        )
+        system = StreamingSystem(config, r2hs_factory, rng=4)
+        with pytest.raises(RuntimeError):
+            system.run(50)
+
+
+class TestChurnIntegration:
+    def test_population_grows_with_arrivals_only(self):
+        config = SystemConfig(
+            num_peers=5,
+            num_helpers=4,
+            channel_bitrates=100.0,
+            churn=ChurnConfig(arrival_rate=0.5),
+        )
+        system = StreamingSystem(config, r2hs_factory, rng=5)
+        trace = system.run(100)
+        assert trace.online_peers[-1] > 5
+
+    def test_departed_peers_stop_participating(self):
+        config = SystemConfig(
+            num_peers=10,
+            num_helpers=4,
+            channel_bitrates=100.0,
+            churn=ChurnConfig(
+                arrival_rate=0.0,
+                mean_lifetime=20.0,
+                initial_peer_lifetimes=True,
+            ),
+        )
+        system = StreamingSystem(config, r2hs_factory, rng=6)
+        trace = system.run(200)
+        assert trace.online_peers[-1] < 10
+        departed = [p for p in system.peers if not p.online]
+        assert departed
+        for peer in departed:
+            assert peer.left_at is not None
+
+    def test_loads_match_online_population(self):
+        config = SystemConfig(
+            num_peers=10,
+            num_helpers=4,
+            channel_bitrates=100.0,
+            churn=ChurnConfig(arrival_rate=0.3, mean_lifetime=30.0),
+        )
+        system = StreamingSystem(config, r2hs_factory, rng=7)
+        trace = system.run(80)
+        assert np.all(trace.loads.sum(axis=1) == trace.online_peers)
+
+
+class TestMultiChannel:
+    def test_helpers_partitioned_round_robin(self):
+        config = SystemConfig(
+            num_peers=10, num_helpers=6, num_channels=2, channel_bitrates=100.0
+        )
+        system = StreamingSystem(config, r2hs_factory, rng=8)
+        assert [h.channel_id for h in system.helpers] == [0, 1, 0, 1, 0, 1]
+
+    def test_peers_select_only_their_channels_helpers(self):
+        config = SystemConfig(
+            num_peers=20, num_helpers=6, num_channels=2, channel_bitrates=100.0
+        )
+        system = StreamingSystem(config, r2hs_factory, rng=9)
+        system.run(10)
+        for peer in system.online_peers():
+            helpers = [
+                system.helpers[h]
+                for h in range(6)
+                if peer.peer_id in system.helpers[h].connected
+            ]
+            assert len(helpers) == 1
+            assert helpers[0].channel_id == peer.channel_id
+
+    def test_popularity_skews_assignment(self):
+        config = SystemConfig(
+            num_peers=300,
+            num_helpers=4,
+            num_channels=2,
+            channel_bitrates=100.0,
+            channel_popularity=[0.9, 0.1],
+        )
+        system = StreamingSystem(config, random_factory, rng=10)
+        counts = np.bincount(
+            [p.channel_id for p in system.peers], minlength=2
+        )
+        assert counts[0] > counts[1] * 3
+
+    def test_learner_factory_size_validated(self):
+        config = SystemConfig(num_peers=4, num_helpers=4, channel_bitrates=100.0)
+        with pytest.raises(ValueError):
+            StreamingSystem(
+                config, lambda h, rng: UniformRandomLearner(h + 1, rng=rng), rng=0
+            )
+
+
+class TestChannelSwitching:
+    def test_switch_events_move_viewers(self):
+        config = SystemConfig(
+            num_peers=30,
+            num_helpers=4,
+            num_channels=2,
+            channel_bitrates=100.0,
+            channel_popularity=[0.5, 0.5],
+            channel_switch_rate=0.5,
+        )
+        system = StreamingSystem(config, r2hs_factory, rng=11)
+        trace = system.run(200)
+        assert system.channel_switches > 0
+        # Population stays constant: each switch is a leave + join.
+        assert np.all(trace.online_peers == 30)
+        # Switched-out peer objects are retired offline.
+        retired = [p for p in system.peers if not p.online]
+        assert len(retired) == system.channel_switches
+
+    def test_switching_disabled_by_default(self):
+        system = build()
+        system.run(20)
+        assert system.channel_switches == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            SystemConfig(
+                num_peers=2, num_helpers=2, channel_switch_rate=-0.1
+            )
+
+    def test_record_peers_incompatible_with_switching(self):
+        config = SystemConfig(
+            num_peers=10,
+            num_helpers=4,
+            channel_bitrates=100.0,
+            channel_switch_rate=1.0,
+            record_peers=True,
+        )
+        system = StreamingSystem(config, r2hs_factory, rng=12)
+        with pytest.raises(RuntimeError):
+            system.run(100)

@@ -1,0 +1,55 @@
+"""Tests for repro.workloads.demand."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.demand import (
+    constant_demand,
+    demand_to_capacity_ratio,
+    heterogeneous_demand,
+)
+
+
+class TestConstantDemand:
+    def test_values(self):
+        demands = constant_demand(5, 350.0)
+        assert demands.shape == (5,)
+        assert np.all(demands == 350.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            constant_demand(5, 0.0)
+        with pytest.raises(ValueError):
+            constant_demand(0, 100.0)
+
+
+class TestHeterogeneousDemand:
+    def test_within_bounds(self):
+        demands = heterogeneous_demand(200, 100.0, 400.0, rng=0)
+        assert demands.min() >= 100.0
+        assert demands.max() <= 400.0
+
+    def test_reproducible(self):
+        a = heterogeneous_demand(10, 100.0, 200.0, rng=3)
+        b = heterogeneous_demand(10, 100.0, 200.0, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            heterogeneous_demand(10, 200.0, 100.0, rng=0)
+
+
+class TestDemandToCapacityRatio:
+    def test_fig5_regime_is_above_one(self):
+        demands = constant_demand(40, 100.0)
+        mins = np.full(4, 700.0)
+        assert demand_to_capacity_ratio(demands, mins) == pytest.approx(4000 / 2800)
+
+    def test_served_regime_below_one(self):
+        demands = constant_demand(10, 100.0)
+        mins = np.full(4, 700.0)
+        assert demand_to_capacity_ratio(demands, mins) < 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            demand_to_capacity_ratio(np.array([100.0]), np.array([0.0]))
