@@ -1,0 +1,205 @@
+"""Round-loop throughput: scalar StreamingSystem vs. the vectorized runtime.
+
+Builds the same full multi-channel system (R2HS learners by default) on
+both backends, drives both through an identical recorded bandwidth trace,
+and times the learning-round loop.  The headline number is the per-round
+speedup at 10k peers / 100 helpers — the scale gate every future scaling
+PR benchmarks against.
+
+Usage::
+
+    python benchmarks/bench_runtime_scale.py            # full: 10k peers
+    python benchmarks/bench_runtime_scale.py --quick    # CI smoke: 2k peers
+    python benchmarks/bench_runtime_scale.py --output BENCH_runtime.json
+
+The JSON report lands in ``BENCH_runtime.json`` (repo root by default)
+and a text table in ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import numpy as np  # noqa: E402
+
+from repro.core.r2hs import R2HSLearner  # noqa: E402
+from repro.runtime import VectorizedStreamingSystem, bank_factory  # noqa: E402
+from repro.sim import (  # noqa: E402
+    StreamingSystem,
+    SystemConfig,
+    TraceCapacityProcess,
+    paper_bandwidth_process,
+    record_capacity_trace,
+)
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+U_MAX = 900.0
+
+
+def _build(backend: str, config: SystemConfig, shared: np.ndarray, seed: int):
+    process = TraceCapacityProcess(shared.copy())
+    if backend == "vectorized":
+        return VectorizedStreamingSystem(
+            config,
+            bank_factory("r2hs", u_max=U_MAX),
+            rng=seed,
+            capacity_process=process,
+        )
+    return StreamingSystem(
+        config,
+        lambda h, rng: R2HSLearner(h, rng=rng, u_max=U_MAX),
+        rng=seed,
+        capacity_process=process,
+    )
+
+
+def time_backends(
+    backends: list,
+    config: SystemConfig,
+    shared: np.ndarray,
+    rounds: int,
+    warmup: int,
+    seed: int,
+    blocks: int = 3,
+) -> dict:
+    """Construct, warm up, and time the round loop of each backend.
+
+    Each backend is timed over ``blocks`` blocks of ``rounds`` rounds,
+    blocks alternating between backends so that machine-load drift hits
+    both alike; the per-backend figure is the *fastest* block (the
+    standard noise-robust estimator — slow blocks measure scheduler steal,
+    not the code).  Blocks rather than per-round interleaving keep each
+    backend's working set cache-warm while it is being timed.
+    """
+    systems = {}
+    results = {}
+    for backend in backends:
+        gc.collect()
+        t0 = time.perf_counter()
+        systems[backend] = _build(backend, config, shared, seed)
+        build_s = time.perf_counter() - t0
+        if warmup:
+            systems[backend].run(warmup)
+        results[backend] = {
+            "backend": backend,
+            "build_s": build_s,
+            "block_s": [],
+        }
+    for _ in range(blocks):
+        for backend, system in systems.items():
+            t0 = time.perf_counter()
+            system.run(rounds)
+            results[backend]["block_s"].append(time.perf_counter() - t0)
+    for backend, system in systems.items():
+        r = results[backend]
+        best = min(r["block_s"])
+        r["run_s"] = best
+        r["seconds_per_round"] = best / rounds
+        r["rounds_per_s"] = rounds / best
+        r["final_welfare"] = float(system.trace.welfare[-1])
+        r["mean_server_load"] = float(system.trace.server_load.mean())
+    systems.clear()
+    gc.collect()
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--peers", type=int, default=10_000)
+    parser.add_argument("--helpers", type=int, default=100)
+    parser.add_argument("--channels", type=int, default=1)
+    parser.add_argument("--rounds", type=int, default=5)
+    parser.add_argument("--warmup", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke configuration (2k peers, 20 helpers, same pipeline)",
+    )
+    parser.add_argument(
+        "--skip-scalar",
+        action="store_true",
+        help="time only the vectorized backend (no speedup reported)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_runtime.json",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.peers, args.helpers, args.rounds = 2_000, 20, 3
+
+    config = SystemConfig(
+        num_peers=args.peers,
+        num_helpers=args.helpers,
+        num_channels=args.channels,
+        channel_bitrates=100.0,
+    )
+    env = paper_bandwidth_process(args.helpers, rng=args.seed + 1)
+    shared = record_capacity_trace(env, args.warmup + args.rounds)
+
+    print(
+        f"bench_runtime_scale: N={args.peers} H={args.helpers} "
+        f"C={args.channels} rounds={args.rounds} (+{args.warmup} warmup, "
+        f"best of 3 alternating blocks)"
+    )
+    backends = ["vectorized"] if args.skip_scalar else ["vectorized", "scalar"]
+    results = time_backends(
+        backends, config, shared, args.rounds, args.warmup, args.seed
+    )
+    for name in backends:
+        print(
+            f"  {name:10s} : {results[name]['seconds_per_round']:.4f} s/round "
+            f"({results[name]['rounds_per_s']:.1f} rounds/s)"
+        )
+
+    report = {
+        "config": {
+            "peers": args.peers,
+            "helpers": args.helpers,
+            "channels": args.channels,
+            "rounds": args.rounds,
+            "warmup": args.warmup,
+            "seed": args.seed,
+            "learner": "r2hs",
+            "quick": bool(args.quick),
+        },
+        "results": results,
+    }
+    if "scalar" in results:
+        speedup = (
+            results["scalar"]["seconds_per_round"]
+            / results["vectorized"]["seconds_per_round"]
+        )
+        report["speedup"] = speedup
+        print(f"  speedup    : {speedup:.1f}x per round")
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"  wrote {args.output}")
+
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"{name:11s}: {r['seconds_per_round']:.4f} s/round "
+        f"({r['rounds_per_s']:.1f} rounds/s, build {r['build_s']:.2f} s)"
+        for name, r in results.items()
+    ]
+    if "speedup" in report:
+        lines.append(f"speedup    : {report['speedup']:.1f}x per round")
+    (OUTPUT_DIR / "bench_runtime_scale.txt").write_text("\n".join(lines) + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

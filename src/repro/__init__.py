@@ -16,8 +16,13 @@ Quick start::
     trajectory = population.run(process, scenario.num_stages)
     print(trajectory.welfare[-100:].mean())
 
-See ``examples/`` for end-to-end scripts and ``DESIGN.md`` for the system
-inventory and the per-figure experiment index.
+For population-scale full-system runs use the vectorized runtime::
+
+    system = repro.make_vectorized_system(repro.massive_scale_scenario(), rng=0)
+    trace = system.run(100)
+
+See ``examples/`` for end-to-end scripts and the repository ``README.md``
+for the system inventory and the scalar-vs-vectorized backend guide.
 """
 
 from repro.core import (
@@ -47,8 +52,18 @@ from repro.mdp import (
     solve_occupation_lp,
     solve_symmetric_optimum,
 )
+from repro.analysis import ParallelRunner
 from repro.metrics import jain_index, load_balance_report, server_load_report
 from repro.multichannel import AdaptiveAllocator, JointMultiChannelSystem
+from repro.runtime import (
+    PeerStore,
+    R2HSBank,
+    RTHSBank,
+    StickyBank,
+    UniformBank,
+    VectorizedStreamingSystem,
+    bank_factory,
+)
 from repro.sim import (
     PAPER_BANDWIDTH_LEVELS,
     ChurnConfig,
@@ -64,6 +79,9 @@ from repro.workloads import (
     large_scale_scenario,
     make_capacity_process,
     make_learner_population,
+    make_system_config,
+    make_vectorized_system,
+    massive_scale_scenario,
     small_scale_scenario,
 )
 
@@ -110,11 +128,24 @@ __all__ = [
     # multichannel
     "AdaptiveAllocator",
     "JointMultiChannelSystem",
+    # runtime
+    "PeerStore",
+    "RTHSBank",
+    "R2HSBank",
+    "UniformBank",
+    "StickyBank",
+    "bank_factory",
+    "VectorizedStreamingSystem",
+    # analysis
+    "ParallelRunner",
     # workloads
     "Scenario",
     "small_scale_scenario",
     "large_scale_scenario",
     "fig5_scenario",
+    "massive_scale_scenario",
     "make_capacity_process",
     "make_learner_population",
+    "make_system_config",
+    "make_vectorized_system",
 ]

@@ -7,6 +7,7 @@ log.
 """
 
 from repro.analysis.io import load_trajectory, save_trajectory
+from repro.analysis.parallel import CellFunction, ParallelRunner
 from repro.analysis.sweeps import (
     SweepResult,
     sweep_environment_speed,
@@ -31,6 +32,8 @@ __all__ = [
     "SweepResult",
     "sweep_learner_parameters",
     "sweep_environment_speed",
+    "ParallelRunner",
+    "CellFunction",
 ]
 
 # Note: repro.analysis.experiments is intentionally not imported here — it

@@ -1,0 +1,123 @@
+"""Parallel experiment executor.
+
+Sweeps and replication studies are embarrassingly parallel: every cell is
+an independent simulation distinguished only by its parameters and seed.
+:class:`ParallelRunner` fans cells across processes with
+:mod:`multiprocessing` while keeping results **deterministic**: per-cell
+seeds are drawn from the parent generator with
+:func:`~repro.util.rng.derive_seed` *in submission order*, before any work
+is dispatched, so the same parent seed yields the same per-cell seeds — and
+therefore the same results — whether the sweep runs on 1 worker or 64.
+
+Cell functions must be picklable (module-level functions, or
+:func:`functools.partial` over one); the CLI's ``repro run`` command and
+:func:`repro.analysis.sweeps.sweep_learner_parameters` both route through
+this runner.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, List, Mapping, Optional, Sequence
+
+from repro.analysis.sweeps import SweepCell, SweepResult
+from repro.util.rng import Seedish, as_generator, derive_seed
+
+#: A cell evaluator: ``(parameters, seed) -> {metric_name: value}``.
+CellFunction = Callable[[Mapping[str, object], int], Mapping[str, float]]
+
+
+def _invoke(payload):
+    fn, params, seed = payload
+    return fn(params, seed)
+
+
+class ParallelRunner:
+    """Deterministic fan-out of experiment cells over worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``None`` uses the machine's CPU count and ``1``
+        runs inline (no subprocesses — the mode to use under debuggers
+        and in tests).
+    mp_context:
+        Optional :func:`multiprocessing.get_context` method name
+        (``"fork"``, ``"spawn"``, ``"forkserver"``); ``None`` picks the
+        platform default.
+    """
+
+    def __init__(
+        self, workers: Optional[int] = None, mp_context: Optional[str] = None
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self._workers = int(workers)
+        self._mp_context = mp_context
+
+    @property
+    def workers(self) -> int:
+        """Configured worker-process count."""
+        return self._workers
+
+    def map_cells(
+        self,
+        cell_fn: CellFunction,
+        parameter_sets: Sequence[Mapping[str, object]],
+        rng: Seedish = None,
+    ) -> List[SweepCell]:
+        """Evaluate ``cell_fn`` on every parameter set; order preserved.
+
+        Seeds are derived from ``rng`` in submission order, so results are
+        independent of the worker count.
+        """
+        parent = as_generator(rng)
+        payloads = [
+            (cell_fn, dict(params), derive_seed(parent))
+            for params in parameter_sets
+        ]
+        if self._workers == 1 or len(payloads) <= 1:
+            results = [_invoke(p) for p in payloads]
+        else:
+            ctx = multiprocessing.get_context(self._mp_context)
+            with ctx.Pool(min(self._workers, len(payloads))) as pool:
+                results = pool.map(_invoke, payloads)
+        return [
+            SweepCell(parameters=dict(params), metrics=dict(metrics))
+            for (_, params, _), metrics in zip(payloads, results)
+        ]
+
+    def run_grid(
+        self,
+        grid: Mapping[str, Sequence[object]],
+        cell_fn: CellFunction,
+        rng: Seedish = None,
+    ) -> SweepResult:
+        """Cross-product sweep over ``grid``, returned as a
+        :class:`~repro.analysis.sweeps.SweepResult`."""
+        import itertools
+
+        if not grid:
+            raise ValueError("grid must not be empty")
+        names = list(grid)
+        parameter_sets = [
+            dict(zip(names, combo))
+            for combo in itertools.product(*(grid[name] for name in names))
+        ]
+        return SweepResult(cells=self.map_cells(cell_fn, parameter_sets, rng=rng))
+
+    def run_replications(
+        self,
+        cell_fn: CellFunction,
+        parameters: Mapping[str, object],
+        replications: int,
+        rng: Seedish = None,
+    ) -> List[SweepCell]:
+        """Run the same cell ``replications`` times with derived seeds."""
+        if replications < 1:
+            raise ValueError("replications must be >= 1")
+        sets = [dict(parameters, replication=i) for i in range(replications)]
+        return self.map_cells(cell_fn, sets, rng=rng)

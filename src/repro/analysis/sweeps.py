@@ -9,11 +9,15 @@ analyses in the examples.
 
 from __future__ import annotations
 
+import functools
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel imports us)
+    from repro.analysis.parallel import ParallelRunner
 
 from repro.analysis.reporting import render_table
 from repro.core.equilibrium import empirical_ce_regret
@@ -79,6 +83,25 @@ class SweepResult:
         return np.array([cell.metrics[name] for cell in self.cells])
 
 
+def _learner_cell(
+    shared_trace: np.ndarray,
+    num_peers: int,
+    num_helpers: int,
+    num_stages: int,
+    u_max: float,
+    params: Mapping[str, object],
+    seed: int,
+) -> Dict[str, float]:
+    """One sweep cell, picklable for :class:`~repro.analysis.parallel.ParallelRunner`."""
+    population = LearnerPopulation(
+        num_peers, num_helpers, u_max=u_max, rng=seed, **params
+    )
+    trajectory = population.run(TraceCapacityProcess(shared_trace.copy()), num_stages)
+    return {
+        name: fn(trajectory) for name, fn in default_metrics(u_max).items()
+    }
+
+
 def sweep_learner_parameters(
     grid: Mapping[str, Sequence[object]],
     num_peers: int,
@@ -88,12 +111,19 @@ def sweep_learner_parameters(
     stay_probability: float = 0.9,
     u_max: float = 900.0,
     rng: Seedish = None,
+    runner: Optional["ParallelRunner"] = None,
 ) -> SweepResult:
     """Sweep :class:`~repro.core.population.LearnerPopulation` parameters.
 
     ``grid`` maps LearnerPopulation keyword names (``epsilon``, ``delta``,
     ``mu``) to value lists; the full cross product is evaluated against a
     single shared bandwidth realization.
+
+    Pass a :class:`~repro.analysis.parallel.ParallelRunner` to fan cells
+    across processes.  The parallel path computes :func:`default_metrics`
+    in the workers (custom metric callables are usually closures and do
+    not pickle); per-cell seeds are derived in grid order either way, so
+    serial and parallel sweeps with the same ``rng`` agree cell-for-cell.
     """
     if not grid:
         raise ValueError("grid must not be empty")
@@ -102,8 +132,19 @@ def sweep_learner_parameters(
         num_helpers, stay_probability=stay_probability, rng=derive_seed(parent)
     )
     shared = record_capacity_trace(env, num_stages)
-    metric_fns = dict(metrics) if metrics is not None else default_metrics(u_max)
 
+    if runner is not None:
+        if metrics is not None:
+            raise ValueError(
+                "custom metrics are not picklable across workers; "
+                "use the default metrics with a ParallelRunner"
+            )
+        cell_fn = functools.partial(
+            _learner_cell, shared, num_peers, num_helpers, num_stages, u_max
+        )
+        return runner.run_grid(grid, cell_fn, rng=parent)
+
+    metric_fns = dict(metrics) if metrics is not None else default_metrics(u_max)
     result = SweepResult()
     names = list(grid)
     for combo in itertools.product(*(grid[name] for name in names)):

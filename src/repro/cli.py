@@ -5,28 +5,44 @@ Usage::
     python -m repro figure fig1 [--seed 0]
     python -m repro figure all
     python -m repro scenario --peers 30 --helpers 5 --stages 2000 --seed 1
+    python -m repro run --backend=vectorized --peers 100000 --workers 4
     python -m repro list
 
 ``figure`` regenerates one (or all) of the paper's figures and prints the
 same text tables the benchmark harness writes to ``benchmarks/output/``.
-``scenario`` runs an ad-hoc helper-selection experiment and prints the
-headline metrics.
+``scenario`` runs an ad-hoc helper-selection experiment (bare repeated
+game, vectorized population) and prints the headline metrics.  ``run``
+executes the *full streaming system* — channels, tracker, churn, origin
+server — on either the scalar (``repro.sim``) or the vectorized
+(``repro.runtime``) backend, optionally fanning replications across worker
+processes.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional
+import time
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
 import repro
 from repro.analysis.experiments import ALL_FIGURES
+from repro.analysis.parallel import ParallelRunner
+from repro.analysis.reporting import render_table
 from repro.core import LearnerPopulation, empirical_ce_regret
+from repro.game.baselines import StickyLearner, UniformRandomLearner
 from repro.mdp import solve_symmetric_optimum
 from repro.metrics import jain_index, load_balance_report
-from repro.sim import paper_bandwidth_process
+from repro.sim import (
+    PAPER_BANDWIDTH_LEVELS,
+    ChurnConfig,
+    StreamingSystem,
+    SystemConfig,
+    paper_bandwidth_process,
+)
+from repro.runtime import VectorizedStreamingSystem, bank_factory
 
 FIGURE_DESCRIPTIONS = {
     "fig1": "worst-player regret decay (large scale)",
@@ -67,8 +83,145 @@ def build_parser() -> argparse.ArgumentParser:
         help="bandwidth chain stay-probability",
     )
 
+    runp = sub.add_parser(
+        "run",
+        help="run the full streaming system (scalar or vectorized backend)",
+    )
+    runp.add_argument(
+        "--backend",
+        choices=["scalar", "vectorized"],
+        default="vectorized",
+        help="peer representation: Python objects or numpy arrays",
+    )
+    runp.add_argument("--peers", type=int, default=1000)
+    runp.add_argument("--helpers", type=int, default=20)
+    runp.add_argument("--channels", type=int, default=1)
+    runp.add_argument("--rounds", type=int, default=200)
+    runp.add_argument("--bitrate", type=float, default=350.0)
+    runp.add_argument(
+        "--learner",
+        choices=["rths", "r2hs", "uniform", "sticky"],
+        default="r2hs",
+    )
+    runp.add_argument("--epsilon", type=float, default=0.05)
+    runp.add_argument("--delta", type=float, default=0.1)
+    runp.add_argument("--mu", type=float, default=None)
+    runp.add_argument("--stay", type=float, default=0.9)
+    runp.add_argument(
+        "--churn-rate", type=float, default=0.0,
+        help="Poisson arrival rate (0 disables churn)",
+    )
+    runp.add_argument(
+        "--mean-lifetime", type=float, default=None,
+        help="mean exponential peer lifetime (requires --churn-rate > 0)",
+    )
+    runp.add_argument("--seed", type=int, default=0)
+    runp.add_argument(
+        "--replications", type=int, default=1,
+        help="independent repetitions (deterministically seeded)",
+    )
+    runp.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the replications",
+    )
+
     sub.add_parser("list", help="list the available figures")
     return parser
+
+
+def _system_cell(params: Mapping[str, object], seed: int) -> Dict[str, float]:
+    """Run one streaming-system replication; picklable for ParallelRunner."""
+    churn = ChurnConfig(
+        arrival_rate=float(params["churn_rate"]),
+        mean_lifetime=params["mean_lifetime"],
+    )
+    config = SystemConfig(
+        num_peers=int(params["peers"]),
+        num_helpers=int(params["helpers"]),
+        num_channels=int(params["channels"]),
+        channel_bitrates=float(params["bitrate"]),
+        stay_probability=float(params["stay"]),
+        churn=churn,
+    )
+    u_max = float(max(PAPER_BANDWIDTH_LEVELS))
+    learner = str(params["learner"])
+    epsilon = float(params["epsilon"])
+    delta = float(params["delta"])
+    mu = params["mu"]
+    start = time.perf_counter()
+    if params["backend"] == "vectorized":
+        system = VectorizedStreamingSystem(
+            config,
+            bank_factory(learner, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max),
+            rng=seed,
+        )
+    else:
+        system = StreamingSystem(
+            config,
+            _scalar_learner_factory(learner, epsilon, delta, mu, u_max),
+            rng=seed,
+        )
+    trace = system.run(int(params["rounds"]))
+    elapsed = time.perf_counter() - start
+    summary = trace.summary()
+    summary["elapsed_s"] = elapsed
+    summary["rounds_per_s"] = float(params["rounds"]) / elapsed
+    return summary
+
+
+def _scalar_learner_factory(learner, epsilon, delta, mu, u_max):
+    if learner == "r2hs":
+        return lambda h, rng: repro.R2HSLearner(
+            h, rng=rng, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max
+        )
+    if learner == "rths":
+        return lambda h, rng: repro.RTHSLearner(
+            h, rng=rng, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max
+        )
+    if learner == "uniform":
+        return lambda h, rng: UniformRandomLearner(h, rng=rng)
+    if learner == "sticky":
+        return lambda h, rng: StickyLearner(h, rng=rng)
+    raise ValueError(f"unknown learner {learner!r}")
+
+
+def _run_system(args, out) -> None:
+    params = {
+        "backend": args.backend,
+        "peers": args.peers,
+        "helpers": args.helpers,
+        "channels": args.channels,
+        "rounds": args.rounds,
+        "bitrate": args.bitrate,
+        "learner": args.learner,
+        "epsilon": args.epsilon,
+        "delta": args.delta,
+        "mu": args.mu,
+        "stay": args.stay,
+        "churn_rate": args.churn_rate,
+        "mean_lifetime": args.mean_lifetime,
+    }
+    runner = ParallelRunner(workers=args.workers)
+    cells = runner.run_replications(
+        _system_cell, params, args.replications, rng=args.seed
+    )
+    print(
+        f"run: backend={args.backend} learner={args.learner} "
+        f"N={args.peers} H={args.helpers} C={args.channels} "
+        f"rounds={args.rounds} replications={args.replications} "
+        f"workers={runner.workers}",
+        file=out,
+    )
+    metric_names = list(cells[0].metrics)
+    values = {
+        name: np.array([cell.metrics[name] for cell in cells])
+        for name in metric_names
+    }
+    rows = [
+        [name, float(values[name].mean()), float(values[name].std())]
+        for name in metric_names
+    ]
+    print(render_table(["metric", "mean", "std"], rows), file=out)
 
 
 def _run_figure(which: str, seed: int, out) -> None:
@@ -124,5 +277,8 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 0
     if args.command == "scenario":
         _run_scenario(args, out)
+        return 0
+    if args.command == "run":
+        _run_system(args, out)
         return 0
     return 2  # unreachable: argparse enforces the choices

@@ -39,6 +39,9 @@ def constant_step(eps: float) -> StepSchedule:
         return eps
 
     schedule.__name__ = f"constant_step({eps})"
+    # Marker consumed by vectorized consumers (LearnerPopulation) to skip
+    # per-slot schedule evaluation in their hot loop.
+    schedule.constant_value = eps  # type: ignore[attr-defined]
     return schedule
 
 

@@ -1,0 +1,48 @@
+"""Array-backed streaming runtime for population-scale experiments.
+
+The scalar substrate in :mod:`repro.sim` advances one Python object per
+peer per round — fine for the paper's 10–100-peer figures, hopeless for
+10⁵–10⁶-peer scenarios.  This package re-implements the *same system* (same
+:class:`~repro.sim.system.SystemConfig`, same
+:class:`~repro.sim.trace.SystemTrace` schema, same server/churn semantics)
+on dense arrays:
+
+* :mod:`repro.runtime.peer_store` — struct-of-arrays peer table with an
+  O(1) free-list for churn and generation counters against slot aliasing;
+* :mod:`repro.runtime.learner_bank` — per-channel vectorized strategy
+  blocks (RTHS / R2HS via :class:`repro.core.population.LearnerPopulation`,
+  plus uniform and sticky baselines);
+* :mod:`repro.runtime.system` — :class:`VectorizedStreamingSystem`, whose
+  learning round is a handful of numpy ops (``np.bincount`` loads, masked
+  deficit accounting, one batched learner update per channel).
+
+Pick a backend per experiment: the scalar system for per-peer
+introspection and plug-in scalar learners, the vectorized runtime for
+scale (see README for the decision guide and measured speedups).
+"""
+
+from repro.runtime.learner_bank import (
+    BankFactory,
+    LearnerBank,
+    R2HSBank,
+    RegretBank,
+    RTHSBank,
+    StickyBank,
+    UniformBank,
+    bank_factory,
+)
+from repro.runtime.peer_store import PeerStore
+from repro.runtime.system import VectorizedStreamingSystem
+
+__all__ = [
+    "PeerStore",
+    "LearnerBank",
+    "BankFactory",
+    "RegretBank",
+    "RTHSBank",
+    "R2HSBank",
+    "UniformBank",
+    "StickyBank",
+    "bank_factory",
+    "VectorizedStreamingSystem",
+]

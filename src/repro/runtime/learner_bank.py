@@ -1,0 +1,326 @@
+"""Vectorized per-channel learner banks.
+
+A *bank* holds the strategy state of every peer watching one channel and
+advances all of them per round with array ops — the population-scale
+counterpart of handing each :class:`~repro.sim.entities.Peer` its own
+:class:`~repro.game.interfaces.Learner` object.  Channels can have
+different helper counts, so the vectorized system builds one bank per
+channel (a *block*); each bank manages its own row space with a free-list
+so churn joins/leaves are O(1).
+
+The regret banks do **not** reimplement the paper's math: they wrap the
+slot API of :class:`repro.core.population.LearnerPopulation`, which is the
+single vectorized implementation of the RTHS/R2HS recursion (with a
+constant step the recursion equals the literal RTHS history sums — see the
+exact/recursive equivalence in ``tests/core/test_proxy_regret.py``).
+:class:`UniformBank` and :class:`StickyBank` vectorize the corresponding
+baselines from :mod:`repro.game.baselines`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.population import LearnerPopulation
+from repro.core.schedules import StepSchedule
+from repro.util.rng import Seedish, as_generator
+
+#: Builds one bank for a channel with ``num_actions`` helpers — the
+#: vectorized analogue of :data:`repro.sim.system.LearnerFactory`.
+BankFactory = Callable[[int, np.random.Generator], "LearnerBank"]
+
+_INITIAL_ROWS = 64
+
+
+@runtime_checkable
+class LearnerBank(Protocol):
+    """Strategy state for all peers of one channel, advanced in batch."""
+
+    @property
+    def num_actions(self) -> int:
+        """Size of the action set (the channel's helper count)."""
+        ...
+
+    def acquire(self) -> int:
+        """Claim a fresh-state row for a joining peer; returns its index."""
+        ...
+
+    def acquire_many(self, count: int) -> np.ndarray:
+        """Bulk :meth:`acquire` for initial populations."""
+        ...
+
+    def release(self, row: int) -> None:
+        """Return a leaving peer's row to the free pool."""
+        ...
+
+    def act(self, rows: np.ndarray) -> np.ndarray:
+        """Sample one action per listed row."""
+        ...
+
+    def observe(
+        self, rows: np.ndarray, actions: np.ndarray, utilities: np.ndarray
+    ) -> None:
+        """Feed realized utilities back to the listed rows."""
+        ...
+
+
+class _RowBank:
+    """Shared row lifecycle: doubling capacity plus a LIFO free-list."""
+
+    def __init__(self, initial_rows: int = _INITIAL_ROWS) -> None:
+        if initial_rows < 1:
+            raise ValueError("initial_rows must be >= 1")
+        self._rows = int(initial_rows)
+        # Popping from the tail hands out ascending rows 0, 1, 2, ...
+        self._free: List[int] = list(range(self._rows - 1, -1, -1))
+
+    @property
+    def rows(self) -> int:
+        """Current row capacity."""
+        return self._rows
+
+    def _grow_rows(self, new_rows: int) -> None:
+        """Extend backing storage to ``new_rows`` (subclass hook)."""
+        raise NotImplementedError
+
+    def _reset_rows(self, rows: np.ndarray) -> None:
+        """Restore ``rows`` to the fresh-learner state (subclass hook)."""
+        raise NotImplementedError
+
+    def _ensure_free(self, count: int) -> None:
+        if len(self._free) >= count:
+            return
+        old = self._rows
+        new = max(2 * old, old + count - len(self._free))
+        self._grow_rows(new)
+        self._free[:0] = range(new - 1, old - 1, -1)
+        self._rows = new
+
+    def acquire(self) -> int:
+        self._ensure_free(1)
+        row = self._free.pop()
+        self._reset_rows(np.array([row], dtype=np.int64))
+        return row
+
+    def acquire_many(self, count: int) -> np.ndarray:
+        if count < 0:
+            raise ValueError("count must be >= 0")
+        self._ensure_free(count)
+        rows = np.array([self._free.pop() for _ in range(count)], dtype=np.int64)
+        self._reset_rows(rows)
+        return rows
+
+    def release(self, row: int) -> None:
+        self._free.append(int(row))
+
+
+class RegretBank(_RowBank):
+    """Vectorized regret-tracking block (the RTHS/R2HS recursion).
+
+    Thin ownership wrapper over the slot API of
+    :class:`~repro.core.population.LearnerPopulation`: ``acquire`` resets a
+    population slot, ``act``/``observe`` advance the listed slots with
+    per-slot stage counters (late joiners start at stage 0, exactly like a
+    fresh scalar learner).
+    """
+
+    def __init__(
+        self,
+        num_actions: int,
+        rng: Seedish = None,
+        epsilon: float = 0.05,
+        mu: Optional[float] = None,
+        delta: float = 0.1,
+        u_max: float = 1.0,
+        schedule: Optional[StepSchedule] = None,
+        initial_rows: int = _INITIAL_ROWS,
+    ) -> None:
+        super().__init__(initial_rows)
+        self._pop = LearnerPopulation(
+            self.rows,
+            num_actions,
+            epsilon=epsilon,
+            mu=mu,
+            delta=delta,
+            u_max=u_max,
+            rng=rng,
+            schedule=schedule,
+        )
+
+    @property
+    def num_actions(self) -> int:
+        return self._pop.num_helpers
+
+    @property
+    def population(self) -> LearnerPopulation:
+        """The backing population (for diagnostics: regrets, strategies)."""
+        return self._pop
+
+    def _grow_rows(self, new_rows: int) -> None:
+        self._pop.ensure_capacity(new_rows)
+
+    def _reset_rows(self, rows: np.ndarray) -> None:
+        self._pop.reset_slots(rows)
+
+    def act(self, rows: np.ndarray) -> np.ndarray:
+        return self._pop.act_slots(rows)
+
+    def observe(
+        self, rows: np.ndarray, actions: np.ndarray, utilities: np.ndarray
+    ) -> None:
+        self._pop.observe_slots(rows, actions, utilities)
+
+
+class RTHSBank(RegretBank):
+    """Vectorized RTHS (Algorithm 1): constant-step regret tracking.
+
+    With a constant step size the recursive update carried by the backing
+    population is *exactly* the literal RTHS history sums, so this bank and
+    a population of :class:`~repro.core.rths.RTHSLearner` objects follow
+    the same dynamics.
+    """
+
+    def __init__(
+        self,
+        num_actions: int,
+        rng: Seedish = None,
+        epsilon: float = 0.05,
+        mu: Optional[float] = None,
+        delta: float = 0.1,
+        u_max: float = 1.0,
+        initial_rows: int = _INITIAL_ROWS,
+    ) -> None:
+        super().__init__(
+            num_actions,
+            rng=rng,
+            epsilon=epsilon,
+            mu=mu,
+            delta=delta,
+            u_max=u_max,
+            schedule=None,
+            initial_rows=initial_rows,
+        )
+
+
+class R2HSBank(RegretBank):
+    """Vectorized R2HS (Algorithm 2): the recursive form, custom schedules
+    allowed (a harmonic schedule recovers classic regret matching)."""
+
+
+class UniformBank(_RowBank):
+    """Vectorized :class:`~repro.game.baselines.UniformRandomLearner`."""
+
+    def __init__(
+        self,
+        num_actions: int,
+        rng: Seedish = None,
+        initial_rows: int = _INITIAL_ROWS,
+    ) -> None:
+        super().__init__(initial_rows)
+        if num_actions < 1:
+            raise ValueError("num_actions must be >= 1")
+        self._m = int(num_actions)
+        self._rng = as_generator(rng)
+
+    @property
+    def num_actions(self) -> int:
+        return self._m
+
+    def _grow_rows(self, new_rows: int) -> None:
+        pass  # stateless per row
+
+    def _reset_rows(self, rows: np.ndarray) -> None:
+        pass
+
+    def act(self, rows: np.ndarray) -> np.ndarray:
+        return self._rng.integers(0, self._m, size=np.asarray(rows).shape[0])
+
+    def observe(
+        self, rows: np.ndarray, actions: np.ndarray, utilities: np.ndarray
+    ) -> None:
+        actions = np.asarray(actions)
+        if actions.size and (actions.min() < 0 or actions.max() >= self._m):
+            raise ValueError("actions out of range")
+
+
+class StickyBank(_RowBank):
+    """Vectorized :class:`~repro.game.baselines.StickyLearner`: each row
+    keeps its pick and re-picks uniformly with a small probability."""
+
+    def __init__(
+        self,
+        num_actions: int,
+        rng: Seedish = None,
+        switch_probability: float = 0.01,
+        initial_rows: int = _INITIAL_ROWS,
+    ) -> None:
+        super().__init__(initial_rows)
+        if num_actions < 1:
+            raise ValueError("num_actions must be >= 1")
+        if not 0 <= switch_probability <= 1:
+            raise ValueError("switch_probability must lie in [0, 1]")
+        self._m = int(num_actions)
+        self._switch = float(switch_probability)
+        self._rng = as_generator(rng)
+        self._current = self._rng.integers(0, self._m, size=self.rows)
+
+    @property
+    def num_actions(self) -> int:
+        return self._m
+
+    def _grow_rows(self, new_rows: int) -> None:
+        extra = self._rng.integers(0, self._m, size=new_rows - self._current.size)
+        self._current = np.concatenate([self._current, extra])
+
+    def _reset_rows(self, rows: np.ndarray) -> None:
+        self._current[rows] = self._rng.integers(0, self._m, size=rows.shape[0])
+
+    def act(self, rows: np.ndarray) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.intp)
+        switching = self._rng.random(rows.shape[0]) < self._switch
+        if np.any(switching):
+            self._current[rows[switching]] = self._rng.integers(
+                0, self._m, size=int(switching.sum())
+            )
+        return self._current[rows].copy()
+
+    def observe(
+        self, rows: np.ndarray, actions: np.ndarray, utilities: np.ndarray
+    ) -> None:
+        actions = np.asarray(actions)
+        if actions.size and (actions.min() < 0 or actions.max() >= self._m):
+            raise ValueError("actions out of range")
+
+
+def bank_factory(
+    kind: str,
+    epsilon: float = 0.05,
+    mu: Optional[float] = None,
+    delta: float = 0.1,
+    u_max: float = 900.0,
+    switch_probability: float = 0.01,
+) -> BankFactory:
+    """Build a :data:`BankFactory` by name.
+
+    ``kind`` is one of ``"rths"``, ``"r2hs"``, ``"uniform"``, ``"sticky"``.
+    The hyper-parameters mirror the scalar learners; ``u_max`` defaults to
+    the paper's maximum helper capacity (900 kbit/s).
+    """
+    kind = kind.lower()
+    if kind == "rths":
+        return lambda h, rng: RTHSBank(
+            h, rng=rng, epsilon=epsilon, mu=mu, delta=delta, u_max=u_max
+        )
+    if kind == "r2hs":
+        return lambda h, rng: R2HSBank(
+            h, rng=rng, epsilon=epsilon, mu=mu, delta=delta, u_max=u_max
+        )
+    if kind == "uniform":
+        return lambda h, rng: UniformBank(h, rng=rng)
+    if kind == "sticky":
+        return lambda h, rng: StickyBank(
+            h, rng=rng, switch_probability=switch_probability
+        )
+    raise ValueError(f"unknown bank kind {kind!r}")

@@ -1,0 +1,211 @@
+"""Struct-of-arrays peer table with O(1) churn.
+
+The scalar :class:`~repro.sim.system.StreamingSystem` holds one Python
+:class:`~repro.sim.entities.Peer` object per viewer; at the
+millions-of-users scale the runtime targets, object churn and per-object
+attribute access dominate.  :class:`PeerStore` keeps the same per-peer
+state as parallel numpy arrays (one column per field) so the round loop
+reads and writes whole-population slices.
+
+Joins and leaves are O(1) array writes through a **free-list**: a leaving
+peer's slot index is pushed on a stack and handed to the next arrival.  To
+make reuse safe, every slot carries a **generation** counter bumped on
+release; a ``(slot, generation)`` pair is a handle that can never alias a
+later occupant of the same slot (the property test in
+``tests/runtime/test_peer_store.py`` hammers this).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+
+class PeerStore:
+    """Dense per-peer state in struct-of-arrays layout.
+
+    Public array attributes (length = :attr:`capacity`; rows at or past
+    :attr:`size` are unused):
+
+    * ``channel`` — watched channel id (``-1`` when the slot is free)
+    * ``demand`` — required streaming rate (kbit/s)
+    * ``online`` — participation mask (the round loop's filter)
+    * ``bank_row`` — row index inside the channel's learner bank
+    * ``generation`` — bumped every release; guards stale handles
+    * ``uid`` — globally unique peer id (never reused)
+    * ``joined_at`` / ``left_at`` — simulation timestamps
+    * ``rounds_participated`` / ``cumulative_rate`` / ``cumulative_deficit``
+      — the same lifetime statistics :class:`~repro.sim.entities.Peer`
+      accumulates
+
+    Mutating these arrays directly is allowed for round-loop hot paths
+    (the vectorized system does); slot lifecycle must go through
+    :meth:`allocate` / :meth:`release`.
+    """
+
+    def __init__(self, initial_capacity: int = 64) -> None:
+        if initial_capacity < 1:
+            raise ValueError("initial_capacity must be >= 1")
+        cap = int(initial_capacity)
+        self.channel = np.full(cap, -1, dtype=np.int64)
+        self.demand = np.zeros(cap)
+        self.online = np.zeros(cap, dtype=bool)
+        self.bank_row = np.full(cap, -1, dtype=np.int64)
+        self.generation = np.zeros(cap, dtype=np.int64)
+        self.uid = np.full(cap, -1, dtype=np.int64)
+        self.joined_at = np.zeros(cap)
+        self.left_at = np.full(cap, np.nan)
+        self.rounds_participated = np.zeros(cap, dtype=np.int64)
+        self.cumulative_rate = np.zeros(cap)
+        self.cumulative_deficit = np.zeros(cap)
+        self._capacity = cap
+        self._size = 0              # slots ever touched (fresh watermark)
+        self._free: List[int] = []  # released slots, LIFO
+        self._num_online = 0
+        self._total_created = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Allocated array length."""
+        return self._capacity
+
+    @property
+    def size(self) -> int:
+        """Highest slot index ever used plus one."""
+        return self._size
+
+    @property
+    def num_online(self) -> int:
+        """Currently online peers — O(1)."""
+        return self._num_online
+
+    @property
+    def total_created(self) -> int:
+        """Peers ever allocated (equals the next uid)."""
+        return self._total_created
+
+    @property
+    def free_slots(self) -> int:
+        """Slots currently on the free-list."""
+        return len(self._free)
+
+    def online_slots(self) -> np.ndarray:
+        """Indices of online slots, ascending (= peer creation order for a
+        churn-free population)."""
+        return np.flatnonzero(self.online[: self._size])
+
+    def is_live(self, slot: int, generation: int) -> bool:
+        """Whether the handle ``(slot, generation)`` still names a live peer."""
+        return (
+            0 <= slot < self._size
+            and bool(self.online[slot])
+            and int(self.generation[slot]) == generation
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def _grow(self, needed: int) -> None:
+        new_cap = max(needed, 2 * self._capacity)
+        extra = new_cap - self._capacity
+
+        def pad(arr: np.ndarray, fill) -> np.ndarray:
+            tail = np.full(extra, fill, dtype=arr.dtype)
+            return np.concatenate([arr, tail])
+
+        self.channel = pad(self.channel, -1)
+        self.demand = pad(self.demand, 0.0)
+        self.online = pad(self.online, False)
+        self.bank_row = pad(self.bank_row, -1)
+        self.generation = pad(self.generation, 0)
+        self.uid = pad(self.uid, -1)
+        self.joined_at = pad(self.joined_at, 0.0)
+        self.left_at = pad(self.left_at, np.nan)
+        self.rounds_participated = pad(self.rounds_participated, 0)
+        self.cumulative_rate = pad(self.cumulative_rate, 0.0)
+        self.cumulative_deficit = pad(self.cumulative_deficit, 0.0)
+        self._capacity = new_cap
+
+    def allocate(
+        self, channel: int, demand: float, now: float = 0.0, bank_row: int = -1
+    ) -> Tuple[int, int]:
+        """Bring one peer online; returns its ``(slot, generation)`` handle.
+
+        Reuses the most recently freed slot if any (LIFO keeps the touched
+        region compact), else extends the fresh watermark.
+        """
+        if demand <= 0:
+            raise ValueError(f"demand must be positive, got {demand}")
+        if self._free:
+            slot = self._free.pop()
+        else:
+            if self._size >= self._capacity:
+                self._grow(self._size + 1)
+            slot = self._size
+            self._size += 1
+        self.channel[slot] = int(channel)
+        self.demand[slot] = float(demand)
+        self.online[slot] = True
+        self.bank_row[slot] = int(bank_row)
+        self.uid[slot] = self._total_created
+        self.joined_at[slot] = float(now)
+        self.left_at[slot] = np.nan
+        self.rounds_participated[slot] = 0
+        self.cumulative_rate[slot] = 0.0
+        self.cumulative_deficit[slot] = 0.0
+        self._total_created += 1
+        self._num_online += 1
+        return slot, int(self.generation[slot])
+
+    def allocate_many(
+        self,
+        channels: np.ndarray,
+        demands: np.ndarray,
+        now: float = 0.0,
+        bank_rows: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Bulk variant of :meth:`allocate` for initial populations.
+
+        Only valid while the free-list is empty (construction time); slots
+        come out as the contiguous block ``[size, size + k)``.
+        """
+        channels = np.asarray(channels, dtype=np.int64)
+        demands = np.asarray(demands, dtype=float)
+        k = channels.shape[0]
+        if demands.shape != (k,):
+            raise ValueError("channels and demands must align")
+        if np.any(demands <= 0):
+            raise ValueError("demands must be positive")
+        if self._free:
+            raise RuntimeError("allocate_many requires an empty free-list")
+        start = self._size
+        if start + k > self._capacity:
+            self._grow(start + k)
+        slots = np.arange(start, start + k)
+        self.channel[slots] = channels
+        self.demand[slots] = demands
+        self.online[slots] = True
+        self.bank_row[slots] = -1 if bank_rows is None else bank_rows
+        self.uid[slots] = np.arange(self._total_created, self._total_created + k)
+        self.joined_at[slots] = float(now)
+        self._size += k
+        self._total_created += k
+        self._num_online += k
+        return slots
+
+    def release(self, slot: int, now: float = 0.0) -> None:
+        """Take a peer offline and recycle its slot (bumps the generation)."""
+        slot = int(slot)
+        if not (0 <= slot < self._size) or not self.online[slot]:
+            raise ValueError(f"slot {slot} is not online")
+        self.online[slot] = False
+        self.left_at[slot] = float(now)
+        self.generation[slot] += 1
+        self._num_online -= 1
+        self._free.append(slot)

@@ -1,0 +1,370 @@
+"""The vectorized streaming runtime.
+
+:class:`VectorizedStreamingSystem` is a drop-in, array-backed
+implementation of the full multi-channel streaming system of
+:class:`repro.sim.system.StreamingSystem`: same
+:class:`~repro.sim.system.SystemConfig`, same discrete-event engine
+driving rounds and churn, same origin-server semantics, and the same
+:class:`~repro.sim.trace.SystemTrace` / RoundRecord schema — so every
+existing metric, analysis and reporting path works unchanged.  Only the
+*representation* differs: peers live in a :class:`~repro.runtime.peer_store.PeerStore`
+(struct-of-arrays with a free-list) and strategies in per-channel
+:class:`~repro.runtime.learner_bank.LearnerBank` blocks, so one learning
+round is a handful of numpy operations (`np.bincount` for helper loads,
+masked arithmetic for shares and deficits, one batched learner update per
+channel) instead of a Python loop over peers.
+
+Given identical helper choices the two systems produce identical round
+records (asserted trace-for-trace in ``tests/runtime/test_equivalence.py``
+by scripting the choices); with learners on, agreement is distributional
+(same dynamics, different RNG stream layout).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.runtime.learner_bank import BankFactory, LearnerBank
+from repro.runtime.peer_store import PeerStore
+from repro.sim.bandwidth import paper_bandwidth_process
+from repro.sim.churn import ChurnProcess
+from repro.sim.engine import Simulator
+from repro.sim.entities import Channel, StreamingServer
+from repro.sim.system import (
+    SystemConfig,
+    drive_rounds,
+    install_channel_switching,
+    normalized_channel_weights,
+)
+from repro.sim.trace import RoundRecord, SystemTrace
+from repro.sim.tracker import Tracker
+from repro.util.rng import Seedish, as_generator, spawn
+
+
+class VectorizedStreamingSystem:
+    """A runnable multi-channel P2P streaming deployment, array-backed.
+
+    Parameters
+    ----------
+    config:
+        The same :class:`~repro.sim.system.SystemConfig` the scalar system
+        takes.
+    bank_factory:
+        Builds one :class:`~repro.runtime.learner_bank.LearnerBank` per
+        channel: called with ``(num_channel_helpers, child_rng)``.
+    rng, capacity_process:
+        As in the scalar system.
+    initial_channels:
+        Optional explicit channel per initial peer (for paired
+        scalar-vs-vectorized runs); defaults to popularity-weighted draws.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        bank_factory: BankFactory,
+        rng: Seedish = None,
+        capacity_process=None,
+        initial_channels: Optional[Sequence[int]] = None,
+    ) -> None:
+        self._config = config
+        self._rng = as_generator(rng)
+        self._sim = Simulator()
+        self._server = StreamingServer(capacity=config.server_capacity)
+        self._tracker = Tracker()
+        self._trace = SystemTrace(
+            actions=[] if config.record_peers else None,
+            utilities=[] if config.record_peers else None,
+        )
+        self._round_index = 0
+        self._population_changed = False
+
+        if capacity_process is None:
+            capacity_process = paper_bandwidth_process(
+                config.num_helpers,
+                levels=config.bandwidth_levels,
+                stay_probability=config.stay_probability,
+                rng=spawn(self._rng),
+            )
+        if capacity_process.num_helpers != config.num_helpers:
+            raise ValueError("capacity process size does not match num_helpers")
+        self._capacity_process = capacity_process
+
+        # Channels, popularity, helper partition (identical to scalar).
+        self._channel_weights = normalized_channel_weights(
+            config.num_channels, config.channel_popularity
+        )
+        self._channels = [
+            Channel(
+                channel_id=c,
+                bitrate=config.bitrate_of(c),
+                popularity=float(self._channel_weights[c]),
+            )
+            for c in range(config.num_channels)
+        ]
+        for h in range(config.num_helpers):
+            self._tracker.register_helper(h, h % config.num_channels)
+        self._channel_helpers: List[np.ndarray] = [
+            np.asarray(self._tracker.helpers_for(c), dtype=np.int64)
+            for c in range(config.num_channels)
+        ]
+
+        # One learner bank per channel block.
+        self._banks: List[LearnerBank] = []
+        for c in range(config.num_channels):
+            try:
+                bank = bank_factory(
+                    int(self._channel_helpers[c].size), spawn(self._rng)
+                )
+            except ValueError as exc:
+                raise ValueError(
+                    f"cannot build a learner bank for channel {c} with "
+                    f"{self._channel_helpers[c].size} helper(s): {exc}"
+                ) from exc
+            if bank.num_actions != self._channel_helpers[c].size:
+                raise ValueError(
+                    f"bank_factory produced {bank.num_actions} actions for "
+                    f"a channel with {self._channel_helpers[c].size} helpers"
+                )
+            self._banks.append(bank)
+
+        # Initial population, bulk-allocated.
+        self._store = PeerStore(initial_capacity=max(64, config.num_peers))
+        self._uid_slot: dict[int, int] = {}
+        if initial_channels is not None:
+            if len(initial_channels) != config.num_peers:
+                raise ValueError(
+                    "initial_channels must list one channel per initial peer"
+                )
+            channels = np.asarray(list(initial_channels), dtype=np.int64)
+            if channels.size and (
+                channels.min() < 0 or channels.max() >= config.num_channels
+            ):
+                raise ValueError("initial channel out of range")
+        else:
+            channels = self._rng.choice(
+                config.num_channels, size=config.num_peers, p=self._channel_weights
+            ).astype(np.int64)
+        demands = np.array([config.bitrate_of(int(c)) for c in channels])
+        slots = self._store.allocate_many(channels, demands, now=self._sim.now)
+        for c in range(config.num_channels):
+            mask = channels == c
+            count = int(mask.sum())
+            if count == 0:
+                continue
+            self._store.bank_row[slots[mask]] = self._banks[c].acquire_many(count)
+        for slot in slots:
+            self._uid_slot[int(self._store.uid[slot])] = int(slot)
+
+        # Churn (same process and semantics as the scalar system; peer ids
+        # handed to the churn process are uids, which are never reused, so
+        # a stale leave event can never hit a recycled slot).
+        self._churn = ChurnProcess(
+            config.churn,
+            on_join=self._churn_join,
+            on_leave=self._churn_leave,
+            rng=spawn(self._rng),
+        )
+        if config.churn.initial_peer_lifetimes and config.churn.mean_lifetime:
+            for slot in slots:
+                self._churn.schedule_lifetime(
+                    self._sim, int(self._store.uid[slot])
+                )
+        self._churn.start(self._sim)
+
+        # Viewer channel switching (time-varying popularity).
+        self._switch_rng = spawn(self._rng)
+        self._channel_switches = 0
+        if config.channel_switch_rate > 0:
+            install_channel_switching(
+                self._sim, config, self._switch_rng, self._churn,
+                self._switch_once,
+            )
+
+    # ------------------------------------------------------------------
+    # Construction helpers / churn callbacks
+    # ------------------------------------------------------------------
+
+    def _create_peer(self, channel_id: Optional[int] = None) -> int:
+        """Bring one peer online; returns its uid."""
+        if channel_id is None:
+            channel_id = int(
+                self._rng.choice(self._config.num_channels, p=self._channel_weights)
+            )
+        row = self._banks[channel_id].acquire()
+        slot, _ = self._store.allocate(
+            channel_id,
+            self._config.bitrate_of(channel_id),
+            now=self._sim.now,
+            bank_row=row,
+        )
+        uid = int(self._store.uid[slot])
+        self._uid_slot[uid] = slot
+        return uid
+
+    def _churn_join(self) -> int:
+        uid = self._create_peer()
+        self._population_changed = True
+        return uid
+
+    def _churn_leave(self, uid: int) -> None:
+        slot = self._uid_slot.pop(int(uid), None)
+        if slot is None or not self._store.online[slot]:
+            return
+        self._banks[int(self._store.channel[slot])].release(
+            int(self._store.bank_row[slot])
+        )
+        self._store.release(slot, now=self._sim.now)
+        self._population_changed = True
+
+    def _switch_once(self) -> Optional[int]:
+        """One viewer channel switch; returns the replacement's uid."""
+        online = self._store.online_slots()
+        if not online.size:
+            return None
+        slot = online[int(self._switch_rng.integers(online.size))]
+        self._churn_leave(int(self._store.uid[slot]))
+        uid = self._create_peer()
+        self._channel_switches += 1
+        self._population_changed = True
+        return uid
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def config(self) -> SystemConfig:
+        """The experiment configuration."""
+        return self._config
+
+    @property
+    def simulator(self) -> Simulator:
+        """The underlying event engine."""
+        return self._sim
+
+    @property
+    def store(self) -> PeerStore:
+        """The struct-of-arrays peer table."""
+        return self._store
+
+    @property
+    def banks(self) -> List[LearnerBank]:
+        """Per-channel learner banks."""
+        return self._banks
+
+    @property
+    def channels(self) -> List[Channel]:
+        """All channels."""
+        return self._channels
+
+    @property
+    def server(self) -> StreamingServer:
+        """The origin server."""
+        return self._server
+
+    @property
+    def trace(self) -> SystemTrace:
+        """The recorded per-round history."""
+        return self._trace
+
+    @property
+    def channel_switches(self) -> int:
+        """Viewer channel-switch events processed so far."""
+        return self._channel_switches
+
+    @property
+    def num_online(self) -> int:
+        """Currently online peers."""
+        return self._store.num_online
+
+    # ------------------------------------------------------------------
+    # The learning round
+    # ------------------------------------------------------------------
+
+    def _execute_round(self, _: Simulator) -> None:
+        config = self._config
+        store = self._store
+        num_helpers = config.num_helpers
+        caps = np.asarray(self._capacity_process.capacities(), dtype=float)
+        online = store.online_slots()
+        n = online.size
+
+        # 1. Every online peer draws a helper from its channel's bank.
+        helper_global = np.empty(n, dtype=np.int64)
+        channel_of = store.channel[online]
+        per_channel: List[tuple] = []  # (channel, mask, rows, local actions)
+        for c in range(config.num_channels):
+            mask = channel_of == c
+            if not mask.any():
+                continue
+            rows = store.bank_row[online[mask]]
+            local = self._banks[c].act(rows)
+            helper_global[mask] = self._channel_helpers[c][local]
+            per_channel.append((c, mask, rows, local))
+        loads = np.bincount(helper_global, minlength=num_helpers)
+
+        # 2./3. Shares realize; the server covers deficits.
+        if n:
+            shares = caps[helper_global] / loads[helper_global]
+            deficits = np.maximum(0.0, store.demand[online] - shares)
+            total_share = float(shares.sum())
+            total_deficit_requested = float(deficits.sum())
+        else:
+            shares = np.empty(0)
+            deficits = np.empty(0)
+            total_share = 0.0
+            total_deficit_requested = 0.0
+        granted = self._server.serve(total_deficit_requested)
+
+        # 4. Banks observe the raw helper shares (the game utility).
+        for c, mask, rows, local in per_channel:
+            self._banks[c].observe(rows, local, shares[mask])
+        store.rounds_participated[online] += 1
+        store.cumulative_rate[online] += shares
+        store.cumulative_deficit[online] += deficits
+
+        total_demand = float(store.demand[online].sum())
+        min_caps = self._capacity_process.minimum_capacities()
+        min_deficit = max(0.0, total_demand - float(min_caps.sum()))
+        record = RoundRecord(
+            time=self._sim.now,
+            capacities=caps,
+            loads=loads,
+            welfare=total_share,
+            server_load=granted,
+            min_deficit=min_deficit,
+            online_peers=n,
+            total_demand=total_demand,
+        )
+        self._trace.append(record)
+
+        if config.record_peers:
+            if self._population_changed:
+                raise RuntimeError(
+                    "record_peers=True requires a fixed population; disable "
+                    "churn or per-peer recording"
+                )
+            # Global helper ids, in slot (= creation) order, exactly like
+            # the scalar system's peer order.
+            self._trace.actions.append(helper_global.copy())  # type: ignore[union-attr]
+            self._trace.utilities.append(shares.copy())  # type: ignore[union-attr]
+
+        self._capacity_process.advance()
+        self._round_index += 1
+
+    def run(self, num_rounds: int) -> SystemTrace:
+        """Advance the system by ``num_rounds`` learning rounds.
+
+        May be called repeatedly; the trace accumulates.
+        """
+        drive_rounds(
+            self._sim,
+            self._config.round_duration,
+            self._execute_round,
+            lambda: self._round_index,
+            num_rounds,
+        )
+        return self._trace

@@ -89,6 +89,7 @@ class TraceCapacityProcess:
         if np.any(arr < 0) or np.any(~np.isfinite(arr)):
             raise ValueError("trace capacities must be finite and non-negative")
         self._trace = arr
+        self._min = arr.min(axis=0)
         self._t = 0
 
     @property
@@ -112,6 +113,14 @@ class TraceCapacityProcess:
     def reset(self) -> None:
         """Rewind to the start of the trace."""
         self._t = 0
+
+    def minimum_capacities(self) -> np.ndarray:
+        """Per-helper minimum over the recorded path (Fig. 5 deficit bound).
+
+        Mirrors :meth:`MarkovCapacityProcess.minimum_capacities` so a
+        recorded trace can drive the streaming systems directly.
+        """
+        return self._min.copy()
 
 
 def record_capacity_trace(

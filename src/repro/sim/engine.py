@@ -8,7 +8,11 @@ rounds) runs on this engine.  It is a classic calendar-queue design:
   are fully deterministic;
 * callbacks receive the :class:`Simulator` and may schedule further events;
 * :meth:`Simulator.schedule_periodic` installs recurring events (learning
-  rounds, metric sampling).
+  rounds, metric sampling) at drift-free absolute times;
+* cancellation is lazy (a flag on the heap entry), but the simulator keeps
+  a live-event counter so :attr:`Simulator.pending` is O(1), and it
+  compacts the heap whenever cancelled entries outnumber live ones — a
+  long-running system with heavy churn cannot leak dead events.
 
 The engine knows nothing about streaming — it is reused by the churn and
 bandwidth processes and available to downstream users as a substrate.
@@ -23,6 +27,10 @@ from typing import Callable, List, Optional
 
 EventCallback = Callable[["Simulator"], None]
 
+# Compaction keeps amortized O(log n) scheduling: rebuilds are triggered at
+# most once per O(n) cancellations, so their linear cost amortizes away.
+_COMPACT_MIN_QUEUE = 16
+
 
 @dataclass(order=True)
 class _ScheduledEvent:
@@ -31,13 +39,17 @@ class _ScheduledEvent:
     sequence: int
     callback: EventCallback = field(compare=False)
     cancelled: bool = field(compare=False, default=False)
+    in_queue: bool = field(compare=False, default=True)
 
 
 class EventHandle:
     """Returned by ``schedule``; allows cancellation."""
 
-    def __init__(self, event: _ScheduledEvent) -> None:
+    def __init__(
+        self, event: _ScheduledEvent, simulator: Optional["Simulator"] = None
+    ) -> None:
         self._event = event
+        self._simulator = simulator
 
     @property
     def time(self) -> float:
@@ -51,7 +63,12 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing (lazy deletion from the heap)."""
-        self._event.cancelled = True
+        event = self._event
+        if event.cancelled:
+            return
+        event.cancelled = True
+        if self._simulator is not None and event.in_queue:
+            self._simulator._note_cancelled()
 
 
 class Simulator:
@@ -62,7 +79,8 @@ class Simulator:
         self._queue: List[_ScheduledEvent] = []
         self._sequence = itertools.count()
         self._events_processed = 0
-        self._running = False
+        self._live = 0       # non-cancelled events currently in the heap
+        self._dead = 0       # cancelled entries awaiting lazy removal
 
     @property
     def now(self) -> float:
@@ -76,8 +94,53 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of queued (non-cancelled) events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of queued (non-cancelled) events — O(1)."""
+        return self._live
+
+    @property
+    def queue_size(self) -> int:
+        """Heap entries including not-yet-compacted cancelled ones."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Internal bookkeeping
+    # ------------------------------------------------------------------
+
+    def _note_cancelled(self) -> None:
+        """A queued event was cancelled: update counters, maybe compact."""
+        self._live -= 1
+        self._dead += 1
+        if (
+            len(self._queue) >= _COMPACT_MIN_QUEUE
+            and self._dead * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and re-heapify (ordering is preserved
+        because entries compare by ``(time, priority, sequence)``)."""
+        for event in self._queue:
+            if event.cancelled:
+                event.in_queue = False
+        self._queue = [e for e in self._queue if not e.cancelled]
+        heapq.heapify(self._queue)
+        self._dead = 0
+
+    def _pop(self) -> Optional[_ScheduledEvent]:
+        """Pop the next live event, discarding stale cancelled entries."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            event.in_queue = False
+            if event.cancelled:
+                self._dead -= 1
+                continue
+            self._live -= 1
+            return event
+        return None
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
 
     def schedule_at(
         self, time: float, callback: EventCallback, priority: int = 0
@@ -94,7 +157,8 @@ class Simulator:
             callback=callback,
         )
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._live += 1
+        return EventHandle(event, self)
 
     def schedule(
         self, delay: float, callback: EventCallback, priority: int = 0
@@ -113,12 +177,18 @@ class Simulator:
     ) -> EventHandle:
         """Schedule ``callback`` every ``period`` units until cancelled.
 
-        The returned handle cancels the *whole series*.
+        The ``k``-th firing lands at the absolute time
+        ``first + k * period`` (``first`` being the first firing time), not
+        at accumulated ``now + period`` offsets, so long series do not
+        drift from float rounding.  The returned handle cancels the *whole
+        series*.
         """
         if period <= 0:
             raise ValueError(f"period must be > 0, got {period}")
         delay = period if first_delay is None else first_delay
+        first_time = self._now + delay
         series_cancelled = {"flag": False}
+        fired = itertools.count(1)
 
         outer_handle: List[EventHandle] = []
 
@@ -127,10 +197,12 @@ class Simulator:
                 return
             callback(sim)
             if not series_cancelled["flag"]:
-                inner = sim.schedule(period, fire, priority=priority)
+                inner = sim.schedule_at(
+                    first_time + next(fired) * period, fire, priority=priority
+                )
                 outer_handle[0] = inner
 
-        first = self.schedule(delay, fire, priority=priority)
+        first = self.schedule_at(first_time, fire, priority=priority)
         outer_handle.append(first)
 
         class _SeriesHandle(EventHandle):
@@ -151,17 +223,19 @@ class Simulator:
 
         return _SeriesHandle()
 
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
     def step(self) -> bool:
         """Run the next event; return False if the queue is empty."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            self._now = event.time
-            self._events_processed += 1
-            event.callback(self)
-            return True
-        return False
+        event = self._pop()
+        if event is None:
+            return False
+        self._now = event.time
+        self._events_processed += 1
+        event.callback(self)
+        return True
 
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:
         """Run all events with ``time <= end_time`` then set now = end_time."""
@@ -172,6 +246,8 @@ class Simulator:
             head = self._queue[0]
             if head.cancelled:
                 heapq.heappop(self._queue)
+                head.in_queue = False
+                self._dead -= 1
                 continue
             if head.time > end_time:
                 break

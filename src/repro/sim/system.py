@@ -40,6 +40,83 @@ from repro.util.rng import Seedish, as_generator, spawn
 LearnerFactory = Callable[[int, np.random.Generator], Learner]
 
 
+def drive_rounds(
+    sim: Simulator,
+    period: float,
+    execute: Callable[[Simulator], None],
+    completed_rounds: Callable[[], int],
+    num_rounds: int,
+) -> None:
+    """Fire ``execute`` for ``num_rounds`` periodic learning rounds.
+
+    Rounds land at fixed absolute times; other events (churn, switches)
+    interleave naturally.  Shared by the scalar and vectorized systems so
+    the two backends cannot drift in round scheduling semantics.
+    """
+    if num_rounds < 1:
+        raise ValueError("num_rounds must be >= 1")
+    target = completed_rounds() + num_rounds
+    start = sim.now
+    offset = 1
+    while completed_rounds() < target:
+        sim.schedule_at(start + offset * period, execute)
+        sim.run_until(start + offset * period)
+        offset += 1
+
+
+def install_channel_switching(
+    sim: Simulator,
+    config: "SystemConfig",
+    switch_rng: np.random.Generator,
+    churn: ChurnProcess,
+    switch_once: Callable[[], Optional[int]],
+) -> None:
+    """Install the Poisson viewer channel-switch process.
+
+    ``switch_once`` performs one backend-specific switch (pick a random
+    online viewer, retire it, create a replacement) and returns the new
+    peer's churn handle, or ``None`` when nobody is online.  The gap
+    sampling, rescheduling and lifetime wiring here are shared by both
+    backends.
+    """
+
+    def schedule_next() -> None:
+        gap = float(switch_rng.exponential(1.0 / config.channel_switch_rate))
+
+        def fire(inner_sim: Simulator) -> None:
+            handle = switch_once()
+            if (
+                handle is not None
+                and config.churn.mean_lifetime
+                and config.churn.initial_peer_lifetimes
+            ):
+                churn.schedule_lifetime(inner_sim, handle)
+            schedule_next()
+
+        sim.schedule(gap, fire)
+
+    schedule_next()
+
+
+def normalized_channel_weights(
+    num_channels: int, popularity: Optional[Sequence[float]]
+) -> np.ndarray:
+    """Validate and normalize channel popularity weights.
+
+    Shared by the scalar system and the vectorized runtime so both apply
+    identical popularity semantics.
+    """
+    weights = popularity
+    if weights is None:
+        weights = [1.0] * num_channels
+    weights = np.asarray(list(weights), dtype=float)
+    if weights.size != num_channels or np.any(weights < 0):
+        raise ValueError("channel_popularity must be non-negative, one per channel")
+    if weights.sum() <= 0:
+        raise ValueError("channel_popularity must not be all zero")
+    return weights / weights.sum()
+
+
 @dataclass(frozen=True)
 class SystemConfig:
     """Configuration of a streaming-system experiment.
@@ -104,15 +181,25 @@ class SystemConfig:
             raise ValueError("round_duration must be positive")
         if self.server_capacity <= 0:
             raise ValueError("server_capacity must be positive")
+        # Normalize channel_bitrates to one float per channel so that a
+        # misconfigured sequence fails here, at construction, and
+        # ``bitrate_of`` is a plain tuple lookup.
+        rates = self.channel_bitrates
+        if isinstance(rates, (int, float)):
+            normalized = (float(rates),) * self.num_channels
+        else:
+            normalized = tuple(float(r) for r in rates)
+            if len(normalized) != self.num_channels:
+                raise ValueError(
+                    "channel_bitrates must have one entry per channel"
+                )
+        if any(r <= 0 for r in normalized):
+            raise ValueError("channel bitrates must be positive")
+        object.__setattr__(self, "channel_bitrates", normalized)
 
     def bitrate_of(self, channel_id: int) -> float:
         """Playback bitrate of ``channel_id``."""
-        if isinstance(self.channel_bitrates, (int, float)):
-            return float(self.channel_bitrates)
-        rates = list(self.channel_bitrates)
-        if len(rates) != self.num_channels:
-            raise ValueError("channel_bitrates must have one entry per channel")
-        return float(rates[channel_id])
+        return self.channel_bitrates[channel_id]
 
 
 class StreamingSystem:
@@ -124,6 +211,7 @@ class StreamingSystem:
         learner_factory: LearnerFactory,
         rng: Seedish = None,
         capacity_process: Optional[MarkovCapacityProcess] = None,
+        initial_channels: Optional[Sequence[int]] = None,
     ) -> None:
         self._config = config
         self._factory = learner_factory
@@ -150,15 +238,9 @@ class StreamingSystem:
         self._capacity_process = capacity_process
 
         # Channels and their popularity weights.
-        weights = config.channel_popularity
-        if weights is None:
-            weights = [1.0] * config.num_channels
-        weights = np.asarray(list(weights), dtype=float)
-        if weights.size != config.num_channels or np.any(weights < 0):
-            raise ValueError("channel_popularity must be non-negative, one per channel")
-        if weights.sum() <= 0:
-            raise ValueError("channel_popularity must not be all zero")
-        self._channel_weights = weights / weights.sum()
+        self._channel_weights = normalized_channel_weights(
+            config.num_channels, config.channel_popularity
+        )
         self._channels = [
             Channel(
                 channel_id=c,
@@ -176,10 +258,22 @@ class StreamingSystem:
             self._helpers.append(helper)
             self._tracker.register_helper(h, channel_id)
 
-        # Initial peer population.
+        # Initial peer population.  An explicit channel assignment makes
+        # paired scalar-vs-vectorized runs start from identical populations.
         self._peers: List[Peer] = []
-        for _ in range(config.num_peers):
-            self._create_peer()
+        if initial_channels is not None:
+            if len(initial_channels) != config.num_peers:
+                raise ValueError(
+                    "initial_channels must list one channel per initial peer"
+                )
+            for channel_id in initial_channels:
+                channel_id = int(channel_id)
+                if not 0 <= channel_id < config.num_channels:
+                    raise ValueError(f"channel {channel_id} out of range")
+                self._create_peer(channel_id)
+        else:
+            for _ in range(config.num_peers):
+                self._create_peer()
 
         # Churn.
         self._churn = ChurnProcess(
@@ -197,7 +291,10 @@ class StreamingSystem:
         self._switch_rng = spawn(self._rng)
         self._channel_switches = 0
         if config.channel_switch_rate > 0:
-            self._schedule_channel_switch()
+            install_channel_switching(
+                self._sim, config, self._switch_rng, self._churn,
+                self._switch_once,
+            )
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -231,27 +328,17 @@ class StreamingSystem:
         self._population_changed = True
         return peer.peer_id
 
-    def _schedule_channel_switch(self) -> None:
-        gap = float(
-            self._switch_rng.exponential(1.0 / self._config.channel_switch_rate)
-        )
-
-        def switch(sim: Simulator) -> None:
-            online = self.online_peers()
-            if online:
-                peer = online[int(self._switch_rng.integers(len(online)))]
-                self._churn_leave(peer.peer_id)
-                replacement = self._create_peer()
-                self._channel_switches += 1
-                self._population_changed = True
-                if (
-                    self._config.churn.mean_lifetime
-                    and self._config.churn.initial_peer_lifetimes
-                ):
-                    self._churn.schedule_lifetime(sim, replacement.peer_id)
-            self._schedule_channel_switch()
-
-        self._sim.schedule(gap, switch)
+    def _switch_once(self) -> Optional[int]:
+        """One viewer channel switch; returns the replacement's peer id."""
+        online = self.online_peers()
+        if not online:
+            return None
+        peer = online[int(self._switch_rng.integers(len(online)))]
+        self._churn_leave(peer.peer_id)
+        replacement = self._create_peer()
+        self._channel_switches += 1
+        self._population_changed = True
+        return replacement.peer_id
 
     @property
     def channel_switches(self) -> int:
@@ -397,15 +484,11 @@ class StreamingSystem:
 
         May be called repeatedly; the trace accumulates.
         """
-        if num_rounds < 1:
-            raise ValueError("num_rounds must be >= 1")
-        period = self._config.round_duration
-        target = self._round_index + num_rounds
-        start = self._sim.now
-        offset = 1
-        while self._round_index < target:
-            # Rounds fire at fixed times; churn events interleave naturally.
-            self._sim.schedule_at(start + offset * period, self._execute_round)
-            self._sim.run_until(start + offset * period)
-            offset += 1
+        drive_rounds(
+            self._sim,
+            self._config.round_duration,
+            self._execute_round,
+            lambda: self._round_index,
+            num_rounds,
+        )
         return self._trace

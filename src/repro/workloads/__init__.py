@@ -18,6 +18,9 @@ from repro.workloads.scenarios import (
     make_capacity_process,
     make_heterogeneous_process,
     make_learner_population,
+    make_system_config,
+    make_vectorized_system,
+    massive_scale_scenario,
     run_scenario,
     small_scale_scenario,
 )
@@ -31,8 +34,11 @@ __all__ = [
     "large_scale_scenario",
     "fig5_scenario",
     "heterogeneous_scenario",
+    "massive_scale_scenario",
     "make_capacity_process",
     "make_heterogeneous_process",
     "make_learner_population",
+    "make_system_config",
+    "make_vectorized_system",
     "run_scenario",
 ]

@@ -47,6 +47,7 @@ class Scenario:
     mu: Optional[float] = None
     demand_per_peer: Optional[float] = None
     num_stages: int = 2000
+    num_channels: int = 1
 
     def __post_init__(self) -> None:
         if self.num_peers < 1 or self.num_helpers < 2:
@@ -55,6 +56,13 @@ class Scenario:
             raise ValueError("epsilon in (0,1], delta in (0,1) required")
         if self.num_stages < 1:
             raise ValueError("num_stages must be >= 1")
+        if self.num_channels < 1 or self.num_helpers < 2 * self.num_channels:
+            # Helpers partition round-robin across channels and the regret
+            # learners need an action set of at least two, so every channel
+            # must receive two or more helpers.
+            raise ValueError(
+                "need num_channels >= 1 and at least two helpers per channel"
+            )
 
     @property
     def u_max(self) -> float:
@@ -102,6 +110,75 @@ def fig5_scenario(num_stages: int = 1500) -> Scenario:
     )
 
 
+def massive_scale_scenario(
+    num_peers: int = 100_000,
+    num_helpers: int = 200,
+    num_channels: int = 4,
+    num_stages: int = 200,
+) -> Scenario:
+    """Population-scale multi-channel scenario for the vectorized runtime.
+
+    Not a paper figure — the regime the ROADMAP's north star targets
+    (10⁵–10⁶ viewers), far beyond what per-object peers can advance.  Use
+    :func:`make_vectorized_system`; the scalar backend at this size is
+    minutes per round.  Demand is set below the per-peer helper share so
+    welfare, not the origin server, is the interesting series; crank
+    ``num_peers`` further to study the load-skew regime.
+    """
+    return Scenario(
+        name="massive-scale",
+        num_peers=num_peers,
+        num_helpers=num_helpers,
+        num_channels=num_channels,
+        demand_per_peer=100.0,
+        num_stages=num_stages,
+    )
+
+
+def make_system_config(scenario: Scenario, **overrides) -> "SystemConfig":
+    """A :class:`~repro.sim.system.SystemConfig` matching ``scenario``.
+
+    ``overrides`` pass through to the config (churn, popularity, ...).
+    """
+    from repro.sim.system import SystemConfig
+
+    bitrate = (
+        scenario.demand_per_peer
+        if scenario.demand_per_peer is not None
+        else 350.0
+    )
+    return SystemConfig(
+        num_peers=scenario.num_peers,
+        num_helpers=scenario.num_helpers,
+        num_channels=scenario.num_channels,
+        channel_bitrates=bitrate,
+        bandwidth_levels=scenario.bandwidth_levels,
+        stay_probability=scenario.stay_probability,
+        **overrides,
+    )
+
+
+def make_vectorized_system(
+    scenario: Scenario, rng: Seedish = None, learner: str = "r2hs", **overrides
+):
+    """A ready-to-run :class:`~repro.runtime.VectorizedStreamingSystem`.
+
+    Builds the system config from the scenario and one learner bank per
+    channel with the scenario's hyper-parameters.
+    """
+    from repro.runtime import VectorizedStreamingSystem, bank_factory
+
+    config = make_system_config(scenario, **overrides)
+    factory = bank_factory(
+        learner,
+        epsilon=scenario.epsilon,
+        delta=scenario.delta,
+        mu=scenario.mu,
+        u_max=scenario.u_max,
+    )
+    return VectorizedStreamingSystem(config, factory, rng=rng)
+
+
 def make_capacity_process(
     scenario: Scenario, rng: Seedish = None
 ) -> MarkovCapacityProcess:
@@ -145,8 +222,8 @@ def heterogeneous_scenario(num_stages: int = 2000) -> Scenario:
 
     Not a paper figure — an extension scenario exercising the asymmetric
     regime where helper selection actually matters for welfare (with
-    symmetric helpers, any non-degenerate rule is near-optimal; see
-    DESIGN.md §8).  Four helpers at levels [1400, 1600, 1800] and four at
+    symmetric helpers, any non-degenerate rule is near-optimal; see the
+    README backend guide).  Four helpers at levels [1400, 1600, 1800] and four at
     [350, 400, 450]; the proportional split is 4:1.
     """
     return Scenario(

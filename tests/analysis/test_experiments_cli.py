@@ -105,6 +105,83 @@ class TestCLI:
             main([])
 
 
+class TestCLIRunCommand:
+    def test_vectorized_backend(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "run",
+                "--backend", "vectorized",
+                "--peers", "50",
+                "--helpers", "5",
+                "--rounds", "30",
+                "--seed", "3",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "backend=vectorized" in text
+        assert "mean_welfare" in text
+
+    def test_scalar_backend_with_baseline_learner(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "run",
+                "--backend", "scalar",
+                "--learner", "uniform",
+                "--peers", "20",
+                "--helpers", "4",
+                "--rounds", "10",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "backend=scalar" in out.getvalue()
+
+    def test_replications_aggregate(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "run",
+                "--peers", "20",
+                "--helpers", "4",
+                "--rounds", "10",
+                "--replications", "3",
+                "--workers", "1",
+            ],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "replications=3" in text
+        assert "std" in text
+
+    def test_backends_agree_on_population_size(self):
+        outs = {}
+        for backend in ("scalar", "vectorized"):
+            out = io.StringIO()
+            main(
+                [
+                    "run",
+                    "--backend", backend,
+                    "--learner", "uniform",
+                    "--peers", "30",
+                    "--helpers", "3",
+                    "--rounds", "5",
+                ],
+                out=out,
+            )
+            outs[backend] = out.getvalue()
+        for text in outs.values():
+            assert "30.000" in text  # mean_online_peers row
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--backend", "gpu"])
+
+
 class TestCLIFigureCommand:
     def test_figure_fig3_prints_table(self):
         out = io.StringIO()

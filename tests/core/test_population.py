@@ -11,6 +11,7 @@ import pytest
 
 from repro.core.population import LearnerPopulation
 from repro.core.r2hs import R2HSLearner
+from repro.core.schedules import harmonic_step
 from repro.game.repeated_game import StaticCapacities
 
 
@@ -52,6 +53,33 @@ class TestUpdateMatchesObjectLearner:
                 assert np.allclose(learner.strategy(), strategies[i], atol=1e-12)
                 learner.observe(int(actions[i]), float(utils[i]))
             pop.observe_all(actions, utils)
+        for i, learner in enumerate(learners):
+            assert np.allclose(
+                pop.strategies()[i], learner.strategy(), atol=1e-10
+            )
+            assert np.allclose(
+                pop.regret_matrices()[i], learner.regret_matrix(), atol=1e-10
+            )
+
+    def test_harmonic_schedule_matches_object_learner(self):
+        """Regret matching (eps_1 = 1) must not degenerate: the stage-1
+        full-forgetting step is the regression guard for the lazy-decay
+        scale (eps = 1 would otherwise zero it and produce NaNs)."""
+        pop = LearnerPopulation(
+            2, 3, schedule=harmonic_step(), delta=0.1, u_max=900.0, rng=0
+        )
+        learners = [
+            R2HSLearner(3, rng=0, schedule=harmonic_step(), delta=0.1, u_max=900.0)
+            for _ in range(2)
+        ]
+        env = np.random.default_rng(8)
+        for _ in range(40):
+            actions = env.integers(0, 3, size=2)
+            utils = env.uniform(100, 900, size=2)
+            for i, learner in enumerate(learners):
+                learner.observe(int(actions[i]), float(utils[i]))
+            pop.observe_all(actions, utils)
+        assert np.all(np.isfinite(pop.strategies()))
         for i, learner in enumerate(learners):
             assert np.allclose(
                 pop.strategies()[i], learner.strategy(), atol=1e-10

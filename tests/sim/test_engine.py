@@ -143,6 +143,94 @@ class TestPeriodic:
             sim.schedule_periodic(0.0, lambda s: None)
 
 
+class TestHeapHygiene:
+    def test_pending_is_tracked_without_scanning(self):
+        sim = Simulator()
+        handles = [sim.schedule(float(i + 1), lambda s: None) for i in range(10)]
+        assert sim.pending == 10
+        for h in handles[:4]:
+            h.cancel()
+        assert sim.pending == 6
+        sim.run()
+        assert sim.pending == 0
+
+    def test_double_cancel_counts_once(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        handle.cancel()
+        handle.cancel()
+        assert sim.pending == 1
+
+    def test_cancel_after_firing_is_harmless(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda s: None)
+        sim.schedule(2.0, lambda s: None)
+        sim.run_until(1.5)
+        handle.cancel()
+        assert sim.pending == 1
+        sim.run()
+        assert sim.pending == 0
+
+    def test_mass_cancellation_compacts_heap(self):
+        """Cancelled entries must not accumulate: once they exceed half the
+        queue the heap is rebuilt without them."""
+        sim = Simulator()
+        keep = [sim.schedule(1000.0 + i, lambda s: None) for i in range(10)]
+        doomed = [sim.schedule(float(i + 1), lambda s: None) for i in range(100)]
+        assert sim.queue_size == 110
+        for h in doomed:
+            h.cancel()
+        assert sim.pending == 10
+        assert sim.queue_size < 30  # lazily-cancelled bulk was dropped
+        fired = []
+        sim.schedule_at(2000.0, lambda s: fired.append(s.now))
+        sim.run()
+        assert fired == [2000.0]
+        assert all(not h.cancelled for h in keep)
+
+    def test_order_preserved_across_compaction(self):
+        sim = Simulator()
+        fired = []
+        for i in range(30):
+            sim.schedule(float(30 - i), lambda s, i=i: fired.append(30 - i))
+        doomed = [sim.schedule(100.0 + i, lambda s: None) for i in range(40)]
+        for h in doomed:
+            h.cancel()
+        sim.run()
+        assert fired == sorted(fired)
+
+
+class TestPeriodicDrift:
+    def test_firings_land_on_absolute_grid(self):
+        """Successive firings must sit at start + k*period exactly, not at
+        accumulated now+period offsets (which drift: 0.1 is not exactly
+        representable)."""
+        sim = Simulator()
+        times = []
+        period = 0.1
+        sim.schedule_periodic(period, lambda s: times.append(s.now))
+        sim.run_until(100.0)
+        assert len(times) >= 999
+        expected = [period + k * period for k in range(len(times))]
+        assert times == expected  # bit-for-bit, no accumulation error
+
+    def test_drifting_would_fail_above_assertion(self):
+        # Sanity check of the test itself: the accumulated form really
+        # does diverge from the absolute grid within 1000 firings.
+        acc = 0.0
+        for _ in range(1000):
+            acc += 0.1
+        assert acc != 1000 * 0.1
+
+    def test_first_delay_grid(self):
+        sim = Simulator()
+        times = []
+        sim.schedule_periodic(2.0, lambda s: times.append(s.now), first_delay=0.5)
+        sim.run_until(8.0)
+        assert times == [0.5, 2.5, 4.5, 6.5]
+
+
 class TestCounters:
     def test_events_processed(self):
         sim = Simulator()

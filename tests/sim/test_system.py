@@ -44,12 +44,21 @@ class TestSystemConfig:
         )
         assert config.bitrate_of(1) == 300.0
 
-    def test_bitrate_length_mismatch(self):
-        config = SystemConfig(
-            num_peers=2, num_helpers=4, num_channels=2, channel_bitrates=[100.0]
-        )
+    def test_bitrate_length_mismatch_fails_at_construction(self):
         with pytest.raises(ValueError):
-            config.bitrate_of(0)
+            SystemConfig(
+                num_peers=2, num_helpers=4, num_channels=2, channel_bitrates=[100.0]
+            )
+
+    def test_nonpositive_bitrate_fails_at_construction(self):
+        with pytest.raises(ValueError):
+            SystemConfig(num_peers=2, num_helpers=2, channel_bitrates=0.0)
+
+    def test_bitrates_normalized_to_tuple(self):
+        config = SystemConfig(
+            num_peers=2, num_helpers=4, num_channels=2, channel_bitrates=250.0
+        )
+        assert config.channel_bitrates == (250.0, 250.0)
 
 
 class TestSingleChannelRun:

@@ -8,9 +8,43 @@ from repro.workloads.scenarios import (
     large_scale_scenario,
     make_capacity_process,
     make_learner_population,
+    make_system_config,
+    make_vectorized_system,
+    massive_scale_scenario,
     run_scenario,
     small_scale_scenario,
 )
+
+
+class TestMassiveScaleScenario:
+    def test_defaults_are_population_scale(self):
+        scenario = massive_scale_scenario()
+        assert scenario.num_peers >= 100_000
+        assert scenario.num_channels > 1
+        assert scenario.num_helpers >= scenario.num_channels
+
+    def test_make_system_config(self):
+        scenario = massive_scale_scenario(
+            num_peers=100, num_helpers=8, num_channels=2, num_stages=10
+        )
+        config = make_system_config(scenario)
+        assert config.num_peers == 100
+        assert config.num_channels == 2
+        assert config.channel_bitrates == (100.0, 100.0)
+
+    def test_vectorized_system_runs(self):
+        scenario = massive_scale_scenario(
+            num_peers=400, num_helpers=8, num_channels=2, num_stages=5
+        )
+        system = make_vectorized_system(scenario, rng=0)
+        trace = system.run(scenario.num_stages)
+        assert trace.num_rounds == 5
+        assert trace.online_peers[-1] == 400
+        assert (trace.loads.sum(axis=1) == 400).all()
+
+    def test_channel_validation(self):
+        with pytest.raises(ValueError):
+            Scenario(name="bad", num_peers=4, num_helpers=2, num_channels=3)
 
 
 class TestCannedScenarios:
