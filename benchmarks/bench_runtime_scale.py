@@ -6,19 +6,35 @@ and times the learning-round loop.  The headline number is the per-round
 speedup at 10k peers / 100 helpers — the scale gate every future scaling
 PR benchmarks against.
 
+``--helpers-scale`` switches to the *environment*-scaling study instead:
+for each H in the grid it times capacity-process advancement (scalar chain
+objects vs. the vectorized engine) and the vectorized system's end-to-end
+round with each environment backend, reporting the capacity-process share
+of round time.  Helpers partition across channels (~50 per channel, like
+``massive_scale_scenario``) so the per-channel regret tensors stay sane at
+H in the thousands.
+
+``--capacity-guard`` is the CI regression gate: a quick H=1000 advancement
+comparison that exits non-zero if the vectorized capacity backend is not
+faster than the scalar one.
+
 Usage::
 
     python benchmarks/bench_runtime_scale.py            # full: 10k peers
     python benchmarks/bench_runtime_scale.py --quick    # CI smoke: 2k peers
-    python benchmarks/bench_runtime_scale.py --output BENCH_runtime.json
+    python benchmarks/bench_runtime_scale.py --helpers-scale
+    python benchmarks/bench_runtime_scale.py --capacity-guard
 
-The JSON report lands in ``BENCH_runtime.json`` (repo root by default)
-and a text table in ``benchmarks/output/``.
+The JSON report lands in ``BENCH_runtime.json`` (repo root by default) as a
+*trajectory* — ``{"schema": 2, "runs": [...]}``, one entry appended per
+invocation (legacy single-snapshot files are wrapped on first append) — and
+a text table in ``benchmarks/output/``.
 """
 
 from __future__ import annotations
 
 import argparse
+import datetime
 import gc
 import json
 import pathlib
@@ -43,6 +59,11 @@ from repro.sim import (  # noqa: E402
 
 OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
 U_MAX = 900.0
+
+#: Target helpers per channel in the helpers-scale study (mirrors
+#: massive_scale_scenario's partitioning; keeps per-channel (N, H, H)
+#: regret tensors feasible at H in the thousands).
+HELPERS_PER_CHANNEL = 50
 
 
 def _build(backend: str, config: SystemConfig, shared: np.ndarray, seed: int):
@@ -112,6 +133,147 @@ def time_backends(
     return results
 
 
+def bench_capacity_advance(num_helpers: int, seed: int) -> dict:
+    """Seconds per environment stage (capacities + advance), per backend."""
+    steps = max(5, min(300, 300_000 // max(1, num_helpers)))
+    out = {"steps": steps}
+    for backend in ("scalar", "vectorized"):
+        process = paper_bandwidth_process(
+            num_helpers, rng=seed, backend=backend
+        )
+        for _ in range(3):  # warmup
+            process.capacities()
+            process.advance()
+        gc.collect()
+        t0 = time.perf_counter()
+        for _ in range(steps):
+            process.capacities()
+            process.advance()
+        out[backend] = (time.perf_counter() - t0) / steps
+    out["speedup"] = out["scalar"] / out["vectorized"]
+    return out
+
+
+def bench_helpers_scale(
+    helpers_grid: list, peers: int, rounds: int, seed: int
+) -> list:
+    """Environment-scaling study on the vectorized runtime.
+
+    For each H: time raw capacity advancement (both backends), then the
+    full system round with each environment backend, and report the
+    capacity-process share of the scalar-environment round.
+    """
+    rows = []
+    for num_helpers in helpers_grid:
+        advance = bench_capacity_advance(num_helpers, seed)
+        channels = max(1, num_helpers // HELPERS_PER_CHANNEL)
+        config = SystemConfig(
+            num_peers=peers,
+            num_helpers=num_helpers,
+            num_channels=channels,
+            channel_bitrates=100.0,
+        )
+        round_s = {}
+        for backend in ("scalar", "vectorized"):
+            gc.collect()
+            system = VectorizedStreamingSystem(
+                config,
+                bank_factory("r2hs", u_max=U_MAX),
+                rng=seed,
+                capacity_backend=backend,
+            )
+            system.run(1)  # warmup
+            t0 = time.perf_counter()
+            system.run(rounds)
+            round_s[backend] = (time.perf_counter() - t0) / rounds
+            del system
+        row = {
+            "helpers": num_helpers,
+            "channels": channels,
+            "peers": peers,
+            "env_s_per_stage": {
+                "scalar": advance["scalar"],
+                "vectorized": advance["vectorized"],
+            },
+            "env_speedup": advance["speedup"],
+            "round_s": round_s,
+            "round_speedup": round_s["scalar"] / round_s["vectorized"],
+            "capacity_share_of_scalar_round": min(
+                1.0, advance["scalar"] / round_s["scalar"]
+            ),
+        }
+        rows.append(row)
+        print(
+            f"  H={num_helpers:5d} C={channels:3d}: env "
+            f"{advance['scalar'] * 1e3:8.3f} -> "
+            f"{advance['vectorized'] * 1e3:8.3f} ms/stage "
+            f"({advance['speedup']:6.1f}x), round "
+            f"{round_s['scalar'] * 1e3:8.2f} -> "
+            f"{round_s['vectorized'] * 1e3:8.2f} ms "
+            f"({row['round_speedup']:4.1f}x, env share "
+            f"{row['capacity_share_of_scalar_round']:.0%})"
+        )
+    return rows
+
+
+def append_run(path: pathlib.Path, run: dict) -> dict:
+    """Append ``run`` to the JSON trajectory at ``path`` (schema 2).
+
+    Legacy single-snapshot reports (the pre-trajectory schema: one dict
+    with ``config``/``results`` at top level) are wrapped as the first
+    run instead of being overwritten.
+    """
+    report = {"schema": 2, "runs": []}
+    if path.exists():
+        try:
+            old = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            # Never silently discard the accumulated history: park the
+            # unreadable file next to the fresh trajectory.
+            backup = path.with_suffix(path.suffix + ".corrupt")
+            try:
+                path.replace(backup)
+                print(
+                    f"  warning: {path.name} is unreadable; saved aside as "
+                    f"{backup.name} and starting a fresh trajectory"
+                )
+            except OSError:
+                print(
+                    f"  warning: {path.name} is unreadable; starting a "
+                    "fresh trajectory"
+                )
+            old = None
+        if isinstance(old, dict):
+            if isinstance(old.get("runs"), list):
+                report["runs"] = old["runs"]
+            elif old:
+                old.setdefault("kind", "round_loop")
+                report["runs"] = [old]
+    run["recorded_at"] = (
+        datetime.datetime.now(datetime.timezone.utc)
+        .isoformat(timespec="seconds")
+    )
+    report["runs"].append(run)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def run_capacity_guard(seed: int) -> int:
+    """CI gate: vectorized capacity advancement must beat scalar at H=1000."""
+    result = bench_capacity_advance(1000, seed)
+    print(
+        f"capacity guard (H=1000): scalar {result['scalar'] * 1e3:.3f} "
+        f"ms/stage, vectorized {result['vectorized'] * 1e3:.3f} ms/stage "
+        f"({result['speedup']:.1f}x)"
+    )
+    if result["speedup"] <= 1.0:
+        print("FAIL: vectorized capacity backend is not faster than scalar")
+        return 1
+    print("OK")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--peers", type=int, default=10_000)
@@ -131,14 +293,70 @@ def main(argv=None) -> int:
         help="time only the vectorized backend (no speedup reported)",
     )
     parser.add_argument(
+        "--helpers-scale",
+        action="store_true",
+        help="environment-scaling study over --helpers-grid instead of the "
+        "scalar-vs-vectorized round loop",
+    )
+    parser.add_argument(
+        "--helpers-grid",
+        type=str,
+        default="100,1000,5000",
+        help="comma-separated helper counts for --helpers-scale",
+    )
+    parser.add_argument(
+        "--capacity-guard",
+        action="store_true",
+        help="CI gate: exit non-zero unless the vectorized capacity backend "
+        "beats scalar at H=1000 (no report written)",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=pathlib.Path(__file__).resolve().parent.parent
         / "BENCH_runtime.json",
     )
     args = parser.parse_args(argv)
+    if args.capacity_guard:
+        return run_capacity_guard(args.seed)
     if args.quick:
         args.peers, args.helpers, args.rounds = 2_000, 20, 3
+        if args.helpers_grid == "100,1000,5000":
+            args.helpers_grid = "100,1000"
+
+    if args.helpers_scale:
+        grid = [int(h) for h in args.helpers_grid.split(",") if h]
+        print(
+            f"bench_runtime_scale --helpers-scale: N={args.peers} "
+            f"H in {grid} rounds={args.rounds}"
+        )
+        rows = bench_helpers_scale(grid, args.peers, args.rounds, args.seed)
+        report = append_run(
+            args.output,
+            {
+                "kind": "helpers_scale",
+                "config": {
+                    "peers": args.peers,
+                    "rounds": args.rounds,
+                    "seed": args.seed,
+                    "learner": "r2hs",
+                    "quick": bool(args.quick),
+                },
+                "results": rows,
+            },
+        )
+        print(f"  wrote {args.output} ({len(report['runs'])} runs)")
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        lines = [
+            f"H={r['helpers']:5d} C={r['channels']:3d}: "
+            f"env {r['env_speedup']:.1f}x, round {r['round_speedup']:.1f}x, "
+            f"env share {r['capacity_share_of_scalar_round']:.0%}"
+            for r in rows
+        ]
+        (OUTPUT_DIR / "bench_helpers_scale.txt").write_text(
+            "\n".join(lines) + "\n"
+        )
+        return 0
 
     config = SystemConfig(
         num_peers=args.peers,
@@ -164,7 +382,8 @@ def main(argv=None) -> int:
             f"({results[name]['rounds_per_s']:.1f} rounds/s)"
         )
 
-    report = {
+    run = {
+        "kind": "round_loop",
         "config": {
             "peers": args.peers,
             "helpers": args.helpers,
@@ -182,12 +401,11 @@ def main(argv=None) -> int:
             results["scalar"]["seconds_per_round"]
             / results["vectorized"]["seconds_per_round"]
         )
-        report["speedup"] = speedup
+        run["speedup"] = speedup
         print(f"  speedup    : {speedup:.1f}x per round")
 
-    args.output.parent.mkdir(parents=True, exist_ok=True)
-    args.output.write_text(json.dumps(report, indent=2) + "\n")
-    print(f"  wrote {args.output}")
+    report = append_run(args.output, run)
+    print(f"  wrote {args.output} ({len(report['runs'])} runs)")
 
     OUTPUT_DIR.mkdir(exist_ok=True)
     lines = [
@@ -195,8 +413,8 @@ def main(argv=None) -> int:
         f"({r['rounds_per_s']:.1f} rounds/s, build {r['build_s']:.2f} s)"
         for name, r in results.items()
     ]
-    if "speedup" in report:
-        lines.append(f"speedup    : {report['speedup']:.1f}x per round")
+    if "speedup" in run:
+        lines.append(f"speedup    : {run['speedup']:.1f}x per round")
     (OUTPUT_DIR / "bench_runtime_scale.txt").write_text("\n".join(lines) + "\n")
     return 0
 

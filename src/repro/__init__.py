@@ -46,6 +46,7 @@ from repro.game import (
 )
 from repro.game.repeated_game import StaticCapacities
 from repro.mdp import (
+    BatchMarkovChains,
     MarkovChain,
     birth_death_chain,
     optimal_welfare_for_state,
@@ -71,6 +72,7 @@ from repro.sim import (
     StreamingSystem,
     SystemConfig,
     TraceCapacityProcess,
+    VectorizedCapacityProcess,
     paper_bandwidth_process,
 )
 from repro.workloads import (
@@ -118,6 +120,8 @@ __all__ = [
     "MarkovCapacityProcess",
     "TraceCapacityProcess",
     "paper_bandwidth_process",
+    "VectorizedCapacityProcess",
+    "BatchMarkovChains",
     "StreamingSystem",
     "SystemConfig",
     "ChurnConfig",

@@ -7,7 +7,13 @@ log.
 """
 
 from repro.analysis.io import load_trajectory, save_trajectory
-from repro.analysis.parallel import CellFunction, ParallelRunner
+from repro.analysis.parallel import (
+    CellFunction,
+    ParallelRunner,
+    SharedArrayHandle,
+    resolve_shared_array,
+    share_array,
+)
 from repro.analysis.sweeps import (
     SweepResult,
     sweep_environment_speed,
@@ -34,6 +40,9 @@ __all__ = [
     "sweep_environment_speed",
     "ParallelRunner",
     "CellFunction",
+    "SharedArrayHandle",
+    "share_array",
+    "resolve_shared_array",
 ]
 
 # Note: repro.analysis.experiments is intentionally not imported here — it

@@ -19,13 +19,195 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import tempfile
 from typing import Callable, List, Mapping, Optional, Sequence
+
+import numpy as np
 
 from repro.analysis.sweeps import SweepCell, SweepResult
 from repro.util.rng import Seedish, as_generator, derive_seed
 
 #: A cell evaluator: ``(parameters, seed) -> {metric_name: value}``.
 CellFunction = Callable[[Mapping[str, object], int], Mapping[str, float]]
+
+#: Handoff modes accepted by :func:`share_array`.
+SHARE_MODES = ("auto", "shm", "file", "inline")
+
+
+class SharedArrayHandle:
+    """A cheap-to-pickle reference to a read-only array shared with workers.
+
+    Fanning a sweep across processes used to serialize the recorded
+    ``(T, H)`` capacity trace into *every* cell payload — O(cells × T × H)
+    pickling for data that is identical everywhere.  A handle carries only
+    placement metadata (a :mod:`multiprocessing.shared_memory` segment
+    name, or an on-disk ``.npy`` path); workers re-materialize the array
+    zero-copy with :meth:`load`.
+
+    The creating process owns the backing storage: call :meth:`cleanup`
+    (or use the handle as a context manager) once the sweep is done.
+    Arrays returned by :meth:`load` are views into the shared backing and
+    stay valid as long as the handle they came from is alive; treat them
+    as read-only.
+    """
+
+    def __init__(self, mode: str, shape, dtype: str, *, shm_name=None,
+                 path=None, array=None) -> None:
+        self._mode = mode
+        self._shape = tuple(shape)
+        self._dtype = str(dtype)
+        self._shm_name = shm_name
+        self._path = path
+        self._array = array
+        self._owner = True
+        self._attached = None
+
+    @property
+    def mode(self) -> str:
+        """Placement: ``"shm"``, ``"file"`` or ``"inline"``."""
+        return self._mode
+
+    @property
+    def shape(self) -> tuple:
+        """Shape of the shared array."""
+        return self._shape
+
+    def __getstate__(self):
+        return {
+            "mode": self._mode,
+            "shape": self._shape,
+            "dtype": self._dtype,
+            "shm_name": self._shm_name,
+            "path": self._path,
+            "array": self._array if self._mode == "inline" else None,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(
+            state["mode"], state["shape"], state["dtype"],
+            shm_name=state["shm_name"], path=state["path"],
+            array=state["array"],
+        )
+        self._owner = False  # unpickled copies must never unlink
+
+    def load(self) -> np.ndarray:
+        """Materialize the array (zero-copy for shm/file placements).
+
+        The result is marked read-only in every mode: the backing is
+        shared across cells (and, for shm, across processes), so an
+        in-place mutation would corrupt every other consumer silently.
+        """
+        if self._mode == "inline":
+            view = self._array.view()
+            view.flags.writeable = False
+            return view
+        if self._mode == "file":
+            return np.load(self._path, mmap_mode="r")
+        if self._attached is None:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(name=self._shm_name)
+            if not self._owner:
+                # Attaching registers the segment with this process's
+                # resource tracker, which would try to unlink it again at
+                # exit (the creator already owns cleanup).  Deregister;
+                # private API, so best-effort.
+                try:  # pragma: no cover - tracker layout varies
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:
+                    pass
+            self._attached = shm
+        view = np.ndarray(
+            self._shape, dtype=np.dtype(self._dtype), buffer=self._attached.buf
+        )
+        view.flags.writeable = False
+        return view
+
+    def close(self) -> None:
+        """Drop this process's attachment (keeps the backing alive)."""
+        if self._attached is not None:
+            self._attached.close()
+            self._attached = None
+
+    def cleanup(self) -> None:
+        """Release the backing storage (owner side; idempotent)."""
+        if self._mode == "shm":
+            self.close()
+            if self._owner and self._shm_name is not None:
+                from multiprocessing import shared_memory
+
+                try:
+                    seg = shared_memory.SharedMemory(name=self._shm_name)
+                except FileNotFoundError:
+                    pass
+                else:
+                    seg.close()
+                    seg.unlink()
+                self._shm_name = None
+        elif self._mode == "file":
+            if self._owner and self._path is not None:
+                try:
+                    os.unlink(self._path)
+                except FileNotFoundError:
+                    pass
+                self._path = None
+        self._array = None
+
+    def __enter__(self) -> "SharedArrayHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.cleanup()
+
+
+def share_array(array: np.ndarray, mode: str = "auto") -> SharedArrayHandle:
+    """Place ``array`` where worker processes can map it without pickling.
+
+    ``mode``:
+
+    * ``"shm"`` — a :mod:`multiprocessing.shared_memory` segment (fastest;
+      lives in RAM/tmpfs);
+    * ``"file"`` — an on-disk ``.npy`` workers memory-map (survives
+      tmpfs-starved hosts and arbitrarily long traces);
+    * ``"inline"`` — no sharing; the array rides inside each pickled
+      payload (the pre-handoff behaviour, fine for tiny traces);
+    * ``"auto"`` — ``"shm"`` when available, else ``"file"``.
+    """
+    arr = np.ascontiguousarray(array)
+    if mode not in SHARE_MODES:
+        raise ValueError(f"mode must be one of {SHARE_MODES}, got {mode!r}")
+    if mode == "inline":
+        return SharedArrayHandle(
+            "inline", arr.shape, arr.dtype.str, array=arr
+        )
+    if mode in ("auto", "shm"):
+        try:
+            from multiprocessing import shared_memory
+
+            shm = shared_memory.SharedMemory(create=True, size=max(1, arr.nbytes))
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+            view[...] = arr
+            handle = SharedArrayHandle(
+                "shm", arr.shape, arr.dtype.str, shm_name=shm.name
+            )
+            handle._attached = shm
+            return handle
+        except (ImportError, OSError):
+            if mode == "shm":
+                raise
+    fd, path = tempfile.mkstemp(suffix=".npy", prefix="repro-trace-")
+    os.close(fd)
+    np.save(path, arr)
+    return SharedArrayHandle("file", arr.shape, arr.dtype.str, path=path)
+
+
+def resolve_shared_array(obj) -> np.ndarray:
+    """Accept a plain array or a :class:`SharedArrayHandle`; return the array."""
+    if isinstance(obj, SharedArrayHandle):
+        return obj.load()
+    return np.asarray(obj)
 
 
 def _invoke(payload):

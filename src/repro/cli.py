@@ -93,6 +93,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="vectorized",
         help="peer representation: Python objects or numpy arrays",
     )
+    runp.add_argument(
+        "--capacity-backend",
+        choices=["auto", "scalar", "vectorized"],
+        default="auto",
+        help="helper-bandwidth environment: per-helper Markov chain objects "
+        "or one array-backed chain bank ('auto' matches --backend)",
+    )
+    runp.add_argument(
+        "--dtype",
+        choices=["float32", "float64"],
+        default="float64",
+        help="learner-bank and peer-store precision (float32 halves the "
+        "regret update's memory traffic; vectorized backend only)",
+    )
     runp.add_argument("--peers", type=int, default=1000)
     runp.add_argument("--helpers", type=int, default=20)
     runp.add_argument("--channels", type=int, default=1)
@@ -148,18 +162,30 @@ def _system_cell(params: Mapping[str, object], seed: int) -> Dict[str, float]:
     epsilon = float(params["epsilon"])
     delta = float(params["delta"])
     mu = params["mu"]
+    capacity_backend = str(params.get("capacity_backend", "auto"))
+    if capacity_backend == "auto":
+        capacity_backend = (
+            "vectorized" if params["backend"] == "vectorized" else "scalar"
+        )
+    dtype = np.dtype(str(params.get("dtype", "float64")))
     start = time.perf_counter()
     if params["backend"] == "vectorized":
         system = VectorizedStreamingSystem(
             config,
-            bank_factory(learner, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max),
+            bank_factory(
+                learner, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max,
+                dtype=dtype,
+            ),
             rng=seed,
+            capacity_backend=capacity_backend,
+            dtype=dtype,
         )
     else:
         system = StreamingSystem(
             config,
             _scalar_learner_factory(learner, epsilon, delta, mu, u_max),
             rng=seed,
+            capacity_backend=capacity_backend,
         )
     trace = system.run(int(params["rounds"]))
     elapsed = time.perf_counter() - start
@@ -200,6 +226,8 @@ def _run_system(args, out) -> None:
         "stay": args.stay,
         "churn_rate": args.churn_rate,
         "mean_lifetime": args.mean_lifetime,
+        "capacity_backend": args.capacity_backend,
+        "dtype": args.dtype,
     }
     runner = ParallelRunner(workers=args.workers)
     cells = runner.run_replications(

@@ -57,6 +57,14 @@ from repro.util.validation import require_positive, require_positive_int
 # ~1e-308 underflow edge, and amortized O(H²/4500) per slot per stage.
 _SCALE_FLOOR = 1e-100
 
+# float32 storage holds entries of magnitude ~1/scale, so the renorm must
+# fire long before 1/scale approaches float32's ~3.4e38 overflow edge.  At
+# 1e-12 the stored tensor stays within ~1e14 of unit scale (7 significant
+# digits of float32 leave the *relative* regret error at the 1e-7 level —
+# rescaling preserves relative error), and with eps = 0.05 the renorm
+# triggers roughly every 540 stages: amortized O(H²/540) per slot.
+_SCALE_FLOOR32 = 1e-12
+
 # Stage updates run in blocks of this many slots so the ~10 per-stage
 # (block, H) temporaries stay cache-resident instead of streaming through
 # DRAM (measurably faster from ~50k touched elements per pass up).
@@ -78,6 +86,15 @@ class LearnerPopulation:
     rng:
         One generator drives the whole population (actions are sampled as a
         single ``(N,)`` uniform draw per stage).
+    dtype:
+        Storage dtype of the regret tensor, strategies and played-regret
+        rows (``numpy.float64`` default).  ``numpy.float32`` halves the
+        memory traffic of the stage update — the dominant cost at scale —
+        at ~1e-7 relative arithmetic error per stage (see the float32
+        equivalence test for the drift this implies over long runs).  The
+        lazy-decay ``scale`` vector stays float64 either way (it is O(N)
+        and carries the accumulated forgetting factor), and the renorm
+        floor rises so the stored tensor never overflows float32.
     """
 
     def __init__(
@@ -90,6 +107,7 @@ class LearnerPopulation:
         u_max: float = 1.0,
         rng: Seedish = None,
         schedule: Optional[StepSchedule] = None,
+        dtype=np.float64,
     ) -> None:
         self._n = require_positive_int(num_peers, "num_peers")
         self._h = require_positive_int(num_helpers, "num_helpers")
@@ -108,14 +126,22 @@ class LearnerPopulation:
         self._delta = float(delta)
         self._u_max = require_positive(u_max, "u_max")
         self._rng = as_generator(rng)
+        self._dtype = np.dtype(dtype)
+        if self._dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"dtype must be float32 or float64, got {self._dtype}"
+            )
+        self._scale_floor = (
+            _SCALE_FLOOR32 if self._dtype == np.dtype(np.float32) else _SCALE_FLOOR
+        )
         # Transposed storage: _s[i, k, j] = S_i(j, k); see module docstring.
-        self._s = np.zeros((self._n, self._h, self._h))
+        self._s = np.zeros((self._n, self._h, self._h), dtype=self._dtype)
         self._scale = np.ones(self._n)
-        self._probs = np.full((self._n, self._h), 1.0 / self._h)
+        self._probs = np.full((self._n, self._h), 1.0 / self._h, dtype=self._dtype)
         self._stage = 0
         self._stages = np.zeros(self._n, dtype=np.int64)
         self._peer_index = np.arange(self._n)
-        self._last_played_regrets = np.zeros((self._n, self._h))
+        self._last_played_regrets = np.zeros((self._n, self._h), dtype=self._dtype)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -135,6 +161,11 @@ class LearnerPopulation:
     def stage(self) -> int:
         """Whole-population stages completed (``observe_all`` calls)."""
         return self._stage
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the regret tensor and strategies."""
+        return self._dtype
 
     def slot_stages(self) -> np.ndarray:
         """Per-slot stage counters, shape ``(N,)`` (copy)."""
@@ -191,17 +222,23 @@ class LearnerPopulation:
             return
         old = self._n
         self._s = np.concatenate(
-            [self._s, np.zeros((capacity - old, self._h, self._h))]
+            [self._s, np.zeros((capacity - old, self._h, self._h), dtype=self._dtype)]
         )
         self._scale = np.concatenate([self._scale, np.ones(capacity - old)])
         self._probs = np.concatenate(
-            [self._probs, np.full((capacity - old, self._h), 1.0 / self._h)]
+            [
+                self._probs,
+                np.full((capacity - old, self._h), 1.0 / self._h, dtype=self._dtype),
+            ]
         )
         self._stages = np.concatenate(
             [self._stages, np.zeros(capacity - old, dtype=np.int64)]
         )
         self._last_played_regrets = np.concatenate(
-            [self._last_played_regrets, np.zeros((capacity - old, self._h))]
+            [
+                self._last_played_regrets,
+                np.zeros((capacity - old, self._h), dtype=self._dtype),
+            ]
         )
         self._n = int(capacity)
         self._peer_index = np.arange(self._n)
@@ -270,7 +307,7 @@ class LearnerPopulation:
         # (Ops below fuse into existing buffers where possible — at scale
         # the round cost is memory traffic, not flops.)
         decay = 1.0 - eps
-        wiped = decay < _SCALE_FLOOR
+        wiped = decay < self._scale_floor
         if np.any(wiped):
             # eps ≈ 1 (e.g. harmonic_step at stage 1) erases all history:
             # the recursion degenerates to S = eps * increment.  Reset the
@@ -313,7 +350,7 @@ class LearnerPopulation:
         self._probs[slots] = q
 
         # Fold nearly-underflowed scales back into the stored tensors.
-        tiny = scale < _SCALE_FLOOR
+        tiny = scale < self._scale_floor
         if np.any(tiny):
             idx = slots[tiny]
             self._s[idx] *= self._scale[idx][:, None, None]

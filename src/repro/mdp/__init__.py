@@ -17,7 +17,13 @@ Contents
 """
 
 from repro.mdp.cooperative import build_cooperative_mdp
-from repro.mdp.markov_chain import MarkovChain, birth_death_chain, lazy_uniform_chain
+from repro.mdp.markov_chain import (
+    BatchMarkovChains,
+    MarkovChain,
+    birth_death_chain,
+    birth_death_transition,
+    lazy_uniform_chain,
+)
 from repro.mdp.occupation_lp import (
     CentralizedMDPSolution,
     decomposed_optimum,
@@ -38,7 +44,9 @@ from repro.mdp.value_iteration import (
 
 __all__ = [
     "MarkovChain",
+    "BatchMarkovChains",
     "birth_death_chain",
+    "birth_death_transition",
     "lazy_uniform_chain",
     "CentralizedMDPSolution",
     "solve_occupation_lp",

@@ -19,7 +19,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.util.rng import Seedish, as_generator
+from repro.util.rng import Seedish, as_generator, spawn_many
 from repro.util.validation import (
     require_in_closed_unit_interval,
     require_probability_vector,
@@ -150,6 +150,28 @@ def stationary_distribution(transition: np.ndarray) -> np.ndarray:
     return pi / total
 
 
+def birth_death_transition(
+    num_states: int, stay_probability: float
+) -> np.ndarray:
+    """The nearest-neighbour transition matrix behind :func:`birth_death_chain`."""
+    if num_states < 2:
+        raise ValueError("need at least two states")
+    stay = require_in_closed_unit_interval(stay_probability, "stay_probability")
+    n = int(num_states)
+    move = 1.0 - stay
+    p = np.zeros((n, n))
+    for s in range(n):
+        p[s, s] = stay
+        if s == 0:
+            p[s, 1] += move
+        elif s == n - 1:
+            p[s, n - 2] += move
+        else:
+            p[s, s - 1] += move / 2
+            p[s, s + 1] += move / 2
+    return p
+
+
 def birth_death_chain(
     levels: Sequence[float],
     stay_probability: float = 0.9,
@@ -167,19 +189,7 @@ def birth_death_chain(
     values = np.asarray(levels, dtype=float)
     if values.ndim != 1 or values.size < 2:
         raise ValueError("levels must be a 1-D sequence of at least two values")
-    stay = require_in_closed_unit_interval(stay_probability, "stay_probability")
-    n = values.size
-    move = 1.0 - stay
-    p = np.zeros((n, n))
-    for s in range(n):
-        p[s, s] = stay
-        if s == 0:
-            p[s, 1] += move
-        elif s == n - 1:
-            p[s, n - 2] += move
-        else:
-            p[s, s - 1] += move / 2
-            p[s, s + 1] += move / 2
+    p = birth_death_transition(values.size, stay_probability)
     return MarkovChain(transition=p, states=values, rng=rng, initial=initial)
 
 
@@ -197,6 +207,291 @@ def lazy_uniform_chain(
     p = np.full((n, n), (1.0 - stay) / (n - 1))
     np.fill_diagonal(p, stay)
     return MarkovChain(transition=p, states=values, rng=rng)
+
+
+class BatchMarkovChains:
+    """``H`` independent finite Markov chains advanced in lock-step.
+
+    The scalar :class:`MarkovChain` is one Python object per chain; stepping
+    ``H`` of them costs ``H`` ``rng.choice`` calls per stage, which dominates
+    environment advancement once ``H`` reaches the thousands.  This class
+    keeps the whole bank in arrays:
+
+    * ``state`` — ``(H,)`` current state indices,
+    * ``group`` — ``(H,)`` index into a small set of *chain groups*; chains
+      in a group share a transition matrix and level values (the paper's
+      environment is one group; the heterogeneous scenario is two),
+    * per-group transition matrices ``(G, S, S)`` with precomputed
+      cumulative rows, so one stage is a single ``rng.random(H)`` draw plus
+      an inverse-CDF lookup — no per-chain Python.
+
+    The sample paths are exact: each chain follows its own transition law,
+    and chains are independent because each consumes its own uniform per
+    stage.  Only the RNG *stream layout* differs from a bank of scalar
+    chains (one shared generator here, one child generator each there), so
+    agreement with scalar banks is distributional — pinned by the
+    stationary-occupancy and switching-rate tests.
+
+    Parameters
+    ----------
+    transitions:
+        ``(S, S)`` matrix shared by every chain, or ``(G, S, S)`` stacked
+        per-group matrices (each row-stochastic).
+    values:
+        Per-state labels/values: ``(S,)`` shared, or ``(G, S)`` per group.
+    num_chains:
+        Number of chains ``H`` when ``groups`` is omitted.
+    groups:
+        Optional ``(H,)`` group index per chain; required when
+        ``transitions`` is 3-D with ``G > 1``.
+    rng:
+        One generator drives the whole bank.
+    initial_states:
+        Optional ``(H,)`` explicit starting states; defaults to one draw
+        per chain from its group's stationary distribution (matching the
+        scalar chain's steady-state start).
+    """
+
+    def __init__(
+        self,
+        transitions: np.ndarray,
+        values: np.ndarray,
+        num_chains: Optional[int] = None,
+        groups: Optional[Sequence[int]] = None,
+        rng: Seedish = None,
+        initial_states: Optional[Sequence[int]] = None,
+    ) -> None:
+        p = np.asarray(transitions, dtype=float)
+        if p.ndim == 2:
+            p = p[None]
+        if p.ndim != 3 or p.shape[1] != p.shape[2]:
+            raise ValueError("transitions must be (S, S) or (G, S, S)")
+        for g in range(p.shape[0]):
+            require_stochastic_matrix(p[g], f"transitions[{g}]")
+        num_groups, num_states = p.shape[0], p.shape[1]
+
+        vals = np.asarray(values, dtype=float)
+        if vals.ndim == 1 and vals.shape == (num_states,):
+            vals = np.broadcast_to(vals, (num_groups, num_states)).copy()
+        if vals.shape != (num_groups, num_states):
+            raise ValueError(
+                f"values must be ({num_states},) or {(num_groups, num_states)}, "
+                f"got shape {vals.shape}"
+            )
+
+        if groups is None:
+            if num_groups != 1:
+                raise ValueError("groups is required with more than one group")
+            if num_chains is None:
+                raise ValueError("pass num_chains (or groups)")
+            if num_chains < 1:
+                raise ValueError("num_chains must be >= 1")
+            group = np.zeros(int(num_chains), dtype=np.intp)
+        else:
+            group = np.asarray(groups, dtype=np.intp)
+            if group.ndim != 1 or group.size == 0:
+                raise ValueError("groups must be a non-empty 1-D sequence")
+            if group.min() < 0 or group.max() >= num_groups:
+                raise ValueError("group index out of range")
+            if num_chains is not None and num_chains != group.size:
+                raise ValueError("num_chains disagrees with len(groups)")
+
+        self._p = p
+        self._cum = np.cumsum(p, axis=2)
+        self._cum[:, :, -1] = 1.0  # guard fp drift in the last column
+        self._values = vals
+        self._group = group
+        self._h = int(group.size)
+        self._s = int(num_states)
+        self._rng = as_generator(rng)
+        self._stationary = np.stack(
+            [stationary_distribution(p[g]) for g in range(num_groups)]
+        )
+        if initial_states is None:
+            init_cum = np.cumsum(self._stationary, axis=1)[group]
+            init_cum[:, -1] = 1.0
+            self._state = self._inverse_cdf(init_cum, self._rng.random(self._h))
+        else:
+            state = np.asarray(initial_states, dtype=np.intp)
+            if state.shape != (self._h,):
+                raise ValueError(f"initial_states must have shape ({self._h},)")
+            if state.min() < 0 or state.max() >= self._s:
+                raise ValueError("initial state index out of range")
+            self._state = state.copy()
+
+    @staticmethod
+    def _inverse_cdf(cum_rows: np.ndarray, draws: np.ndarray) -> np.ndarray:
+        """Per-row inverse CDF: first index where ``cum >= draw``."""
+        idx = (cum_rows < draws[:, None]).sum(axis=1)
+        return np.minimum(idx, cum_rows.shape[1] - 1)
+
+    @property
+    def num_chains(self) -> int:
+        """Number of chains ``H``."""
+        return self._h
+
+    @property
+    def num_states(self) -> int:
+        """States per chain ``S``."""
+        return self._s
+
+    @property
+    def num_groups(self) -> int:
+        """Number of distinct chain groups ``G``."""
+        return self._p.shape[0]
+
+    @property
+    def state_indices(self) -> np.ndarray:
+        """Current state indices, shape ``(H,)`` (copy)."""
+        return self._state.copy()
+
+    @property
+    def groups(self) -> np.ndarray:
+        """Group index of each chain, shape ``(H,)`` (copy)."""
+        return self._group.copy()
+
+    def state_values(self) -> np.ndarray:
+        """Current per-chain state values, shape ``(H,)``."""
+        return self._values[self._group, self._state]
+
+    def set_states(self, indices: Sequence[int]) -> None:
+        """Force all chains into the given states (tests/scenarios)."""
+        state = np.asarray(indices, dtype=np.intp)
+        if state.shape != (self._h,):
+            raise ValueError(f"indices must have shape ({self._h},)")
+        if state.size and (state.min() < 0 or state.max() >= self._s):
+            raise ValueError("state index out of range")
+        self._state = state.copy()
+
+    def step(self) -> np.ndarray:
+        """Advance every chain one step; returns the new state indices."""
+        rows = self._cum[self._group, self._state]
+        self._state = self._inverse_cdf(rows, self._rng.random(self._h))
+        return self._state
+
+    def sample_value_paths(self, length: int) -> np.ndarray:
+        """Record ``length`` stages of state values in one shot.
+
+        Returns a ``(length, H)`` array whose row ``t`` holds the values
+        *before* the ``t``-th step — i.e. row 0 is the current state and the
+        bank ends ``length`` steps ahead, exactly the contract of
+        :func:`repro.sim.bandwidth.record_capacity_trace`.  The uniforms are
+        drawn as one ``(length, H)`` block, which consumes the generator in
+        the same order as ``length`` separate :meth:`step` calls, so the
+        fast path is stream-identical to the loop.
+        """
+        if length < 1:
+            raise ValueError("length must be >= 1")
+        draws = self._rng.random((length, self._h))
+        out = np.empty((length, self._h))
+        state = self._state
+        for t in range(length):
+            out[t] = self._values[self._group, state]
+            state = self._inverse_cdf(self._cum[self._group, state], draws[t])
+        self._state = state
+        return out
+
+    def stationary_distributions(self) -> np.ndarray:
+        """Per-group stationary distributions, shape ``(G, S)`` (copy)."""
+        return self._stationary.copy()
+
+    def expected_state_values(self) -> np.ndarray:
+        """Stationary expectation of each chain's value, shape ``(H,)``."""
+        per_group = np.einsum("gs,gs->g", self._stationary, self._values)
+        return per_group[self._group]
+
+    def minimum_values(self) -> np.ndarray:
+        """Lowest level of each chain, shape ``(H,)``."""
+        return self._values.min(axis=1)[self._group]
+
+    @classmethod
+    def birth_death(
+        cls,
+        levels: Sequence[float],
+        num_chains: int,
+        stay_probability: float = 0.9,
+        rng: Seedish = None,
+        initial_states: Optional[Sequence[int]] = None,
+    ) -> "BatchMarkovChains":
+        """``num_chains`` independent copies of the paper's slow chain.
+
+        The batch analogue of building ``num_chains`` separate
+        :func:`birth_death_chain` objects.
+        """
+        values = np.asarray(levels, dtype=float)
+        if values.ndim != 1 or values.size < 2:
+            raise ValueError("levels must be a 1-D sequence of at least two values")
+        transition = birth_death_transition(values.size, stay_probability)
+        return cls(
+            transition,
+            values,
+            num_chains=num_chains,
+            rng=rng,
+            initial_states=initial_states,
+        )
+
+    def to_chains(self, rng: Seedish = None) -> list:
+        """Materialize scalar :class:`MarkovChain` views of every chain.
+
+        The inverse of :meth:`from_chains`: each returned chain carries its
+        group's transition matrix and values and starts in the batch's
+        *current* state.  Use for analysis code written against scalar
+        chains (e.g. the symmetric-optimum solver); the returned chains get
+        fresh child generators from ``rng``, so stepping them does not
+        touch the batch stream.
+        """
+        parent = as_generator(rng)
+        children = spawn_many(parent, self._h)
+        chains = []
+        for i, child in enumerate(children):
+            g = int(self._group[i])
+            chain = MarkovChain(
+                transition=self._p[g].copy(),
+                states=self._values[g].copy(),
+                rng=child,
+            )
+            chain.set_state(int(self._state[i]))
+            chains.append(chain)
+        return chains
+
+    @classmethod
+    def from_chains(
+        cls,
+        chains: Sequence[MarkovChain],
+        rng: Seedish = None,
+    ) -> "BatchMarkovChains":
+        """Batch a bank of scalar chains, preserving their current states.
+
+        Chains with identical ``(transition, states)`` pairs collapse into
+        one group; all chains must have the same number of states.  The
+        scalar chains' generators are *not* carried over — pass ``rng`` for
+        the batch stream.
+        """
+        if not chains:
+            raise ValueError("need at least one chain")
+        num_states = chains[0].num_states
+        if any(c.num_states != num_states for c in chains):
+            raise ValueError("all chains must have the same number of states")
+        keys: dict = {}
+        transitions: list = []
+        values: list = []
+        group = np.empty(len(chains), dtype=np.intp)
+        for i, chain in enumerate(chains):
+            key = (chain.transition.tobytes(), chain.states.tobytes())
+            g = keys.get(key)
+            if g is None:
+                g = len(transitions)
+                keys[key] = g
+                transitions.append(chain.transition)
+                values.append(chain.states)
+            group[i] = g
+        return cls(
+            np.stack(transitions),
+            np.stack(values),
+            groups=group,
+            rng=rng,
+            initial_states=[c.state_index for c in chains],
+        )
 
 
 def product_stationary(chains: Sequence[MarkovChain]) -> np.ndarray:

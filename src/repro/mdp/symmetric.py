@@ -139,8 +139,15 @@ def solve_symmetric_optimum(
     """``sum_y pi(y) * W*(y)`` with the per-state optimum in closed form.
 
     Exact for any ``N``; joint state space must stay under ``state_limit``
-    (3 bandwidth levels and H <= 10 helpers is 59049 states).
+    (3 bandwidth levels and H <= 10 helpers is 59049 states).  Accepts a
+    sequence of scalar chains or a
+    :class:`~repro.mdp.markov_chain.BatchMarkovChains` bank (the
+    vectorized capacity engine's representation).
     """
+    from repro.mdp.markov_chain import BatchMarkovChains
+
+    if isinstance(chains, BatchMarkovChains):
+        chains = chains.to_chains()
     if not chains:
         raise ValueError("need at least one helper chain")
     if num_peers < 1:

@@ -136,6 +136,7 @@ class RegretBank(_RowBank):
         u_max: float = 1.0,
         schedule: Optional[StepSchedule] = None,
         initial_rows: int = _INITIAL_ROWS,
+        dtype=np.float64,
     ) -> None:
         super().__init__(initial_rows)
         self._pop = LearnerPopulation(
@@ -147,6 +148,7 @@ class RegretBank(_RowBank):
             u_max=u_max,
             rng=rng,
             schedule=schedule,
+            dtype=dtype,
         )
 
     @property
@@ -191,6 +193,7 @@ class RTHSBank(RegretBank):
         delta: float = 0.1,
         u_max: float = 1.0,
         initial_rows: int = _INITIAL_ROWS,
+        dtype=np.float64,
     ) -> None:
         super().__init__(
             num_actions,
@@ -201,6 +204,7 @@ class RTHSBank(RegretBank):
             u_max=u_max,
             schedule=None,
             initial_rows=initial_rows,
+            dtype=dtype,
         )
 
 
@@ -301,21 +305,27 @@ def bank_factory(
     delta: float = 0.1,
     u_max: float = 900.0,
     switch_probability: float = 0.01,
+    dtype=np.float64,
 ) -> BankFactory:
     """Build a :data:`BankFactory` by name.
 
     ``kind`` is one of ``"rths"``, ``"r2hs"``, ``"uniform"``, ``"sticky"``.
     The hyper-parameters mirror the scalar learners; ``u_max`` defaults to
-    the paper's maximum helper capacity (900 kbit/s).
+    the paper's maximum helper capacity (900 kbit/s).  ``dtype`` selects
+    the regret banks' storage precision (float32 opt-in; see
+    :class:`~repro.core.population.LearnerPopulation`); the stateless
+    baselines ignore it.
     """
     kind = kind.lower()
     if kind == "rths":
         return lambda h, rng: RTHSBank(
-            h, rng=rng, epsilon=epsilon, mu=mu, delta=delta, u_max=u_max
+            h, rng=rng, epsilon=epsilon, mu=mu, delta=delta, u_max=u_max,
+            dtype=dtype,
         )
     if kind == "r2hs":
         return lambda h, rng: R2HSBank(
-            h, rng=rng, epsilon=epsilon, mu=mu, delta=delta, u_max=u_max
+            h, rng=rng, epsilon=epsilon, mu=mu, delta=delta, u_max=u_max,
+            dtype=dtype,
         )
     if kind == "uniform":
         return lambda h, rng: UniformBank(h, rng=rng)

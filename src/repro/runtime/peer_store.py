@@ -41,15 +41,28 @@ class PeerStore:
 
     Mutating these arrays directly is allowed for round-loop hot paths
     (the vectorized system does); slot lifecycle must go through
-    :meth:`allocate` / :meth:`release`.
+    :meth:`allocate` / :meth:`release`.  Note the vectorized system
+    memoizes its round grouping over ``channel`` / ``demand`` /
+    ``online`` / ``bank_row`` — after editing those columns from outside,
+    call :meth:`~repro.runtime.system.VectorizedStreamingSystem.invalidate_round_cache`.
+
+    ``dtype`` (``numpy.float64`` default, ``numpy.float32`` opt-in) sets
+    the precision of the rate columns (``demand`` / ``cumulative_rate`` /
+    ``cumulative_deficit``) — the arrays the round loop streams through
+    every round.  Timestamps (``joined_at`` / ``left_at``) stay float64:
+    they are cold and lose whole simulation seconds in float32 once the
+    clock passes ~2²⁴.
     """
 
-    def __init__(self, initial_capacity: int = 64) -> None:
+    def __init__(self, initial_capacity: int = 64, dtype=np.float64) -> None:
         if initial_capacity < 1:
             raise ValueError("initial_capacity must be >= 1")
+        dtype = np.dtype(dtype)
+        if dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(f"dtype must be float32 or float64, got {dtype}")
         cap = int(initial_capacity)
         self.channel = np.full(cap, -1, dtype=np.int64)
-        self.demand = np.zeros(cap)
+        self.demand = np.zeros(cap, dtype=dtype)
         self.online = np.zeros(cap, dtype=bool)
         self.bank_row = np.full(cap, -1, dtype=np.int64)
         self.generation = np.zeros(cap, dtype=np.int64)
@@ -57,8 +70,9 @@ class PeerStore:
         self.joined_at = np.zeros(cap)
         self.left_at = np.full(cap, np.nan)
         self.rounds_participated = np.zeros(cap, dtype=np.int64)
-        self.cumulative_rate = np.zeros(cap)
-        self.cumulative_deficit = np.zeros(cap)
+        self.cumulative_rate = np.zeros(cap, dtype=dtype)
+        self.cumulative_deficit = np.zeros(cap, dtype=dtype)
+        self._dtype = dtype
         self._capacity = cap
         self._size = 0              # slots ever touched (fresh watermark)
         self._free: List[int] = []  # released slots, LIFO
@@ -73,6 +87,11 @@ class PeerStore:
     def capacity(self) -> int:
         """Allocated array length."""
         return self._capacity
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Float dtype of the rate columns."""
+        return self._dtype
 
     @property
     def size(self) -> int:

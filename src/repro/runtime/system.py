@@ -59,6 +59,19 @@ class VectorizedStreamingSystem:
     initial_channels:
         Optional explicit channel per initial peer (for paired
         scalar-vs-vectorized runs); defaults to popularity-weighted draws.
+    capacity_backend:
+        Backend for the default environment when ``capacity_process`` is
+        omitted: ``"vectorized"`` (default — one
+        :class:`~repro.sim.bandwidth.VectorizedCapacityProcess` draw per
+        round regardless of ``H``) or ``"scalar"`` (per-helper chains, the
+        pre-engine behaviour).
+    dtype:
+        Float dtype of the per-peer accumulator columns
+        (:class:`~repro.runtime.peer_store.PeerStore` ``demand`` /
+        ``cumulative_rate`` / ``cumulative_deficit``).  ``numpy.float32``
+        halves their memory traffic; pair it with a float32 bank via
+        ``bank_factory(..., dtype=np.float32)`` for the full effect.
+        Round records stay float64.
     """
 
     def __init__(
@@ -68,6 +81,8 @@ class VectorizedStreamingSystem:
         rng: Seedish = None,
         capacity_process=None,
         initial_channels: Optional[Sequence[int]] = None,
+        capacity_backend: str = "vectorized",
+        dtype=np.float64,
     ) -> None:
         self._config = config
         self._rng = as_generator(rng)
@@ -80,6 +95,9 @@ class VectorizedStreamingSystem:
         )
         self._round_index = 0
         self._population_changed = False
+        # Memoized round grouping (see _round_grouping): valid until the
+        # population changes.
+        self._grouping = None
 
         if capacity_process is None:
             capacity_process = paper_bandwidth_process(
@@ -87,10 +105,18 @@ class VectorizedStreamingSystem:
                 levels=config.bandwidth_levels,
                 stay_probability=config.stay_probability,
                 rng=spawn(self._rng),
+                backend=capacity_backend,
             )
         if capacity_process.num_helpers != config.num_helpers:
             raise ValueError("capacity process size does not match num_helpers")
         self._capacity_process = capacity_process
+        # minimum_capacities() is a per-helper *lower bound over time* —
+        # constant for every process implementation (chain level sets and
+        # recorded traces are fixed at construction) — so its sum, the only
+        # thing the round loop needs, is computed once.
+        self._min_caps_sum = float(
+            np.asarray(capacity_process.minimum_capacities()).sum()
+        )
 
         # Channels, popularity, helper partition (identical to scalar).
         self._channel_weights = normalized_channel_weights(
@@ -131,7 +157,9 @@ class VectorizedStreamingSystem:
             self._banks.append(bank)
 
         # Initial population, bulk-allocated.
-        self._store = PeerStore(initial_capacity=max(64, config.num_peers))
+        self._store = PeerStore(
+            initial_capacity=max(64, config.num_peers), dtype=dtype
+        )
         self._uid_slot: dict[int, int] = {}
         if initial_channels is not None:
             if len(initial_channels) != config.num_peers:
@@ -207,6 +235,7 @@ class VectorizedStreamingSystem:
     def _churn_join(self) -> int:
         uid = self._create_peer()
         self._population_changed = True
+        self._grouping = None
         return uid
 
     def _churn_leave(self, uid: int) -> None:
@@ -218,6 +247,7 @@ class VectorizedStreamingSystem:
         )
         self._store.release(slot, now=self._sim.now)
         self._population_changed = True
+        self._grouping = None
 
     def _switch_once(self) -> Optional[int]:
         """One viewer channel switch; returns the replacement's uid."""
@@ -229,6 +259,7 @@ class VectorizedStreamingSystem:
         uid = self._create_peer()
         self._channel_switches += 1
         self._population_changed = True
+        self._grouping = None
         return uid
 
     # ------------------------------------------------------------------
@@ -280,36 +311,72 @@ class VectorizedStreamingSystem:
         """Currently online peers."""
         return self._store.num_online
 
+    def invalidate_round_cache(self) -> None:
+        """Drop the memoized per-channel round grouping.
+
+        The round loop caches which slots are online, their per-channel
+        bank rows, and their demand totals until the population changes
+        (churn and channel switches invalidate automatically).  Call this
+        after mutating the grouping-defining store columns directly —
+        ``channel``, ``demand``, ``online`` or ``bank_row`` — so the next
+        round observes the edit; the accumulator columns
+        (``cumulative_rate`` etc.) are not cached and need no
+        invalidation.
+        """
+        self._grouping = None
+
     # ------------------------------------------------------------------
     # The learning round
     # ------------------------------------------------------------------
+
+    def _round_grouping(self):
+        """Per-channel round grouping, memoized until the population changes.
+
+        Returns ``(online, groups, demand_online, total_demand)`` with
+        ``groups`` a list of ``(channel, idx, rows)`` — ``idx`` the
+        positions of the channel's peers inside ``online``, ``rows`` their
+        bank rows.  All of it is a pure function of the online population
+        (slots, channels, bank rows and demands are fixed for a live
+        peer), so churn-free stretches pay the grouping scan exactly once
+        instead of every round.
+        """
+        if self._grouping is None:
+            store = self._store
+            online = store.online_slots()
+            channel_of = store.channel[online]
+            groups = []
+            for c in range(self._config.num_channels):
+                idx = np.flatnonzero(channel_of == c)
+                if not idx.size:
+                    continue
+                groups.append((c, idx, store.bank_row[online[idx]]))
+            demand_online = store.demand[online]
+            self._grouping = (
+                online, groups, demand_online, float(demand_online.sum())
+            )
+        return self._grouping
 
     def _execute_round(self, _: Simulator) -> None:
         config = self._config
         store = self._store
         num_helpers = config.num_helpers
         caps = np.asarray(self._capacity_process.capacities(), dtype=float)
-        online = store.online_slots()
+        online, groups, demand_online, total_demand = self._round_grouping()
         n = online.size
 
         # 1. Every online peer draws a helper from its channel's bank.
         helper_global = np.empty(n, dtype=np.int64)
-        channel_of = store.channel[online]
-        per_channel: List[tuple] = []  # (channel, mask, rows, local actions)
-        for c in range(config.num_channels):
-            mask = channel_of == c
-            if not mask.any():
-                continue
-            rows = store.bank_row[online[mask]]
+        per_channel: List[tuple] = []  # (channel, idx, rows, local actions)
+        for c, idx, rows in groups:
             local = self._banks[c].act(rows)
-            helper_global[mask] = self._channel_helpers[c][local]
-            per_channel.append((c, mask, rows, local))
+            helper_global[idx] = self._channel_helpers[c][local]
+            per_channel.append((c, idx, rows, local))
         loads = np.bincount(helper_global, minlength=num_helpers)
 
         # 2./3. Shares realize; the server covers deficits.
         if n:
             shares = caps[helper_global] / loads[helper_global]
-            deficits = np.maximum(0.0, store.demand[online] - shares)
+            deficits = np.maximum(0.0, demand_online - shares)
             total_share = float(shares.sum())
             total_deficit_requested = float(deficits.sum())
         else:
@@ -320,15 +387,13 @@ class VectorizedStreamingSystem:
         granted = self._server.serve(total_deficit_requested)
 
         # 4. Banks observe the raw helper shares (the game utility).
-        for c, mask, rows, local in per_channel:
-            self._banks[c].observe(rows, local, shares[mask])
+        for c, idx, rows, local in per_channel:
+            self._banks[c].observe(rows, local, shares[idx])
         store.rounds_participated[online] += 1
         store.cumulative_rate[online] += shares
         store.cumulative_deficit[online] += deficits
 
-        total_demand = float(store.demand[online].sum())
-        min_caps = self._capacity_process.minimum_capacities()
-        min_deficit = max(0.0, total_demand - float(min_caps.sum()))
+        min_deficit = max(0.0, total_demand - self._min_caps_sum)
         record = RoundRecord(
             time=self._sim.now,
             capacities=caps,

@@ -13,9 +13,11 @@
 """
 
 from repro.sim.bandwidth import (
+    CAPACITY_BACKENDS,
     PAPER_BANDWIDTH_LEVELS,
     MarkovCapacityProcess,
     TraceCapacityProcess,
+    VectorizedCapacityProcess,
     paper_bandwidth_process,
     record_capacity_trace,
 )
@@ -34,6 +36,8 @@ __all__ = [
     "EventHandle",
     "PAPER_BANDWIDTH_LEVELS",
     "MarkovCapacityProcess",
+    "VectorizedCapacityProcess",
+    "CAPACITY_BACKENDS",
     "TraceCapacityProcess",
     "paper_bandwidth_process",
     "record_capacity_trace",

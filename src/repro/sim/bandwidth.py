@@ -2,23 +2,43 @@
 
 The paper's evaluation drives each helper's available upload bandwidth with
 an independent, slowly-switching ergodic Markov chain over the levels
-``[700, 800, 900]`` kbit/s.  :class:`MarkovCapacityProcess` implements the
-:class:`repro.game.repeated_game.CapacityProcess` protocol on top of
-:mod:`repro.mdp.markov_chain`; :func:`paper_bandwidth_process` builds the
-canonical paper configuration; :class:`TraceCapacityProcess` replays a
-recorded path (for deterministic tests and paired algorithm comparisons).
+``[700, 800, 900]`` kbit/s.  Two interchangeable implementations of the
+:class:`repro.game.repeated_game.CapacityProcess` protocol live here:
+
+* :class:`MarkovCapacityProcess` — one scalar
+  :class:`~repro.mdp.markov_chain.MarkovChain` object per helper; the
+  reference implementation, and the one to use when individual chains need
+  to be inspected or heterogeneous per-chain plumbing is easiest object by
+  object.
+* :class:`VectorizedCapacityProcess` — all ``H`` chains in one
+  :class:`~repro.mdp.markov_chain.BatchMarkovChains` bank; one uniform draw
+  and one inverse-CDF lookup per stage regardless of ``H``, the backend for
+  helper counts in the thousands.
+
+:func:`paper_bandwidth_process` builds the canonical paper configuration on
+either backend; :class:`TraceCapacityProcess` replays a recorded path (for
+deterministic tests and paired algorithm comparisons);
+:func:`record_capacity_trace` samples a path from a live process, with a
+one-shot fast path when the process exposes one.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 
-from repro.mdp.markov_chain import MarkovChain, birth_death_chain
+from repro.mdp.markov_chain import (
+    BatchMarkovChains,
+    MarkovChain,
+    birth_death_chain,
+)
 from repro.util.rng import Seedish, as_generator, spawn_many
 
 PAPER_BANDWIDTH_LEVELS = (700.0, 800.0, 900.0)
+
+#: Capacity-process backends accepted by :func:`paper_bandwidth_process`.
+CAPACITY_BACKENDS = ("scalar", "vectorized")
 
 
 class MarkovCapacityProcess:
@@ -28,6 +48,15 @@ class MarkovCapacityProcess:
         if not chains:
             raise ValueError("need at least one chain")
         self._chains = list(chains)
+        # Level-value lookup table, built once: row i holds chain i's state
+        # values (rows padded to the widest chain; a chain's state index
+        # never reaches the padding).  capacities() indexes this table
+        # instead of rebuilding a Python list -> np.array every stage.
+        width = max(c.num_states for c in self._chains)
+        self._values = np.zeros((len(self._chains), width))
+        for i, chain in enumerate(self._chains):
+            self._values[i, : chain.num_states] = chain.states
+        self._rows = np.arange(len(self._chains))
 
     @property
     def num_helpers(self) -> int:
@@ -41,7 +70,12 @@ class MarkovCapacityProcess:
 
     def capacities(self) -> np.ndarray:
         """Current per-helper capacities."""
-        return np.array([c.state_value for c in self._chains])
+        states = np.fromiter(
+            (c.state_index for c in self._chains),
+            dtype=np.intp,
+            count=len(self._chains),
+        )
+        return self._values[self._rows, states]
 
     def advance(self) -> None:
         """Step every chain once."""
@@ -57,20 +91,97 @@ class MarkovCapacityProcess:
         return np.array([float(np.min(c.states)) for c in self._chains])
 
 
+class VectorizedCapacityProcess:
+    """Per-helper capacities driven by a :class:`BatchMarkovChains` bank.
+
+    Implements the same :class:`~repro.game.repeated_game.CapacityProcess`
+    protocol (plus :meth:`minimum_capacities`) as
+    :class:`MarkovCapacityProcess`, so it drops into both streaming systems
+    and the repeated-game drivers unchanged.  Advancing is O(H) array work
+    with no per-chain Python — the environment-side counterpart of the
+    vectorized learner runtime.
+    """
+
+    def __init__(self, chains: BatchMarkovChains) -> None:
+        if not isinstance(chains, BatchMarkovChains):
+            raise TypeError(
+                f"chains must be a BatchMarkovChains, got {type(chains)!r}"
+            )
+        self._batch = chains
+
+    @property
+    def num_helpers(self) -> int:
+        """Number of helpers ``H``."""
+        return self._batch.num_chains
+
+    @property
+    def chains(self) -> BatchMarkovChains:
+        """The underlying chain bank (same object)."""
+        return self._batch
+
+    def capacities(self) -> np.ndarray:
+        """Current per-helper capacities."""
+        return self._batch.state_values()
+
+    def advance(self) -> None:
+        """Step every chain once (one vectorized draw)."""
+        self._batch.step()
+
+    def expected_capacities(self) -> np.ndarray:
+        """Stationary mean capacity of each helper."""
+        return self._batch.expected_state_values()
+
+    def minimum_capacities(self) -> np.ndarray:
+        """Lowest bandwidth level of each helper (for the Fig. 5 deficit)."""
+        return self._batch.minimum_values()
+
+    def record_trace(self, num_stages: int) -> np.ndarray:
+        """Sample a ``(num_stages, H)`` path in one shot.
+
+        Same contract as :func:`record_capacity_trace` (row 0 is the
+        current state; the process ends ``num_stages`` steps ahead), but a
+        single batched draw instead of a Python loop per stage.
+        """
+        if num_stages < 1:
+            raise ValueError("num_stages must be >= 1")
+        return self._batch.sample_value_paths(num_stages)
+
+
 def paper_bandwidth_process(
     num_helpers: int,
     levels: Sequence[float] = PAPER_BANDWIDTH_LEVELS,
     stay_probability: float = 0.9,
     rng: Seedish = None,
-) -> MarkovCapacityProcess:
+    backend: str = "scalar",
+):
     """The paper's environment: independent slow birth–death chains.
 
     Each helper switches between ``levels`` (default ``[700, 800, 900]``)
-    with the given per-stage stay probability.
+    with the given per-stage stay probability.  ``backend`` selects the
+    representation: ``"scalar"`` builds one
+    :class:`~repro.mdp.markov_chain.MarkovChain` per helper (the seed
+    default, one spawned child generator each), ``"vectorized"`` builds one
+    :class:`~repro.mdp.markov_chain.BatchMarkovChains` bank (one generator,
+    one draw per stage — the default inside the vectorized runtime).  The
+    two backends realize the same process law on different RNG stream
+    layouts, so paths with the same seed differ but statistics agree.
     """
     if num_helpers < 1:
         raise ValueError("num_helpers must be >= 1")
+    if backend not in CAPACITY_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {CAPACITY_BACKENDS}, got {backend!r}"
+        )
     parent = as_generator(rng)
+    if backend == "vectorized":
+        return VectorizedCapacityProcess(
+            BatchMarkovChains.birth_death(
+                levels,
+                num_chains=num_helpers,
+                stay_probability=stay_probability,
+                rng=parent,
+            )
+        )
     children = spawn_many(parent, num_helpers)
     chains = [
         birth_death_chain(levels, stay_probability=stay_probability, rng=child)
@@ -123,17 +234,21 @@ class TraceCapacityProcess:
         return self._min.copy()
 
 
-def record_capacity_trace(
-    process: MarkovCapacityProcess, num_stages: int
-) -> np.ndarray:
+def record_capacity_trace(process, num_stages: int) -> np.ndarray:
     """Sample a ``(num_stages, H)`` path from a live process.
 
     Advances the process; use the result with
     :class:`TraceCapacityProcess` to give several algorithms the *same*
     environment realization (paired comparisons in the ablation benches).
+    Processes exposing a one-shot ``record_trace`` (the vectorized backend)
+    take that fast path; anything else falls back to the generic
+    ``capacities()`` / ``advance()`` loop.
     """
     if num_stages < 1:
         raise ValueError("num_stages must be >= 1")
+    fast = getattr(process, "record_trace", None)
+    if fast is not None:
+        return np.asarray(fast(num_stages), dtype=float)
     out = np.empty((num_stages, process.num_helpers))
     for t in range(num_stages):
         out[t] = process.capacities()

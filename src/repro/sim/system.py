@@ -212,6 +212,7 @@ class StreamingSystem:
         rng: Seedish = None,
         capacity_process: Optional[MarkovCapacityProcess] = None,
         initial_channels: Optional[Sequence[int]] = None,
+        capacity_backend: str = "scalar",
     ) -> None:
         self._config = config
         self._factory = learner_factory
@@ -232,6 +233,7 @@ class StreamingSystem:
                 levels=config.bandwidth_levels,
                 stay_probability=config.stay_probability,
                 rng=spawn(self._rng),
+                backend=capacity_backend,
             )
         if capacity_process.num_helpers != config.num_helpers:
             raise ValueError("capacity process size does not match num_helpers")

@@ -159,12 +159,18 @@ def make_system_config(scenario: Scenario, **overrides) -> "SystemConfig":
 
 
 def make_vectorized_system(
-    scenario: Scenario, rng: Seedish = None, learner: str = "r2hs", **overrides
+    scenario: Scenario,
+    rng: Seedish = None,
+    learner: str = "r2hs",
+    capacity_backend: str = "vectorized",
+    **overrides,
 ):
     """A ready-to-run :class:`~repro.runtime.VectorizedStreamingSystem`.
 
     Builds the system config from the scenario and one learner bank per
-    channel with the scenario's hyper-parameters.
+    channel with the scenario's hyper-parameters.  The environment defaults
+    to the vectorized capacity engine (pass
+    ``capacity_backend="scalar"`` for per-helper chain objects).
     """
     from repro.runtime import VectorizedStreamingSystem, bank_factory
 
@@ -176,18 +182,26 @@ def make_vectorized_system(
         mu=scenario.mu,
         u_max=scenario.u_max,
     )
-    return VectorizedStreamingSystem(config, factory, rng=rng)
+    return VectorizedStreamingSystem(
+        config, factory, rng=rng, capacity_backend=capacity_backend
+    )
 
 
 def make_capacity_process(
-    scenario: Scenario, rng: Seedish = None
-) -> MarkovCapacityProcess:
-    """The scenario's helper-bandwidth environment."""
+    scenario: Scenario, rng: Seedish = None, backend: str = "scalar"
+):
+    """The scenario's helper-bandwidth environment.
+
+    ``backend`` picks :class:`~repro.sim.bandwidth.MarkovCapacityProcess`
+    (``"scalar"``, the default) or the array-backed
+    :class:`~repro.sim.bandwidth.VectorizedCapacityProcess`.
+    """
     return paper_bandwidth_process(
         scenario.num_helpers,
         levels=scenario.bandwidth_levels,
         stay_probability=scenario.stay_probability,
         rng=rng,
+        backend=backend,
     )
 
 

@@ -120,6 +120,41 @@ class TestScriptedExactEquivalence:
         assert np.array_equal(a.actions, b.actions)
         assert np.array_equal(a.utilities, b.utilities)
 
+    def test_trace_for_trace_under_vectorized_engine_path(self):
+        """Same exactness with the shared path recorded from the new
+        vectorized capacity engine: both backends replay it identically."""
+        N, H, T = 25, 4, 50
+        rng = np.random.default_rng(17)
+        script = rng.integers(0, H, size=(T, N))
+        shared = record_capacity_trace(
+            paper_bandwidth_process(H, rng=7, backend="vectorized"), T
+        )
+        config = SystemConfig(
+            num_peers=N, num_helpers=H, channel_bitrates=100.0, record_peers=True
+        )
+
+        counter = {"i": 0}
+
+        def factory(h, _rng):
+            column = script[:, counter["i"]]
+            counter["i"] += 1
+            return ScriptedLearner(column, h)
+
+        scalar = StreamingSystem(
+            config, factory, rng=0,
+            capacity_process=TraceCapacityProcess(shared.copy()),
+        )
+        vectorized = VectorizedStreamingSystem(
+            config, lambda h, r: ScriptedBank(script, h), rng=0,
+            capacity_process=TraceCapacityProcess(shared.copy()),
+        )
+        ts = scalar.run(T)
+        tv = vectorized.run(T)
+        self._assert_traces_match(ts, tv)
+        a, b = ts.to_trajectory(), tv.to_trajectory()
+        assert np.array_equal(a.actions, b.actions)
+        assert np.array_equal(a.utilities, b.utilities)
+
     def test_multi_channel_trace_for_trace(self):
         """Two channels with different helper counts and bitrates."""
         N, T = 30, 60
@@ -281,3 +316,25 @@ class TestVectorizedChannelSwitching:
         assert np.all(trace.online_peers == 30)
         # Each switch retired one uid and created another.
         assert system.store.total_created == 30 + system.channel_switches
+
+
+class TestRoundCacheInvalidation:
+    def test_external_store_mutation_respected_after_invalidate(self):
+        """The documented PeerStore direct-mutation contract: edits to the
+        grouping-defining columns take effect on the next round once
+        invalidate_round_cache() is called."""
+        config = SystemConfig(num_peers=10, num_helpers=4, channel_bitrates=100.0)
+        shared = record_capacity_trace(paper_bandwidth_process(4, rng=1), 6)
+        system = VectorizedStreamingSystem(
+            config,
+            bank_factory("r2hs", u_max=900.0),
+            rng=0,
+            capacity_process=TraceCapacityProcess(shared),
+        )
+        system.run(2)
+        base_demand = system.trace.total_demand[-1]
+        assert base_demand == pytest.approx(10 * 100.0)
+        system.store.demand[system.store.online_slots()] = 250.0
+        system.invalidate_round_cache()
+        system.run(2)
+        assert system.trace.total_demand[-1] == pytest.approx(10 * 250.0)

@@ -3,11 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.mdp.markov_chain import birth_death_chain
+from repro.game.repeated_game import CapacityProcess
+from repro.mdp.markov_chain import BatchMarkovChains, birth_death_chain
 from repro.sim.bandwidth import (
     PAPER_BANDWIDTH_LEVELS,
     MarkovCapacityProcess,
     TraceCapacityProcess,
+    VectorizedCapacityProcess,
     paper_bandwidth_process,
     record_capacity_trace,
 )
@@ -111,3 +113,115 @@ class TestRecordCapacityTrace:
     def test_rejects_zero_stages(self):
         with pytest.raises(ValueError):
             record_capacity_trace(paper_bandwidth_process(2, rng=0), 0)
+
+
+class TestCapacitiesLookupTable:
+    def test_capacities_track_chain_states(self):
+        """The cached level-value table must stay consistent with the live
+        chain states across many advances."""
+        process = paper_bandwidth_process(4, stay_probability=0.4, rng=8)
+        for _ in range(60):
+            expected = np.array([c.states[c.state_index] for c in process.chains])
+            assert np.array_equal(process.capacities(), expected)
+            process.advance()
+
+    def test_heterogeneous_chain_levels(self):
+        chains = [
+            birth_death_chain([700.0, 800.0, 900.0], 0.5, rng=0),
+            birth_death_chain([100.0, 200.0, 300.0], 0.5, rng=1),
+        ]
+        process = MarkovCapacityProcess(chains)
+        for _ in range(40):
+            caps = process.capacities()
+            assert caps[0] in (700.0, 800.0, 900.0)
+            assert caps[1] in (100.0, 200.0, 300.0)
+            process.advance()
+
+
+class TestVectorizedCapacityProcess:
+    def _make(self, num_helpers=4, stay=0.9, rng=0):
+        return paper_bandwidth_process(
+            num_helpers, stay_probability=stay, rng=rng, backend="vectorized"
+        )
+
+    def test_satisfies_protocol(self):
+        assert isinstance(self._make(), CapacityProcess)
+
+    def test_capacities_are_levels(self):
+        process = self._make(4)
+        caps = process.capacities()
+        assert caps.shape == (4,)
+        assert all(c in PAPER_BANDWIDTH_LEVELS for c in caps)
+
+    def test_advance_changes_state_eventually(self):
+        process = self._make(2, stay=0.2, rng=1)
+        seen = set()
+        for _ in range(100):
+            seen.add(tuple(process.capacities()))
+            process.advance()
+        assert len(seen) > 1
+
+    def test_expected_and_minimum_capacities(self):
+        process = self._make(3)
+        assert np.allclose(process.expected_capacities(), 800.0)
+        assert np.allclose(process.minimum_capacities(), 700.0)
+
+    def test_seeded_reproducibility(self):
+        a, b = self._make(3, rng=7), self._make(3, rng=7)
+        for _ in range(30):
+            assert np.array_equal(a.capacities(), b.capacities())
+            a.advance()
+            b.advance()
+
+    def test_rejects_non_batch(self):
+        with pytest.raises(TypeError):
+            VectorizedCapacityProcess([birth_death_chain([1.0, 2.0], 0.9)])
+
+    def test_record_trace_fast_path_matches_generic_loop(self):
+        """record_capacity_trace's one-shot fast path must be
+        stream-identical to the generic capacities()/advance() loop."""
+        fast = self._make(5, rng=13)
+        slow = self._make(5, rng=13)
+        T = 50
+        got = record_capacity_trace(fast, T)  # dispatches to record_trace
+        expected = np.empty((T, 5))
+        for t in range(T):
+            expected[t] = slow.capacities()
+            slow.advance()
+        assert np.array_equal(got, expected)
+        # Both processes left in the same post-trace state.
+        assert np.array_equal(fast.capacities(), slow.capacities())
+
+    def test_paired_replay_of_recorded_trace(self):
+        live = self._make(3, rng=5)
+        trace = record_capacity_trace(live, 40)
+        replay = TraceCapacityProcess(trace)
+        fresh = self._make(3, rng=5)
+        for _ in range(40):
+            assert np.array_equal(replay.capacities(), fresh.capacities())
+            replay.advance()
+            fresh.advance()
+
+
+class TestBackendSwitch:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            paper_bandwidth_process(2, rng=0, backend="gpu")
+
+    def test_backends_agree_statistically(self):
+        """Same law, different stream layout: long-run mean capacity of the
+        two backends must agree near the stationary mean (800)."""
+        T = 1500
+        means = {}
+        for backend in ("scalar", "vectorized"):
+            process = paper_bandwidth_process(
+                4, stay_probability=0.5, rng=3, backend=backend
+            )
+            total = 0.0
+            for _ in range(T):
+                total += float(process.capacities().sum())
+                process.advance()
+            means[backend] = total / (T * 4)
+        assert abs(means["scalar"] - 800.0) < 15.0
+        assert abs(means["vectorized"] - 800.0) < 15.0
+        assert abs(means["scalar"] - means["vectorized"]) < 20.0
