@@ -1,0 +1,110 @@
+#!/usr/bin/env python
+"""Golden-spec smoke check: one spec, both backends, pinned expectations.
+
+CI runs ``examples/smoke.json`` end-to-end on the scalar *and* the
+vectorized backend and diffs the headline metrics against
+``examples/smoke_expected.json``:
+
+* per backend, metrics must match the checked-in expectations to float
+  reproducibility tolerance (same seed, same code path -> same numbers);
+* across backends, the headline welfare/server-load metrics must agree
+  within the established distributional tolerance (the two backends
+  realize the same dynamics on different RNG stream layouts).
+
+Run with ``--update`` after an intentional behaviour change to
+regenerate the expectations file (and say why in the commit message).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_golden_spec.py
+    PYTHONPATH=src python benchmarks/check_golden_spec.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.spec import ExperimentSpec  # noqa: E402
+
+SPEC_PATH = REPO / "examples" / "smoke.json"
+EXPECTED_PATH = REPO / "examples" / "smoke_expected.json"
+
+#: Same backend, same seed: reproducibility band (float noise only; a
+#: little slack for BLAS/platform summation-order differences).
+SAME_BACKEND_RTOL = 1e-6
+#: Cross-backend distributional band for the mean-welfare headline
+#: (matches tests/runtime/test_equivalence.py's steady-state tolerance,
+#: padded for the short smoke horizon).
+CROSS_BACKEND_RTOL = 0.05
+
+BACKENDS = ("scalar", "vectorized")
+
+
+def run_backend(spec: ExperimentSpec, backend: str) -> dict:
+    result = spec.with_overrides({"backend": backend}).run()
+    return {name: float(value) for name, value in result.metrics.items()}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate examples/smoke_expected.json from this run",
+    )
+    args = parser.parse_args(argv)
+
+    spec = ExperimentSpec.load(SPEC_PATH)
+    observed = {backend: run_backend(spec, backend) for backend in BACKENDS}
+
+    if args.update:
+        EXPECTED_PATH.write_text(json.dumps(observed, indent=2) + "\n")
+        print(f"wrote {EXPECTED_PATH}")
+        return 0
+
+    expected = json.loads(EXPECTED_PATH.read_text())
+    failures = []
+    for backend in BACKENDS:
+        want = expected.get(backend)
+        if want is None:
+            failures.append(f"{backend}: no expectations recorded")
+            continue
+        for name, value in want.items():
+            got = observed[backend].get(name)
+            if got is None:
+                failures.append(f"{backend}.{name}: metric missing from run")
+            elif not math.isclose(got, value, rel_tol=SAME_BACKEND_RTOL, abs_tol=1e-9):
+                failures.append(
+                    f"{backend}.{name}: got {got!r}, expected {value!r} "
+                    f"(rtol {SAME_BACKEND_RTOL})"
+                )
+
+    ws = observed["scalar"]["mean_welfare"]
+    wv = observed["vectorized"]["mean_welfare"]
+    if abs(ws - wv) / ws > CROSS_BACKEND_RTOL:
+        failures.append(
+            f"cross-backend mean_welfare drift: scalar {ws:.2f} vs "
+            f"vectorized {wv:.2f} (> {CROSS_BACKEND_RTOL:.0%})"
+        )
+
+    for backend in BACKENDS:
+        print(f"{backend:10s}: " + "  ".join(
+            f"{k}={v:.3f}" for k, v in observed[backend].items()
+        ))
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: golden spec reproduces on both backends")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,16 +75,33 @@ from repro.sim import (
     VectorizedCapacityProcess,
     paper_bandwidth_process,
 )
+from repro.spec import (
+    CapacitySpec,
+    ChurnSpec,
+    ExperimentSpec,
+    LearnerSpec,
+    MetricsSpec,
+    SweepSpec,
+    TopologySpec,
+    UnknownComponentError,
+    register_capacity_backend,
+    register_learner,
+    register_metric,
+    register_scenario,
+)
 from repro.workloads import (
     Scenario,
     fig5_scenario,
+    flash_crowd_spec,
     large_scale_scenario,
     make_capacity_process,
     make_learner_population,
     make_system_config,
     make_vectorized_system,
     massive_scale_scenario,
+    popularity_skew_spec,
     small_scale_scenario,
+    spec_for_scenario,
 )
 
 __version__ = "1.0.0"
@@ -142,12 +159,28 @@ __all__ = [
     "VectorizedStreamingSystem",
     # analysis
     "ParallelRunner",
+    # spec
+    "ExperimentSpec",
+    "TopologySpec",
+    "CapacitySpec",
+    "LearnerSpec",
+    "ChurnSpec",
+    "MetricsSpec",
+    "SweepSpec",
+    "UnknownComponentError",
+    "register_capacity_backend",
+    "register_learner",
+    "register_metric",
+    "register_scenario",
     # workloads
     "Scenario",
     "small_scale_scenario",
     "large_scale_scenario",
     "fig5_scenario",
     "massive_scale_scenario",
+    "spec_for_scenario",
+    "popularity_skew_spec",
+    "flash_crowd_spec",
     "make_capacity_process",
     "make_learner_population",
     "make_system_config",

@@ -6,6 +6,14 @@ the rendered text table (what the benchmark harness writes to
 on).  The CLI (``python -m repro``) and the benchmarks are both thin
 wrappers around these functions, so the experiment logic exists exactly
 once.
+
+Every figure declares its setup as a declarative
+:class:`~repro.spec.ExperimentSpec` and builds its components (capacity
+process, learner population, or the full streaming system) from the spec,
+so the figure configurations are serializable and the build plumbing is
+the same one the CLI and the sweep harness use.  The spec-built systems
+reproduce the pre-spec RNG streams bit-for-bit, so figure outputs are
+unchanged.
 """
 
 from __future__ import annotations
@@ -27,12 +35,8 @@ from repro.metrics import (
     time_averaged_regret_series,
 )
 from repro.metrics.fairness import coefficient_of_variation, max_min_ratio
-from repro.sim import (
-    StreamingSystem,
-    SystemConfig,
-    TraceCapacityProcess,
-    record_capacity_trace,
-)
+from repro.sim import TraceCapacityProcess, record_capacity_trace
+from repro.spec import ExperimentSpec, LearnerSpec, TopologySpec
 
 
 @dataclass(frozen=True)
@@ -52,20 +56,20 @@ def fig1_worst_player_regret(
     sample_every: int = 100,
 ) -> ExperimentResult:
     """Fig. 1 — evolution of the worst player's regret, large scale."""
-    scenario = repro.large_scale_scenario(
+    spec = repro.large_scale_scenario(
         num_peers=num_peers, num_helpers=num_helpers, num_stages=num_stages
-    )
-    process = repro.make_capacity_process(scenario, rng=seed)
-    population = repro.make_learner_population(scenario, rng=seed + 1)
+    ).to_spec(backend="scalar", learner="rths", seed=seed)
+    process = spec.build_capacity_process(rng=seed)
+    population = spec.build_population(rng=seed + 1)
     tracking = []
 
     def sample(stage, _):
         if (stage + 1) % sample_every == 0:
             tracking.append(population.worst_player_regret())
 
-    trajectory = population.run(process, scenario.num_stages, stage_callback=sample)
+    trajectory = population.run(process, spec.rounds, stage_callback=sample)
     averaged = time_averaged_regret_series(
-        trajectory, sample_every=sample_every, u_max=scenario.u_max
+        trajectory, sample_every=sample_every, u_max=spec.u_max
     )
     table = render_series_table(
         ["time-averaged worst regret", "instantaneous tracking regret"],
@@ -73,8 +77,8 @@ def fig1_worst_player_regret(
         num_points=15,
     )
     text = table + (
-        f"\nscenario: N={scenario.num_peers} H={scenario.num_helpers} "
-        f"stages={scenario.num_stages} eps={scenario.epsilon}"
+        f"\nscenario: N={num_peers} H={num_helpers} "
+        f"stages={num_stages} eps={spec.learner.epsilon}"
         f"\nfirst sample : {averaged[0]:.4f}"
         f"\nfinal sample : {averaged[-1]:.4f} "
         f"({averaged[-1] / averaged[0]:.1%} of initial)"
@@ -93,16 +97,15 @@ def fig2_welfare_vs_mdp(
     seed: int = 0, num_stages: int = 2000
 ) -> ExperimentResult:
     """Fig. 2 — RTHS welfare vs. the centralized MDP benchmark (N=10, H=4)."""
-    scenario = repro.small_scale_scenario(num_stages=num_stages)
-    process = repro.make_capacity_process(scenario, rng=seed)
-    stationary_optimum = solve_symmetric_optimum(
-        process.chains, scenario.num_peers
-    ).value
-    population = repro.make_learner_population(scenario, rng=seed + 1)
-    trajectory = population.run(process, scenario.num_stages)
-    path_optimum = optimal_welfare_series(
-        trajectory.capacities, scenario.num_peers
+    spec = repro.small_scale_scenario(num_stages=num_stages).to_spec(
+        backend="scalar", learner="rths", seed=seed
     )
+    num_peers = spec.topology.num_peers
+    process = spec.build_capacity_process(rng=seed)
+    stationary_optimum = solve_symmetric_optimum(process.chains, num_peers).value
+    population = spec.build_population(rng=seed + 1)
+    trajectory = population.run(process, spec.rounds)
+    path_optimum = optimal_welfare_series(trajectory.capacities, num_peers)
     steady = float(trajectory.welfare[-num_stages // 4 :].mean())
     table = render_series_table(
         ["RTHS welfare (smoothed)", "per-stage MDP optimum"],
@@ -110,7 +113,7 @@ def fig2_welfare_vs_mdp(
         num_points=15,
     )
     text = table + (
-        f"\nscenario: N={scenario.num_peers} H={scenario.num_helpers}"
+        f"\nscenario: N={num_peers} H={spec.topology.num_helpers}"
         f"\nstationary MDP optimum : {stationary_optimum:9.1f} kbit/s"
         f"\nRTHS steady-state mean : {steady:9.1f} kbit/s"
         f"\noptimality             : {steady / stationary_optimum:9.1%}"
@@ -133,11 +136,17 @@ def fig3_helper_load(
     num_stages: int = 2000,
 ) -> ExperimentResult:
     """Fig. 3 — even load distribution across the helpers."""
-    process = repro.paper_bandwidth_process(num_helpers, rng=seed)
-    population = repro.LearnerPopulation(
-        num_peers, num_helpers, epsilon=0.05, u_max=900.0, rng=seed + 1
+    spec = ExperimentSpec(
+        name="fig3_helper_load",
+        backend="scalar",
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(num_peers=num_peers, num_helpers=num_helpers),
+        learner=LearnerSpec(name="rths", epsilon=0.05),
     )
-    trajectory = population.run(process, num_stages)
+    process = spec.build_capacity_process(rng=seed)
+    population = spec.build_population(rng=seed + 1)
+    trajectory = population.run(process, spec.rounds)
     report = load_balance_report(trajectory, tail_fraction=0.5)
     loads_table = render_table(
         ["helper", "mean load", "proportional target"],
@@ -172,12 +181,18 @@ def fig4_peer_rates(
     num_stages: int = 2000,
 ) -> ExperimentResult:
     """Fig. 4 — helper bandwidth evenly distributed among peers."""
-    env = repro.paper_bandwidth_process(num_helpers, rng=seed)
+    spec = ExperimentSpec(
+        name="fig4_peer_rates",
+        backend="scalar",
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(num_peers=num_peers, num_helpers=num_helpers),
+        learner=LearnerSpec(name="rths", epsilon=0.05),
+    )
+    env = spec.build_capacity_process(rng=seed)
     shared = record_capacity_trace(env, num_stages)
 
-    population = repro.LearnerPopulation(
-        num_peers, num_helpers, epsilon=0.05, u_max=900.0, rng=seed + 1
-    )
+    population = spec.build_population(rng=seed + 1)
     rths = population.run(TraceCapacityProcess(shared.copy()), num_stages)
     random_learners = [
         UniformRandomLearner(num_helpers, rng=seed + 100 + i)
@@ -227,20 +242,10 @@ def fig4_peer_rates(
 
 def fig5_server_load(seed: int = 0, num_stages: int = 1200) -> ExperimentResult:
     """Fig. 5 — real server workload vs. minimum bandwidth deficit."""
-    scenario = repro.fig5_scenario(num_stages=num_stages)
-    config = SystemConfig(
-        num_peers=scenario.num_peers,
-        num_helpers=scenario.num_helpers,
-        channel_bitrates=scenario.demand_per_peer,
+    spec = repro.fig5_scenario(num_stages=num_stages).to_spec(
+        backend="scalar", learner="r2hs", seed=seed
     )
-    system = StreamingSystem(
-        config,
-        lambda h, rng: repro.R2HSLearner(
-            h, rng=rng, epsilon=scenario.epsilon, u_max=scenario.u_max
-        ),
-        rng=seed,
-    )
-    trace = system.run(scenario.num_stages)
+    trace = spec.run(seed=seed).trace
     report = server_load_report(trace)
     steady = float(report.server_load[num_stages // 6 :].mean())
     bound = float(report.min_deficit.mean())

@@ -20,18 +20,26 @@ from __future__ import annotations
 import multiprocessing
 import os
 import tempfile
-from typing import Callable, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.analysis.sweeps import SweepCell, SweepResult
 from repro.util.rng import Seedish, as_generator, derive_seed
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.spec.model import SweepSpec
+
 #: A cell evaluator: ``(parameters, seed) -> {metric_name: value}``.
 CellFunction = Callable[[Mapping[str, object], int], Mapping[str, float]]
 
 #: Handoff modes accepted by :func:`share_array`.
 SHARE_MODES = ("auto", "shm", "file", "inline")
+
+#: Result arrays at or above this size leave workers through
+#: :func:`share_array` instead of riding in the pickled result payload.
+#: Below it, a segment/file round-trip costs more than the pickle.
+RESULT_SHARE_MIN_BYTES = 8192
 
 
 class SharedArrayHandle:
@@ -131,6 +139,32 @@ class SharedArrayHandle:
             self._attached.close()
             self._attached = None
 
+    def disown(self) -> None:
+        """Hand backing ownership to whoever unpickles this handle.
+
+        The worker-side half of the *result* handoff: after placing a
+        result array, the worker closes its attachment and (for shm)
+        deregisters the segment from its resource tracker, so a worker
+        exiting cannot reap storage the parent has yet to read.  After
+        disowning, :meth:`cleanup` in this process never unlinks.
+        """
+        self._owner = False
+        if self._mode == "shm" and self._attached is not None:
+            try:  # pragma: no cover - tracker layout varies
+                from multiprocessing import resource_tracker
+
+                resource_tracker.unregister(
+                    self._attached._name, "shared_memory"
+                )
+            except Exception:
+                pass
+        self.close()
+
+    def adopt(self) -> None:
+        """Take over backing cleanup (the parent-side half of the result
+        handoff); after adopting, :meth:`cleanup` releases the storage."""
+        self._owner = True
+
     def cleanup(self) -> None:
         """Release the backing storage (owner side; idempotent)."""
         if self._mode == "shm":
@@ -210,9 +244,90 @@ def resolve_shared_array(obj) -> np.ndarray:
     return np.asarray(obj)
 
 
+def _share_result_metrics(metrics, mode: str):
+    """Worker side: move large array metrics into shared placements.
+
+    Scalar metrics pass through; any :class:`numpy.ndarray` of at least
+    :data:`RESULT_SHARE_MIN_BYTES` is placed via :func:`share_array` and
+    replaced by its disowned handle, so the result payload pickles as
+    metadata only.  If a placement fails partway (shm/disk exhaustion),
+    the handles already created are released before re-raising — nothing
+    disowned is left without an owner.
+    """
+    shared = {}
+    try:
+        for name, value in metrics.items():
+            if (
+                isinstance(value, np.ndarray)
+                and value.nbytes >= RESULT_SHARE_MIN_BYTES
+            ):
+                handle = share_array(value, mode=mode)
+                handle.disown()
+                shared[name] = handle
+            else:
+                shared[name] = value
+    except BaseException:
+        for value in shared.values():
+            if isinstance(value, SharedArrayHandle):
+                value.adopt()
+                value.cleanup()
+        raise
+    return shared
+
+
+def _materialize_result_metrics(metrics):
+    """Parent side: resolve result handles into owned arrays.
+
+    Loads each handle (zero-copy), copies into parent-owned memory, then
+    adopts and releases the worker-created backing — callers only ever
+    see plain values.  The backing is released even when loading fails,
+    so a corrupt cell cannot leak the segments of its siblings.
+    """
+    out = {}
+    error: Optional[Exception] = None
+    for name, value in metrics.items():
+        if isinstance(value, SharedArrayHandle):
+            try:
+                out[name] = np.array(value.load())
+            except Exception as exc:  # keep releasing the siblings
+                error = error if error is not None else exc
+            finally:
+                value.adopt()
+                value.cleanup()
+        else:
+            out[name] = value
+    if error is not None:
+        raise error
+    return out
+
+
+class _CellFailure:
+    """A worker-side cell exception, shipped back as data.
+
+    Raising straight out of ``pool.map`` would discard every sibling
+    cell's result payload — and with it the only references to their
+    disowned shared-memory segments, leaking them until reboot.  Instead
+    the worker returns this marker; the parent materializes (and thereby
+    releases) all successful cells first, then raises.
+    """
+
+    def __init__(self, formatted_traceback: str) -> None:
+        self.formatted_traceback = formatted_traceback
+
+
 def _invoke(payload):
-    fn, params, seed = payload
-    return fn(params, seed)
+    fn, params, seed, result_mode = payload
+    if result_mode is None:
+        return fn(params, seed)
+    import traceback
+
+    try:
+        # Sharing stays inside the containment: a placement failure must
+        # come back as data too, or pool.map would raise and strand every
+        # sibling cell's disowned segments unmaterialized.
+        return _share_result_metrics(fn(params, seed), result_mode)
+    except Exception:
+        return _CellFailure(traceback.format_exc())
 
 
 class ParallelRunner:
@@ -228,17 +343,32 @@ class ParallelRunner:
         Optional :func:`multiprocessing.get_context` method name
         (``"fork"``, ``"spawn"``, ``"forkserver"``); ``None`` picks the
         platform default.
+    result_handoff:
+        Placement for large array-valued cell results coming *back* from
+        workers (the mirror of the input-side trace handoff):
+        ``"auto"`` (shared memory, falling back to on-disk ``.npy``),
+        ``"shm"``, ``"file"``, or ``"inline"`` to pickle results into the
+        payload like any scalar.  Inline (1-worker) runs never share.
     """
 
     def __init__(
-        self, workers: Optional[int] = None, mp_context: Optional[str] = None
+        self,
+        workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+        result_handoff: str = "auto",
     ) -> None:
         if workers is None:
             workers = os.cpu_count() or 1
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
+        if result_handoff not in SHARE_MODES:
+            raise ValueError(
+                f"result_handoff must be one of {SHARE_MODES}, "
+                f"got {result_handoff!r}"
+            )
         self._workers = int(workers)
         self._mp_context = mp_context
+        self._result_handoff = result_handoff
 
     @property
     def workers(self) -> int:
@@ -257,20 +387,67 @@ class ParallelRunner:
         independent of the worker count.
         """
         parent = as_generator(rng)
+        pooled = self._workers > 1 and len(parameter_sets) > 1
+        result_mode = (
+            self._result_handoff
+            if pooled and self._result_handoff != "inline"
+            else None
+        )
         payloads = [
-            (cell_fn, dict(params), derive_seed(parent))
+            (cell_fn, dict(params), derive_seed(parent), result_mode)
             for params in parameter_sets
         ]
-        if self._workers == 1 or len(payloads) <= 1:
+        if not pooled:
             results = [_invoke(p) for p in payloads]
         else:
             ctx = multiprocessing.get_context(self._mp_context)
             with ctx.Pool(min(self._workers, len(payloads))) as pool:
                 results = pool.map(_invoke, payloads)
-        return [
-            SweepCell(parameters=dict(params), metrics=dict(metrics))
-            for (_, params, _), metrics in zip(payloads, results)
-        ]
+        # Materialize every successful cell BEFORE raising any failure:
+        # materialization is also what releases the worker-created shared
+        # backings, so an early raise would leak the siblings' segments.
+        cells: List[Optional[SweepCell]] = []
+        failure: Optional[_CellFailure] = None
+        for (_, params, _, _), metrics in zip(payloads, results):
+            if isinstance(metrics, _CellFailure):
+                failure = failure if failure is not None else metrics
+                cells.append(None)
+                continue
+            try:
+                materialized = _materialize_result_metrics(dict(metrics))
+            except Exception as exc:
+                # A vanished backing (reaped shm segment / deleted .npy)
+                # must not strand the remaining cells' segments.
+                failure = failure if failure is not None else _CellFailure(
+                    f"result materialization failed: {exc!r}"
+                )
+                cells.append(None)
+                continue
+            cells.append(
+                SweepCell(parameters=dict(params), metrics=materialized)
+            )
+        if failure is not None:
+            raise RuntimeError(
+                "sweep cell failed in worker:\n" + failure.formatted_traceback
+            )
+        return cells
+
+    def run_sweep(
+        self,
+        sweep: "SweepSpec",
+        cell_fn: CellFunction,
+        rng: Seedish = None,
+    ) -> SweepResult:
+        """Evaluate a :class:`~repro.spec.model.SweepSpec`'s cells.
+
+        Expands the sweep's grid × replications in declaration order and
+        maps ``cell_fn`` over the override sets; the spec layer's
+        ``ExperimentSpec.sweep`` and the grid/replication helpers below
+        all route through here.
+        """
+        return SweepResult(
+            cells=self.map_cells(cell_fn, sweep.parameter_sets(), rng=rng)
+        )
 
     def run_grid(
         self,
@@ -280,16 +457,11 @@ class ParallelRunner:
     ) -> SweepResult:
         """Cross-product sweep over ``grid``, returned as a
         :class:`~repro.analysis.sweeps.SweepResult`."""
-        import itertools
+        from repro.spec.model import SweepSpec
 
         if not grid:
             raise ValueError("grid must not be empty")
-        names = list(grid)
-        parameter_sets = [
-            dict(zip(names, combo))
-            for combo in itertools.product(*(grid[name] for name in names))
-        ]
-        return SweepResult(cells=self.map_cells(cell_fn, parameter_sets, rng=rng))
+        return self.run_sweep(SweepSpec(grid=grid), cell_fn, rng=rng)
 
     def run_replications(
         self,

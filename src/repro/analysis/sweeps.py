@@ -10,7 +10,6 @@ analyses in the examples.
 from __future__ import annotations
 
 import functools
-import itertools
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -101,8 +100,9 @@ def _learner_cell(
     from repro.analysis.parallel import resolve_shared_array
 
     trace = resolve_shared_array(shared_trace)
+    learner_params = {k: v for k, v in params.items() if k != "replication"}
     population = LearnerPopulation(
-        num_peers, num_helpers, u_max=u_max, rng=seed, **params
+        num_peers, num_helpers, u_max=u_max, rng=seed, **learner_params
     )
     trajectory = population.run(TraceCapacityProcess(trace), num_stages)
     return {
@@ -111,7 +111,7 @@ def _learner_cell(
 
 
 def sweep_learner_parameters(
-    grid: Mapping[str, Sequence[object]],
+    grid,
     num_peers: int,
     num_helpers: int,
     num_stages: int,
@@ -125,8 +125,10 @@ def sweep_learner_parameters(
     """Sweep :class:`~repro.core.population.LearnerPopulation` parameters.
 
     ``grid`` maps LearnerPopulation keyword names (``epsilon``, ``delta``,
-    ``mu``) to value lists; the full cross product is evaluated against a
-    single shared bandwidth realization.
+    ``mu``) to value lists — a plain mapping or a
+    :class:`~repro.spec.SweepSpec` (whose ``replications`` also apply);
+    the full cross product is evaluated against a single shared bandwidth
+    realization.
 
     Pass a :class:`~repro.analysis.parallel.ParallelRunner` to fan cells
     across processes.  The parallel path computes :func:`default_metrics`
@@ -138,7 +140,10 @@ def sweep_learner_parameters(
     the placement: shared memory, on-disk ``.npy`` or inline) instead of
     being pickled into every cell payload.
     """
-    if not grid:
+    from repro.spec.model import SweepSpec
+
+    sweep = grid if isinstance(grid, SweepSpec) else SweepSpec(grid=dict(grid))
+    if not sweep.grid:
         raise ValueError("grid must not be empty")
     parent = as_generator(rng)
     env = paper_bandwidth_process(
@@ -158,19 +163,17 @@ def sweep_learner_parameters(
             cell_fn = functools.partial(
                 _learner_cell, handle, num_peers, num_helpers, num_stages, u_max
             )
-            return runner.run_grid(grid, cell_fn, rng=parent)
+            return runner.run_sweep(sweep, cell_fn, rng=parent)
 
     metric_fns = dict(metrics) if metrics is not None else default_metrics(u_max)
     result = SweepResult()
-    names = list(grid)
-    for combo in itertools.product(*(grid[name] for name in names)):
-        params = dict(zip(names, combo))
+    for params in sweep.parameter_sets():
         population = LearnerPopulation(
             num_peers,
             num_helpers,
             u_max=u_max,
             rng=derive_seed(parent),
-            **params,
+            **{k: v for k, v in params.items() if k != "replication"},
         )
         trajectory = population.run(TraceCapacityProcess(shared.copy()), num_stages)
         result.cells.append(

@@ -6,6 +6,8 @@ Usage::
     python -m repro figure all
     python -m repro scenario --peers 30 --helpers 5 --stages 2000 --seed 1
     python -m repro run --backend=vectorized --peers 100000 --workers 4
+    python -m repro run --spec examples/smoke.json
+    python -m repro run --peers 500 --churn-rate 2 --mean-lifetime 50 --dump-spec
     python -m repro list
 
 ``figure`` regenerates one (or all) of the paper's figures and prints the
@@ -16,33 +18,42 @@ executes the *full streaming system* — channels, tracker, churn, origin
 server — on either the scalar (``repro.sim``) or the vectorized
 (``repro.runtime``) backend, optionally fanning replications across worker
 processes.
+
+``run`` is a thin adapter over the declarative spec layer: the flags
+compile into an :class:`~repro.spec.ExperimentSpec` (printable with
+``--dump-spec``, loadable with ``--spec path.json``), component names
+resolve through the :mod:`repro.spec` registries — so plug-in learners
+and capacity backends appear automatically — and invalid specs (unknown
+names, ``--dtype float32`` with the scalar backend, ``--mean-lifetime``
+without churn) fail at parse time with the list of valid choices.  When
+``--spec`` is given, any run flag set to a non-default value overrides
+the corresponding spec field (so one spec file drives both backends:
+``--spec smoke.json --backend scalar``).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
-from typing import Dict, List, Mapping, Optional
+from typing import List, Optional
 
 import numpy as np
 
-import repro
 from repro.analysis.experiments import ALL_FIGURES
 from repro.analysis.parallel import ParallelRunner
 from repro.analysis.reporting import render_table
 from repro.core import LearnerPopulation, empirical_ce_regret
-from repro.game.baselines import StickyLearner, UniformRandomLearner
 from repro.mdp import solve_symmetric_optimum
 from repro.metrics import jain_index, load_balance_report
-from repro.sim import (
-    PAPER_BANDWIDTH_LEVELS,
-    ChurnConfig,
-    StreamingSystem,
-    SystemConfig,
-    paper_bandwidth_process,
+from repro.sim import paper_bandwidth_process
+from repro.spec import (
+    CAPACITY_BACKENDS,
+    LEARNERS,
+    METRICS,
+    SCENARIOS,
+    ExperimentSpec,
+    SweepSpec,
 )
-from repro.runtime import VectorizedStreamingSystem, bank_factory
 
 FIGURE_DESCRIPTIONS = {
     "fig1": "worst-player regret decay (large scale)",
@@ -51,6 +62,33 @@ FIGURE_DESCRIPTIONS = {
     "fig4": "per-peer bandwidth fairness",
     "fig5": "server workload vs. minimum bandwidth deficit",
 }
+
+#: run-flag dest -> ExperimentSpec override path (see --spec in the help).
+RUN_FLAG_SPEC_PATHS = {
+    "backend": "backend",
+    "rounds": "rounds",
+    "seed": "seed",
+    "peers": "topology.num_peers",
+    "helpers": "topology.num_helpers",
+    "channels": "topology.num_channels",
+    "bitrate": "topology.channel_bitrates",
+    "stay": "capacity.stay_probability",
+    "capacity_backend": "capacity.backend",
+    "learner": "learner.name",
+    "epsilon": "learner.epsilon",
+    "delta": "learner.delta",
+    "mu": "learner.mu",
+    "dtype": "learner.dtype",
+    "churn_rate": "churn.arrival_rate",
+    "mean_lifetime": "churn.mean_lifetime",
+}
+
+#: The flags above are registered with ``argparse.SUPPRESS`` defaults, so
+#: compile_run_spec can tell "explicitly passed" (overrides the --spec
+#: file, even when the value equals the dataclass default) from "left
+#: unset" (the file's value — or the ExperimentSpec field default —
+#: wins).  The field defaults on the spec dataclasses are the single
+#: source of run defaults.
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,48 +126,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the full streaming system (scalar or vectorized backend)",
     )
     runp.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="load the experiment from an ExperimentSpec JSON file; "
+        "explicitly-set run flags override the file's fields",
+    )
+    runp.add_argument(
+        "--dump-spec",
+        action="store_true",
+        help="print the compiled ExperimentSpec JSON and exit without running",
+    )
+    unset = argparse.SUPPRESS  # see RUN_FLAG_DEFAULTS
+    runp.add_argument(
         "--backend",
         choices=["scalar", "vectorized"],
-        default="vectorized",
-        help="peer representation: Python objects or numpy arrays",
+        default=unset,
+        help="peer representation: Python objects or numpy arrays "
+        "(default vectorized)",
     )
     runp.add_argument(
         "--capacity-backend",
-        choices=["auto", "scalar", "vectorized"],
-        default="auto",
-        help="helper-bandwidth environment: per-helper Markov chain objects "
-        "or one array-backed chain bank ('auto' matches --backend)",
+        default=unset,
+        help="helper-bandwidth environment: 'auto' (match --backend, the "
+        "default) or a registered capacity backend "
+        f"({', '.join(CAPACITY_BACKENDS.names())})",
     )
     runp.add_argument(
         "--dtype",
         choices=["float32", "float64"],
-        default="float64",
+        default=unset,
         help="learner-bank and peer-store precision (float32 halves the "
-        "regret update's memory traffic; vectorized backend only)",
+        "regret update's memory traffic; vectorized backend only; "
+        "default float64)",
     )
-    runp.add_argument("--peers", type=int, default=1000)
-    runp.add_argument("--helpers", type=int, default=20)
-    runp.add_argument("--channels", type=int, default=1)
-    runp.add_argument("--rounds", type=int, default=200)
-    runp.add_argument("--bitrate", type=float, default=350.0)
+    runp.add_argument("--peers", type=int, default=unset)
+    runp.add_argument("--helpers", type=int, default=unset)
+    runp.add_argument("--channels", type=int, default=unset)
+    runp.add_argument("--rounds", type=int, default=unset)
+    runp.add_argument("--bitrate", type=float, default=unset)
     runp.add_argument(
         "--learner",
-        choices=["rths", "r2hs", "uniform", "sticky"],
-        default="r2hs",
+        default=unset,
+        help="registered learner family "
+        f"({', '.join(LEARNERS.names())}; default r2hs)",
     )
-    runp.add_argument("--epsilon", type=float, default=0.05)
-    runp.add_argument("--delta", type=float, default=0.1)
-    runp.add_argument("--mu", type=float, default=None)
-    runp.add_argument("--stay", type=float, default=0.9)
+    runp.add_argument("--epsilon", type=float, default=unset)
+    runp.add_argument("--delta", type=float, default=unset)
+    runp.add_argument("--mu", type=float, default=unset)
+    runp.add_argument("--stay", type=float, default=unset)
     runp.add_argument(
-        "--churn-rate", type=float, default=0.0,
+        "--churn-rate", type=float, default=unset,
         help="Poisson arrival rate (0 disables churn)",
     )
     runp.add_argument(
-        "--mean-lifetime", type=float, default=None,
-        help="mean exponential peer lifetime (requires --churn-rate > 0)",
+        "--mean-lifetime", type=float, default=unset,
+        help="mean exponential peer lifetime (requires churn arrivals)",
     )
-    runp.add_argument("--seed", type=int, default=0)
+    runp.add_argument("--seed", type=int, default=unset)
     runp.add_argument(
         "--replications", type=int, default=1,
         help="independent repetitions (deterministically seeded)",
@@ -139,108 +193,100 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the replications",
     )
 
-    sub.add_parser("list", help="list the available figures")
+    sub.add_parser(
+        "list", help="list the available figures and registered components"
+    )
     return parser
 
 
-def _system_cell(params: Mapping[str, object], seed: int) -> Dict[str, float]:
-    """Run one streaming-system replication; picklable for ParallelRunner."""
-    churn = ChurnConfig(
-        arrival_rate=float(params["churn_rate"]),
-        mean_lifetime=params["mean_lifetime"],
-    )
-    config = SystemConfig(
-        num_peers=int(params["peers"]),
-        num_helpers=int(params["helpers"]),
-        num_channels=int(params["channels"]),
-        channel_bitrates=float(params["bitrate"]),
-        stay_probability=float(params["stay"]),
-        churn=churn,
-    )
-    u_max = float(max(PAPER_BANDWIDTH_LEVELS))
-    learner = str(params["learner"])
-    epsilon = float(params["epsilon"])
-    delta = float(params["delta"])
-    mu = params["mu"]
-    capacity_backend = str(params.get("capacity_backend", "auto"))
-    if capacity_backend == "auto":
-        capacity_backend = (
-            "vectorized" if params["backend"] == "vectorized" else "scalar"
-        )
-    dtype = np.dtype(str(params.get("dtype", "float64")))
-    start = time.perf_counter()
-    if params["backend"] == "vectorized":
-        system = VectorizedStreamingSystem(
-            config,
-            bank_factory(
-                learner, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max,
-                dtype=dtype,
-            ),
-            rng=seed,
-            capacity_backend=capacity_backend,
-            dtype=dtype,
-        )
-    else:
-        system = StreamingSystem(
-            config,
-            _scalar_learner_factory(learner, epsilon, delta, mu, u_max),
-            rng=seed,
-            capacity_backend=capacity_backend,
-        )
-    trace = system.run(int(params["rounds"]))
-    elapsed = time.perf_counter() - start
-    summary = trace.summary()
-    summary["elapsed_s"] = elapsed
-    summary["rounds_per_s"] = float(params["rounds"]) / elapsed
-    return summary
+def compile_run_spec(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> ExperimentSpec:
+    """Compile ``run`` flags (and an optional ``--spec`` file) into a spec.
 
-
-def _scalar_learner_factory(learner, epsilon, delta, mu, u_max):
-    if learner == "r2hs":
-        return lambda h, rng: repro.R2HSLearner(
-            h, rng=rng, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max
-        )
-    if learner == "rths":
-        return lambda h, rng: repro.RTHSLearner(
-            h, rng=rng, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max
-        )
-    if learner == "uniform":
-        return lambda h, rng: UniformRandomLearner(h, rng=rng)
-    if learner == "sticky":
-        return lambda h, rng: StickyLearner(h, rng=rng)
-    raise ValueError(f"unknown learner {learner!r}")
-
-
-def _run_system(args, out) -> None:
-    params = {
-        "backend": args.backend,
-        "peers": args.peers,
-        "helpers": args.helpers,
-        "channels": args.channels,
-        "rounds": args.rounds,
-        "bitrate": args.bitrate,
-        "learner": args.learner,
-        "epsilon": args.epsilon,
-        "delta": args.delta,
-        "mu": args.mu,
-        "stay": args.stay,
-        "churn_rate": args.churn_rate,
-        "mean_lifetime": args.mean_lifetime,
-        "capacity_backend": args.capacity_backend,
-        "dtype": args.dtype,
+    All spec validation — unknown registry names, illegal
+    ``--dtype``/``--backend`` combinations, malformed JSON — happens
+    here, immediately after parsing, and reports through
+    ``parser.error`` (clear message, exit code 2) instead of surfacing
+    deep inside system construction.
+    """
+    # SUPPRESS defaults: a flag attribute exists iff the user passed it.
+    provided = {
+        flag for flag in RUN_FLAG_SPEC_PATHS if hasattr(args, flag)
     }
-    runner = ParallelRunner(workers=args.workers)
-    cells = runner.run_replications(
-        _system_cell, params, args.replications, rng=args.seed
-    )
+    try:
+        if args.spec is not None:
+            spec = ExperimentSpec.load(args.spec)
+        else:
+            spec = ExperimentSpec(name="cli-run")
+        overrides = {
+            RUN_FLAG_SPEC_PATHS[flag]: getattr(args, flag)
+            for flag in provided
+        }
+        if overrides:
+            spec = spec.with_overrides(overrides)
+    except (OSError, ValueError, KeyError) as exc:
+        parser.error(str(exc))
+    if (
+        spec.churn.mean_lifetime is not None
+        and spec.churn.arrival_rate <= 0
+        and not spec.churn.initial_peer_lifetimes
+    ):
+        # Checked on the *compiled* spec so a churn-enabling --spec file
+        # legitimizes --mean-lifetime.
+        parser.error(
+            "churn mean_lifetime requires arrival_rate > 0 "
+            "(--churn-rate) or initial_peer_lifetimes"
+        )
+    return spec
+
+
+def _run_system(parser, args, out) -> None:
+    from repro.analysis.sweeps import SweepCell
+    from repro.spec import run_spec_cell
+
+    if args.replications < 1:
+        parser.error("--replications must be >= 1")
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    spec = compile_run_spec(parser, args)
+    if args.dump_spec:
+        print(spec.to_json(), file=out)
+        return
+    # The spec file's sweep section is honored; --replications > 1 adds
+    # (or overrides) the replication count on top of its grid.
+    sweep = spec.sweep_spec
+    if args.replications > 1:
+        sweep = SweepSpec(
+            grid=sweep.grid if sweep is not None else {},
+            replications=args.replications,
+        )
+    replications = sweep.replications if sweep is not None else 1
+    if sweep is None:
+        # No sweep, one replication: the run IS the spec — execute it
+        # with the spec's own seed so `repro run --spec x.json`
+        # reproduces `spec.run()` (and the golden expectations) exactly.
+        cells = [
+            SweepCell(
+                parameters={},
+                metrics=run_spec_cell(spec.to_dict(), {}, spec.seed),
+            )
+        ]
+    else:
+        runner = ParallelRunner(workers=args.workers)
+        cells = spec.sweep(runner=runner, sweep=sweep).cells
+    topo = spec.topology
     print(
-        f"run: backend={args.backend} learner={args.learner} "
-        f"N={args.peers} H={args.helpers} C={args.channels} "
-        f"rounds={args.rounds} replications={args.replications} "
-        f"workers={runner.workers}",
+        f"run: backend={spec.backend} learner={spec.learner.name} "
+        f"N={topo.num_peers} H={topo.num_helpers} C={topo.num_channels} "
+        f"rounds={spec.rounds} replications={replications} "
+        f"cells={len(cells)} workers={args.workers}",
         file=out,
     )
-    metric_names = list(cells[0].metrics)
+    metric_names = [
+        name for name in cells[0].metrics
+        if np.ndim(cells[0].metrics[name]) == 0
+    ]
     values = {
         name: np.array([cell.metrics[name] for cell in cells])
         for name in metric_names
@@ -292,13 +338,27 @@ def _run_scenario(args, out) -> None:
     print(f"Jain of peer rates   : {jain_index(per_peer):10.4f}", file=out)
 
 
+def _run_list(out) -> None:
+    for name in sorted(ALL_FIGURES):
+        print(f"{name}: {FIGURE_DESCRIPTIONS[name]}", file=out)
+    print(file=out)
+    print("registered components (repro.spec registries):", file=out)
+    print(f"  scenarios         : {', '.join(SCENARIOS.names())}", file=out)
+    print(f"  learners          : {', '.join(LEARNERS.names())}", file=out)
+    print(
+        f"  capacity backends : {', '.join(CAPACITY_BACKENDS.names())}",
+        file=out,
+    )
+    print(f"  metrics           : {', '.join(METRICS.names())}", file=out)
+
+
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     """CLI entry point; returns a process exit code."""
     out = out if out is not None else sys.stdout
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     if args.command == "list":
-        for name in sorted(ALL_FIGURES):
-            print(f"{name}: {FIGURE_DESCRIPTIONS[name]}", file=out)
+        _run_list(out)
         return 0
     if args.command == "figure":
         _run_figure(args.which, args.seed, out)
@@ -307,6 +367,6 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         _run_scenario(args, out)
         return 0
     if args.command == "run":
-        _run_system(args, out)
+        _run_system(parser, args, out)
         return 0
     return 2  # unreachable: argparse enforces the choices

@@ -1,0 +1,73 @@
+"""Declarative experiment specs and component registries.
+
+The public API of the spec layer:
+
+* :class:`~repro.spec.model.ExperimentSpec` and its section dataclasses —
+  one serializable description of an experiment that every layer
+  (workloads, analysis, CLI, both system backends) consumes;
+* the component registries and their ``register_*`` hooks — the plug-in
+  points for third-party capacity backends, learners, scenarios and
+  metrics;
+* :func:`~repro.spec.cells.run_spec_cell` — the picklable sweep cell.
+
+Built-in components register on import (:mod:`repro.spec.builtins`);
+scenario presets register from :mod:`repro.workloads.scenarios`.
+"""
+
+from repro.spec.registry import (
+    CAPACITY_BACKENDS,
+    LEARNERS,
+    METRICS,
+    SCENARIOS,
+    LearnerEntry,
+    Registry,
+    UnknownComponentError,
+    register_capacity_backend,
+    register_learner,
+    register_metric,
+    register_scenario,
+)
+
+import repro.spec.builtins  # noqa: F401  (registers the stock components)
+
+from repro.spec.cells import run_spec_cell
+from repro.spec.model import (
+    SPEC_DTYPES,
+    SYSTEM_BACKENDS,
+    CapacitySpec,
+    ChurnSpec,
+    ExperimentSpec,
+    LearnerSpec,
+    MetricsSpec,
+    RunResult,
+    SweepSpec,
+    TopologySpec,
+)
+
+__all__ = [
+    # registries
+    "Registry",
+    "LearnerEntry",
+    "UnknownComponentError",
+    "CAPACITY_BACKENDS",
+    "LEARNERS",
+    "SCENARIOS",
+    "METRICS",
+    "register_capacity_backend",
+    "register_learner",
+    "register_scenario",
+    "register_metric",
+    # model
+    "ExperimentSpec",
+    "TopologySpec",
+    "CapacitySpec",
+    "LearnerSpec",
+    "ChurnSpec",
+    "MetricsSpec",
+    "SweepSpec",
+    "RunResult",
+    "SYSTEM_BACKENDS",
+    "SPEC_DTYPES",
+    # cells
+    "run_spec_cell",
+]

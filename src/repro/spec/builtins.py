@@ -1,0 +1,137 @@
+"""Built-in registry entries: the components the core packages ship.
+
+Imported for its side effects by :mod:`repro.spec` before the spec model,
+so every :class:`~repro.spec.model.ExperimentSpec` can resolve the stock
+names.  Scenario presets register themselves from
+:mod:`repro.workloads.scenarios` (the workloads layer depends on the spec
+layer, never the reverse).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.r2hs import R2HSLearner
+from repro.core.rths import RTHSLearner
+from repro.game.baselines import StickyLearner, UniformRandomLearner
+from repro.metrics.fairness import jain_index
+from repro.runtime.learner_bank import bank_factory as _runtime_bank_factory
+from repro.sim.bandwidth import paper_bandwidth_process
+from repro.spec.registry import (
+    register_capacity_backend,
+    register_learner,
+    register_metric,
+)
+
+# ----------------------------------------------------------------------
+# Capacity backends
+# ----------------------------------------------------------------------
+
+
+def _paper_backend(backend: str):
+    def build(num_helpers, *, levels, stay_probability, rng):
+        return paper_bandwidth_process(
+            num_helpers,
+            levels=levels,
+            stay_probability=stay_probability,
+            rng=rng,
+            backend=backend,
+        )
+
+    return build
+
+
+register_capacity_backend("scalar", _paper_backend("scalar"))
+register_capacity_backend("vectorized", _paper_backend("vectorized"))
+
+
+# ----------------------------------------------------------------------
+# Learner families (each drives both system backends)
+# ----------------------------------------------------------------------
+
+
+def _regret_scalar(cls):
+    def build(epsilon, delta, mu, u_max):
+        return lambda h, rng: cls(
+            h, rng=rng, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max
+        )
+
+    return build
+
+
+def _regret_bank(kind):
+    def build(epsilon, delta, mu, u_max, dtype):
+        return _runtime_bank_factory(
+            kind, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max, dtype=dtype
+        )
+
+    return build
+
+
+def _uniform_scalar(epsilon, delta, mu, u_max):
+    return lambda h, rng: UniformRandomLearner(h, rng=rng)
+
+
+def _uniform_bank(epsilon, delta, mu, u_max, dtype):
+    return _runtime_bank_factory("uniform")
+
+
+def _sticky_scalar(epsilon, delta, mu, u_max):
+    return lambda h, rng: StickyLearner(h, rng=rng)
+
+
+def _sticky_bank(epsilon, delta, mu, u_max, dtype):
+    return _runtime_bank_factory("sticky")
+
+
+register_learner(
+    "rths", scalar=_regret_scalar(RTHSLearner), bank=_regret_bank("rths"),
+    min_actions=2,
+)
+register_learner(
+    "r2hs", scalar=_regret_scalar(R2HSLearner), bank=_regret_bank("r2hs"),
+    min_actions=2,
+)
+register_learner("uniform", scalar=_uniform_scalar, bank=_uniform_bank)
+register_learner("sticky", scalar=_sticky_scalar, bank=_sticky_bank)
+
+
+# ----------------------------------------------------------------------
+# Trace metrics (headline scalars + opt-in per-round series)
+# ----------------------------------------------------------------------
+
+register_metric("rounds", lambda trace: float(trace.num_rounds))
+register_metric("mean_welfare", lambda trace: float(trace.welfare.mean()))
+register_metric("final_welfare", lambda trace: float(trace.welfare[-1]))
+register_metric(
+    "tail_welfare",
+    lambda trace: float(trace.welfare[-max(1, trace.num_rounds // 4):].mean()),
+)
+register_metric(
+    "mean_server_load", lambda trace: float(trace.server_load.mean())
+)
+register_metric(
+    "mean_min_deficit", lambda trace: float(trace.min_deficit.mean())
+)
+register_metric(
+    "mean_online_peers", lambda trace: float(trace.online_peers.mean())
+)
+register_metric(
+    "load_jain",
+    lambda trace: float(jain_index(trace.loads.mean(axis=0).astype(float))),
+)
+# Per-round series: array-valued metrics.  Sweeps fan these back from
+# worker processes through shared memory (see
+# repro.analysis.parallel result handoff), so requesting them at scale
+# does not turn result pickling into the bottleneck.
+register_metric(
+    "welfare_series", lambda trace: np.asarray(trace.welfare, dtype=float)
+)
+register_metric(
+    "server_load_series",
+    lambda trace: np.asarray(trace.server_load, dtype=float),
+)
+register_metric(
+    "online_peers_series",
+    lambda trace: np.asarray(trace.online_peers, dtype=float),
+)

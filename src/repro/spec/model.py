@@ -1,0 +1,662 @@
+"""The declarative experiment description: one serializable spec.
+
+Every experiment in this repository is an instance of one shape — a
+peer/helper/channel topology, a capacity process, a learner family, an
+optional churn model, and a metric set.  :class:`ExperimentSpec` captures
+that shape as a frozen, JSON/dict-round-trippable dataclass tree and is
+the single description every layer consumes:
+
+* ``spec.build()`` returns a configured
+  :class:`~repro.sim.system.StreamingSystem` or
+  :class:`~repro.runtime.VectorizedStreamingSystem` (``backend`` picks the
+  representation; everything else is shared).
+* ``spec.run(seed=...)`` builds, runs ``rounds`` learning rounds, and
+  evaluates the spec's registered metrics.
+* ``spec.sweep(workers=...)`` fans a :class:`SweepSpec` grid and/or
+  replications across a
+  :class:`~repro.analysis.parallel.ParallelRunner`.
+
+Component *names* inside the spec (capacity backend, learner, metrics)
+resolve through the registries in :mod:`repro.spec.registry`, so
+third-party scenarios and backends plug in without touching core code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.bandwidth import PAPER_BANDWIDTH_LEVELS
+from repro.sim.churn import ChurnConfig
+from repro.spec.registry import CAPACITY_BACKENDS, LEARNERS, METRICS
+from repro.util.rng import Seedish, as_generator, spawn
+
+#: System backends a spec can target.
+SYSTEM_BACKENDS = ("scalar", "vectorized")
+
+#: Learner storage precisions a spec can request.
+SPEC_DTYPES = ("float32", "float64")
+
+
+def _check_unknown_keys(cls, data: Mapping[str, Any]) -> None:
+    allowed = {f.name for f in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} field(s) {unknown}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _opt_tuple(value) -> Optional[Tuple]:
+    if value is None:
+        return None
+    return tuple(value)
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Who is in the system: peers, helpers, channels.
+
+    ``channel_bitrates`` is the per-peer playback demand (kbit/s) — one
+    float for all channels or one per channel.  ``channel_popularity``
+    weights initial and churn-time channel assignment (``None`` =
+    uniform); ``channel_switch_rate`` is the Poisson rate of viewer
+    channel switches.
+    """
+
+    num_peers: int = 1000
+    num_helpers: int = 20
+    num_channels: int = 1
+    channel_bitrates: Any = 350.0
+    channel_popularity: Optional[Tuple[float, ...]] = None
+    channel_switch_rate: float = 0.0
+    round_duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.channel_bitrates, (int, float)):
+            object.__setattr__(
+                self, "channel_bitrates", tuple(float(r) for r in self.channel_bitrates)
+            )
+        object.__setattr__(
+            self, "channel_popularity", _opt_tuple(self.channel_popularity)
+        )
+        # Mirror SystemConfig's construction-time checks so malformed
+        # specs fail here (where the CLI reports cleanly) instead of deep
+        # inside build().
+        if self.num_peers < 1:
+            raise ValueError("topology num_peers must be >= 1")
+        if self.num_channels < 1:
+            raise ValueError("topology num_channels must be >= 1")
+        if self.num_helpers < self.num_channels:
+            raise ValueError(
+                "topology needs at least one helper per channel "
+                f"(num_helpers={self.num_helpers}, "
+                f"num_channels={self.num_channels})"
+            )
+        rates = self.channel_bitrates
+        rates = (rates,) if isinstance(rates, (int, float)) else rates
+        if any(r <= 0 for r in rates):
+            raise ValueError("topology channel_bitrates must be positive")
+        if self.channel_switch_rate < 0:
+            raise ValueError("topology channel_switch_rate must be >= 0")
+        if self.round_duration <= 0:
+            raise ValueError("topology round_duration must be positive")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        _check_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CapacitySpec:
+    """The helper-bandwidth environment and the origin server budget.
+
+    ``backend`` names a registered capacity backend (``"scalar"``,
+    ``"vectorized"``, or a plug-in); ``"auto"`` follows the system
+    backend.  ``server_capacity`` is the origin server's per-round upload
+    budget (``None`` = unbounded; JSON has no ``inf``).
+    """
+
+    backend: str = "auto"
+    levels: Tuple[float, ...] = PAPER_BANDWIDTH_LEVELS
+    stay_probability: float = 0.9
+    server_capacity: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "levels", tuple(float(v) for v in self.levels))
+        if self.backend != "auto":
+            CAPACITY_BACKENDS.get(self.backend)  # raises with the menu
+        if not self.levels:
+            raise ValueError("capacity levels must not be empty")
+        if not 0 < self.stay_probability < 1:
+            raise ValueError("stay_probability must lie strictly in (0, 1)")
+        if self.server_capacity is not None and self.server_capacity <= 0:
+            raise ValueError("server_capacity must be positive or None")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CapacitySpec":
+        _check_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class LearnerSpec:
+    """The helper-selection strategy family and its hyper-parameters.
+
+    ``name`` resolves through the learner registry on either backend.
+    ``u_max`` is the utility normalizer; ``None`` defaults to the highest
+    capacity level.  ``dtype`` selects the vectorized banks' storage
+    precision (``"float32"`` is vectorized-backend-only).
+    """
+
+    name: str = "r2hs"
+    epsilon: float = 0.05
+    delta: float = 0.1
+    mu: Optional[float] = None
+    u_max: Optional[float] = None
+    dtype: str = "float64"
+
+    def __post_init__(self) -> None:
+        LEARNERS.get(self.name)  # raises with the menu
+        if self.dtype not in SPEC_DTYPES:
+            raise ValueError(
+                f"dtype must be one of {SPEC_DTYPES}, got {self.dtype!r}"
+            )
+        if not 0 < self.epsilon <= 1 or not 0 < self.delta < 1:
+            raise ValueError("epsilon in (0,1], delta in (0,1) required")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "LearnerSpec":
+        _check_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Peer join/leave dynamics (all zeros = a fixed population)."""
+
+    arrival_rate: float = 0.0
+    mean_lifetime: Optional[float] = None
+    initial_peer_lifetimes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.arrival_rate < 0:
+            raise ValueError("churn arrival_rate must be >= 0")
+        if self.mean_lifetime is not None and self.mean_lifetime <= 0:
+            raise ValueError("churn mean_lifetime must be positive or None")
+
+    def to_config(self) -> ChurnConfig:
+        return ChurnConfig(
+            arrival_rate=self.arrival_rate,
+            mean_lifetime=self.mean_lifetime,
+            initial_peer_lifetimes=self.initial_peer_lifetimes,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChurnSpec":
+        _check_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class MetricsSpec:
+    """Which registered metrics a run reports.
+
+    An empty ``metrics`` tuple means the trace's headline ``summary()``
+    dict.  ``record_peers`` enables dense per-peer recording (fixed
+    populations only).
+    """
+
+    metrics: Tuple[str, ...] = ()
+    record_peers: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        for name in self.metrics:
+            METRICS.get(name)  # raises with the menu
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MetricsSpec":
+        _check_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of spec overrides plus a replication count.
+
+    ``grid`` maps override paths — dotted spec-field paths such as
+    ``"learner.epsilon"`` or top-level fields such as ``"backend"`` — to
+    value lists; the cross product is evaluated, each cell ``replications``
+    times with independently derived seeds.
+    """
+
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    replications: int = 1
+
+    def __post_init__(self) -> None:
+        grid = {}
+        for name, values in dict(self.grid).items():
+            # Any iterable of values works (list, tuple, ndarray, range),
+            # but a bare scalar — notably a string, which would iterate
+            # into per-character cells — is a spec mistake.
+            if isinstance(values, (str, bytes)):
+                raise ValueError(
+                    f"sweep grid entry {name!r} must be a list of values, "
+                    f"got the string {values!r}"
+                )
+            try:
+                grid[str(name)] = tuple(values)
+            except TypeError:
+                raise ValueError(
+                    f"sweep grid entry {name!r} must be a list of values, "
+                    f"got {values!r}"
+                ) from None
+        object.__setattr__(self, "grid", grid)
+        if self.replications < 1:
+            raise ValueError("replications must be >= 1")
+        for name, values in self.grid.items():
+            if not values:
+                raise ValueError(f"sweep grid entry {name!r} must not be empty")
+
+    def parameter_sets(self) -> List[Dict[str, Any]]:
+        """All cells, in grid order: override dicts (plus ``replication``)."""
+        names = list(self.grid)
+        combos = (
+            itertools.product(*(self.grid[name] for name in names))
+            if names
+            else [()]
+        )
+        sets: List[Dict[str, Any]] = []
+        for combo in combos:
+            base = dict(zip(names, combo))
+            for r in range(self.replications):
+                cell = dict(base)
+                if self.replications > 1:
+                    cell["replication"] = r
+                sets.append(cell)
+        return sets
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "grid": {name: list(values) for name, values in self.grid.items()},
+            "replications": self.replications,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepSpec":
+        _check_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One executed spec: the trace plus the spec's evaluated metrics."""
+
+    spec: "ExperimentSpec"
+    trace: Any
+    metrics: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A complete, serializable experiment description.
+
+    See the module docstring for the facade methods.  All component names
+    (``backend``, ``capacity.backend``, ``learner.name``,
+    ``metrics.metrics``) are validated against the registries at
+    construction, so a malformed spec fails immediately — with the list
+    of registered names — rather than deep inside system construction.
+    """
+
+    name: str = "experiment"
+    backend: str = "vectorized"
+    rounds: int = 200
+    seed: int = 0
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    capacity: CapacitySpec = field(default_factory=CapacitySpec)
+    learner: LearnerSpec = field(default_factory=LearnerSpec)
+    churn: ChurnSpec = field(default_factory=ChurnSpec)
+    metrics: MetricsSpec = field(default_factory=MetricsSpec)
+    sweep_spec: Optional[SweepSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.backend not in SYSTEM_BACKENDS:
+            raise ValueError(
+                f"backend must be one of {SYSTEM_BACKENDS}, got {self.backend!r}"
+            )
+        if self.rounds < 1:
+            raise ValueError("rounds must be >= 1")
+        if self.learner.dtype == "float32" and self.backend == "scalar":
+            raise ValueError(
+                "dtype float32 requires the vectorized backend "
+                "(scalar learners store float64 state); use "
+                'backend="vectorized" or dtype="float64"'
+            )
+        entry = LEARNERS.get(self.learner.name)
+        if self.backend == "scalar" and entry.scalar is None:
+            raise ValueError(
+                f"learner {self.learner.name!r} has no scalar implementation"
+            )
+        if self.backend == "vectorized" and entry.bank is None:
+            raise ValueError(
+                f"learner {self.learner.name!r} has no vectorized bank"
+            )
+        # Helpers partition round-robin, so the smallest channel gets
+        # floor(H/C) of them; the learner family's action set must fit.
+        topo = self.topology
+        if topo.num_helpers // topo.num_channels < entry.min_actions:
+            raise ValueError(
+                f"learner {self.learner.name!r} needs at least "
+                f"{entry.min_actions} helper(s) per channel; "
+                f"num_helpers={topo.num_helpers} over "
+                f"num_channels={topo.num_channels} leaves a channel with "
+                f"{topo.num_helpers // topo.num_channels}"
+            )
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain nested dict; ``from_dict`` round-trips it."""
+        return {
+            "name": self.name,
+            "backend": self.backend,
+            "rounds": self.rounds,
+            "seed": self.seed,
+            "topology": self.topology.to_dict(),
+            "capacity": self.capacity.to_dict(),
+            "learner": self.learner.to_dict(),
+            "churn": self.churn.to_dict(),
+            "metrics": self.metrics.to_dict(),
+            "sweep": None if self.sweep_spec is None else self.sweep_spec.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from :meth:`to_dict` output (or hand-written JSON).
+
+        Sections are optional (defaults apply); unknown keys raise with
+        the allowed field names.
+        """
+        data = dict(data)
+        sweep = data.pop("sweep", None)
+        sections = {
+            "topology": TopologySpec,
+            "capacity": CapacitySpec,
+            "learner": LearnerSpec,
+            "churn": ChurnSpec,
+            "metrics": MetricsSpec,
+        }
+        kwargs: Dict[str, Any] = {}
+        for key, section_cls in sections.items():
+            if key in data:
+                kwargs[key] = section_cls.from_dict(data.pop(key) or {})
+        allowed_scalars = {"name", "backend", "rounds", "seed"}
+        unknown = sorted(set(data) - allowed_scalars)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentSpec field(s) {unknown}; allowed: "
+                f"{sorted(allowed_scalars | set(sections) | {'sweep'})}"
+            )
+        kwargs.update(data)
+        if sweep is not None:
+            kwargs["sweep_spec"] = SweepSpec.from_dict(sweep)
+        return cls(**kwargs)
+
+    def to_json(self, indent: int = 2) -> str:
+        """The spec as JSON text (tuples serialize as lists)."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse JSON text produced by :meth:`to_json` (or hand-written)."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def load(cls, path) -> "ExperimentSpec":
+        """Read a spec from a JSON file."""
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_json(fh.read())
+
+    def save(self, path) -> None:
+        """Write the spec to a JSON file."""
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ExperimentSpec":
+        """A new spec with dotted-path fields replaced.
+
+        ``{"learner.epsilon": 0.1, "backend": "scalar"}`` — paths address
+        :meth:`to_dict` keys; unknown paths raise with the valid keys at
+        the failing level.
+        """
+        data = self.to_dict()
+        for path, value in overrides.items():
+            node: Dict[str, Any] = data
+            parts = str(path).split(".")
+            for i, part in enumerate(parts[:-1]):
+                child = node.get(part)
+                if not isinstance(child, dict):
+                    raise ValueError(
+                        f"unknown override path {path!r}: {'.'.join(parts[: i + 1])!r} "
+                        f"is not a spec section; sections here: "
+                        f"{sorted(k for k, v in node.items() if isinstance(v, dict))}"
+                    )
+                node = child
+            leaf = parts[-1]
+            if leaf not in node:
+                raise ValueError(
+                    f"unknown override path {path!r}; valid keys here: "
+                    f"{sorted(node)}"
+                )
+            node[leaf] = value
+        return ExperimentSpec.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    @property
+    def u_max(self) -> float:
+        """Utility normalizer: explicit, or the highest capacity level."""
+        if self.learner.u_max is not None:
+            return float(self.learner.u_max)
+        return float(max(self.capacity.levels))
+
+    def resolved_capacity_backend(self) -> str:
+        """``capacity.backend`` with ``"auto"`` following the system backend."""
+        if self.capacity.backend != "auto":
+            return self.capacity.backend
+        return "vectorized" if self.backend == "vectorized" else "scalar"
+
+    def to_config(self):
+        """The :class:`~repro.sim.system.SystemConfig` both backends share."""
+        from repro.sim.system import SystemConfig
+
+        topo = self.topology
+        cap = self.capacity
+        return SystemConfig(
+            num_peers=topo.num_peers,
+            num_helpers=topo.num_helpers,
+            num_channels=topo.num_channels,
+            channel_bitrates=topo.channel_bitrates,
+            channel_popularity=topo.channel_popularity,
+            bandwidth_levels=cap.levels,
+            stay_probability=cap.stay_probability,
+            round_duration=topo.round_duration,
+            server_capacity=(
+                float("inf") if cap.server_capacity is None else cap.server_capacity
+            ),
+            churn=self.churn.to_config(),
+            channel_switch_rate=topo.channel_switch_rate,
+            record_peers=self.metrics.record_peers,
+        )
+
+    def scalar_learner_factory(self):
+        """A per-peer :data:`~repro.sim.system.LearnerFactory` for this spec."""
+        entry = LEARNERS.get(self.learner.name)
+        if entry.scalar is None:
+            raise ValueError(
+                f"learner {self.learner.name!r} has no scalar implementation"
+            )
+        hp = self.learner
+        return entry.scalar(
+            epsilon=hp.epsilon, delta=hp.delta, mu=hp.mu, u_max=self.u_max
+        )
+
+    def bank_factory(self):
+        """A per-channel :data:`~repro.runtime.learner_bank.BankFactory`."""
+        entry = LEARNERS.get(self.learner.name)
+        if entry.bank is None:
+            raise ValueError(
+                f"learner {self.learner.name!r} has no vectorized bank"
+            )
+        hp = self.learner
+        return entry.bank(
+            epsilon=hp.epsilon,
+            delta=hp.delta,
+            mu=hp.mu,
+            u_max=self.u_max,
+            dtype=np.dtype(self.learner.dtype),
+        )
+
+    def build_capacity_process(self, rng: Seedish = None):
+        """The spec's helper-bandwidth environment, via the registry."""
+        factory = CAPACITY_BACKENDS.get(self.resolved_capacity_backend())
+        return factory(
+            self.topology.num_helpers,
+            levels=self.capacity.levels,
+            stay_probability=self.capacity.stay_probability,
+            rng=self.seed if rng is None else rng,
+        )
+
+    def build_population(self, rng: Seedish = None):
+        """A bare :class:`~repro.core.population.LearnerPopulation`.
+
+        For repeated-game experiments (the paper's Figs. 1–4 pipelines)
+        that advance a population directly against a capacity process,
+        without the full streaming substrate.  Uses the spec's regret
+        hyper-parameters; the learner *family* distinction does not apply
+        (the population is the single RTHS/R2HS recursion).
+        """
+        from repro.core.population import LearnerPopulation
+
+        hp = self.learner
+        return LearnerPopulation(
+            num_peers=self.topology.num_peers,
+            num_helpers=self.topology.num_helpers,
+            epsilon=hp.epsilon,
+            mu=hp.mu,
+            delta=hp.delta,
+            u_max=self.u_max,
+            rng=self.seed if rng is None else rng,
+            dtype=np.dtype(hp.dtype),
+        )
+
+    def build(self, rng: Seedish = None, capacity_process=None):
+        """A ready-to-run system on the spec's backend.
+
+        ``rng`` defaults to the spec's ``seed``.  The capacity process is
+        built through the registry from a child generator spawned *first*
+        (mirroring the systems' internal construction order, so specs
+        reproduce the pre-spec RNG streams bit-for-bit); pass
+        ``capacity_process`` to inject a recorded trace for paired runs.
+        """
+        parent = as_generator(self.seed if rng is None else rng)
+        config = self.to_config()
+        if capacity_process is None:
+            capacity_process = self.build_capacity_process(rng=spawn(parent))
+        if self.backend == "vectorized":
+            from repro.runtime import VectorizedStreamingSystem
+
+            return VectorizedStreamingSystem(
+                config,
+                self.bank_factory(),
+                rng=parent,
+                capacity_process=capacity_process,
+                dtype=np.dtype(self.learner.dtype),
+            )
+        from repro.sim.system import StreamingSystem
+
+        return StreamingSystem(
+            config,
+            self.scalar_learner_factory(),
+            rng=parent,
+            capacity_process=capacity_process,
+        )
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+
+    def metrics_of(self, trace) -> Dict[str, Any]:
+        """Evaluate the spec's metric set on a trace."""
+        if not self.metrics.metrics:
+            return dict(trace.summary())
+        return {name: METRICS.get(name)(trace) for name in self.metrics.metrics}
+
+    def run(self, seed: Seedish = None) -> RunResult:
+        """Build, run ``rounds`` rounds, and evaluate the metrics."""
+        system = self.build(rng=seed)
+        trace = system.run(self.rounds)
+        return RunResult(spec=self, trace=trace, metrics=self.metrics_of(trace))
+
+    def sweep(
+        self,
+        workers: Optional[int] = 1,
+        rng: Seedish = None,
+        runner=None,
+        sweep: Optional[SweepSpec] = None,
+    ):
+        """Fan the spec's :class:`SweepSpec` across worker processes.
+
+        Returns a :class:`~repro.analysis.sweeps.SweepResult` whose cell
+        parameters are the grid overrides and whose metrics are each
+        cell's :meth:`run` output (array-valued metrics ride back through
+        the runner's shared-memory result handoff).  ``rng`` defaults to
+        the spec's ``seed``; seeds are derived per cell in grid order, so
+        results are worker-count-independent.
+
+        Workers rebuild the spec from its dict form, so specs naming
+        third-party registered components need those registrations
+        available in the workers (automatic under the ``fork`` start
+        method; see :mod:`repro.spec.registry` for ``spawn``).
+        """
+        import functools
+
+        from repro.analysis.parallel import ParallelRunner
+        from repro.spec.cells import run_spec_cell
+
+        sweep_spec = sweep if sweep is not None else self.sweep_spec
+        if sweep_spec is None:
+            sweep_spec = SweepSpec()
+        if runner is None:
+            runner = ParallelRunner(workers=workers)
+        cell_fn = functools.partial(run_spec_cell, self.to_dict())
+        return runner.run_sweep(
+            sweep_spec, cell_fn, rng=self.seed if rng is None else rng
+        )

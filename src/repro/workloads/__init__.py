@@ -13,6 +13,7 @@ from repro.workloads.popularity import zipf_popularity
 from repro.workloads.scenarios import (
     Scenario,
     fig5_scenario,
+    flash_crowd_spec,
     heterogeneous_scenario,
     large_scale_scenario,
     make_capacity_process,
@@ -21,8 +22,10 @@ from repro.workloads.scenarios import (
     make_system_config,
     make_vectorized_system,
     massive_scale_scenario,
+    popularity_skew_spec,
     run_scenario,
     small_scale_scenario,
+    spec_for_scenario,
 )
 
 __all__ = [
@@ -35,6 +38,9 @@ __all__ = [
     "fig5_scenario",
     "heterogeneous_scenario",
     "massive_scale_scenario",
+    "spec_for_scenario",
+    "popularity_skew_spec",
+    "flash_crowd_spec",
     "make_capacity_process",
     "make_heterogeneous_process",
     "make_learner_population",

@@ -19,18 +19,41 @@ by the ablation benches.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.population import LearnerPopulation
-from repro.sim.bandwidth import (
-    PAPER_BANDWIDTH_LEVELS,
-    MarkovCapacityProcess,
-    paper_bandwidth_process,
+from repro.sim.bandwidth import PAPER_BANDWIDTH_LEVELS, MarkovCapacityProcess
+from repro.spec import (
+    CAPACITY_BACKENDS,
+    CapacitySpec,
+    ChurnSpec,
+    ExperimentSpec,
+    LearnerSpec,
+    MetricsSpec,
+    TopologySpec,
+    register_scenario,
 )
 from repro.util.rng import Seedish, as_generator, spawn
+
+# Names whose deprecation has already been announced this process; the
+# shims below warn exactly once each, not per call.
+_DEPRECATION_WARNED: set = set()
+
+
+def _warn_deprecated(name: str, replacement: str) -> None:
+    if name in _DEPRECATION_WARNED:
+        return
+    _DEPRECATION_WARNED.add(name)
+    warnings.warn(
+        f"{name} is deprecated and will be removed in the next release; "
+        f"use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -68,6 +91,13 @@ class Scenario:
     def u_max(self) -> float:
         """Utility normalizer: the highest bandwidth level."""
         return float(max(self.bandwidth_levels))
+
+    def to_spec(self, **kwargs) -> ExperimentSpec:
+        """This scenario as an :class:`~repro.spec.ExperimentSpec`.
+
+        See :func:`spec_for_scenario` for the keyword arguments.
+        """
+        return spec_for_scenario(self, **kwargs)
 
 
 def small_scale_scenario(num_stages: int = 2000) -> Scenario:
@@ -158,6 +188,59 @@ def make_system_config(scenario: Scenario, **overrides) -> "SystemConfig":
     )
 
 
+def spec_for_scenario(
+    scenario: Scenario,
+    backend: str = "vectorized",
+    learner: str = "r2hs",
+    capacity_backend: str = "auto",
+    seed: int = 0,
+    dtype: str = "float64",
+    churn: Optional[ChurnSpec] = None,
+    channel_popularity: Optional[Tuple[float, ...]] = None,
+    metrics: Tuple[str, ...] = (),
+) -> ExperimentSpec:
+    """Translate a :class:`Scenario` bundle into an :class:`~repro.spec.ExperimentSpec`.
+
+    The scenario's scale, environment and learner hyper-parameters map
+    onto the spec sections; ``backend``, ``learner`` and
+    ``capacity_backend`` pick the registered implementations.  Peers with
+    no explicit demand stream at the historical default 350 kbit/s
+    (matching :func:`make_system_config`).
+    """
+    bitrate = (
+        scenario.demand_per_peer
+        if scenario.demand_per_peer is not None
+        else 350.0
+    )
+    return ExperimentSpec(
+        name=scenario.name,
+        backend=backend,
+        rounds=scenario.num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=scenario.num_peers,
+            num_helpers=scenario.num_helpers,
+            num_channels=scenario.num_channels,
+            channel_bitrates=bitrate,
+            channel_popularity=channel_popularity,
+        ),
+        capacity=CapacitySpec(
+            backend=capacity_backend,
+            levels=scenario.bandwidth_levels,
+            stay_probability=scenario.stay_probability,
+        ),
+        learner=LearnerSpec(
+            name=learner,
+            epsilon=scenario.epsilon,
+            delta=scenario.delta,
+            mu=scenario.mu,
+            dtype=dtype,
+        ),
+        churn=churn if churn is not None else ChurnSpec(),
+        metrics=MetricsSpec(metrics=metrics),
+    )
+
+
 def make_vectorized_system(
     scenario: Scenario,
     rng: Seedish = None,
@@ -167,11 +250,25 @@ def make_vectorized_system(
 ):
     """A ready-to-run :class:`~repro.runtime.VectorizedStreamingSystem`.
 
-    Builds the system config from the scenario and one learner bank per
-    channel with the scenario's hyper-parameters.  The environment defaults
-    to the vectorized capacity engine (pass
-    ``capacity_backend="scalar"`` for per-helper chain objects).
+    .. deprecated:: 1.1
+       Declare the experiment as an :class:`~repro.spec.ExperimentSpec`
+       (``scenario.to_spec(...).build()``) instead; this shim remains for
+       one release.
+
+    Without ``overrides`` this is a thin adapter over the spec path (and
+    produces bit-identical RNG streams); ``overrides`` pass through to
+    :func:`make_system_config` for config fields the spec does not carry.
     """
+    _warn_deprecated(
+        "make_vectorized_system", "scenario.to_spec(...).build()"
+    )
+    if not overrides:
+        # as_generator preserves the historical rng=None semantics (fresh
+        # OS entropy); spec.build(rng=None) would pin the spec's seed.
+        return spec_for_scenario(
+            scenario, backend="vectorized", learner=learner,
+            capacity_backend=capacity_backend,
+        ).build(rng=as_generator(rng))
     from repro.runtime import VectorizedStreamingSystem, bank_factory
 
     config = make_system_config(scenario, **overrides)
@@ -192,16 +289,24 @@ def make_capacity_process(
 ):
     """The scenario's helper-bandwidth environment.
 
-    ``backend`` picks :class:`~repro.sim.bandwidth.MarkovCapacityProcess`
-    (``"scalar"``, the default) or the array-backed
-    :class:`~repro.sim.bandwidth.VectorizedCapacityProcess`.
+    .. deprecated:: 1.1
+       Use ``scenario.to_spec(capacity_backend=...).build_capacity_process()``
+       or the capacity-backend registry; this shim remains for one
+       release.
+
+    ``backend`` names any registered capacity backend (``"scalar"`` and
+    ``"vectorized"`` are built in).
     """
-    return paper_bandwidth_process(
+    _warn_deprecated(
+        "make_capacity_process",
+        "ExperimentSpec.build_capacity_process or register_capacity_backend",
+    )
+    factory = CAPACITY_BACKENDS.get(backend)
+    return factory(
         scenario.num_helpers,
         levels=scenario.bandwidth_levels,
         stay_probability=scenario.stay_probability,
         rng=rng,
-        backend=backend,
     )
 
 
@@ -223,9 +328,18 @@ def make_learner_population(
 def run_scenario(
     scenario: Scenario, seed: int = 0
 ) -> Tuple[LearnerPopulation, "np.ndarray"]:
-    """Run a scenario end to end; returns (population, welfare series)."""
+    """Run a scenario end to end; returns (population, welfare series).
+
+    .. deprecated:: 1.1
+       Use ``scenario.to_spec(...).run(seed=...)`` (full streaming
+       system) or build the population/process pair from the spec; this
+       shim remains for one release.
+    """
+    _warn_deprecated("run_scenario", "scenario.to_spec(...).run(seed=...)")
     parent = as_generator(seed)
-    process = make_capacity_process(scenario, rng=spawn(parent))
+    process = scenario.to_spec(backend="scalar").build_capacity_process(
+        rng=spawn(parent)
+    )
     population = make_learner_population(scenario, rng=spawn(parent))
     trajectory = population.run(process, scenario.num_stages)
     return population, trajectory.welfare
@@ -277,3 +391,136 @@ def make_heterogeneous_process(
             )
         )
     return MarkovCapacityProcess(chains)
+
+
+# ----------------------------------------------------------------------
+# Load-skew scenario families (registry-native: they produce specs)
+# ----------------------------------------------------------------------
+
+
+def popularity_skew_spec(
+    num_peers: int = 20_000,
+    num_helpers: int = 100,
+    num_channels: int = 10,
+    zipf_exponent: float = 1.0,
+    num_stages: int = 100,
+    demand_per_peer: float = 100.0,
+    backend: str = "vectorized",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Popularity-skewed multi-channel load (the ROADMAP load-skew item).
+
+    Channels draw viewers by Zipf weights (measurement studies of
+    PPLive/UUSee-class deployments, paper refs. [1][11]) while helpers
+    stay round-robin-partitioned — so hot channels run peer-heavy and the
+    interesting series is how selection shares the overload.  Built for
+    the vectorized runtime where the environment is cheap at this scale.
+    """
+    from repro.workloads.popularity import zipf_popularity
+
+    return ExperimentSpec(
+        name="popularity-skew",
+        backend=backend,
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=num_peers,
+            num_helpers=num_helpers,
+            num_channels=num_channels,
+            channel_bitrates=demand_per_peer,
+            channel_popularity=tuple(
+                zipf_popularity(num_channels, zipf_exponent)
+            ),
+        ),
+        learner=LearnerSpec(name="r2hs"),
+    )
+
+
+def flash_crowd_spec(
+    num_peers: int = 2_000,
+    num_helpers: int = 40,
+    num_channels: int = 4,
+    zipf_exponent: float = 1.2,
+    arrival_rate: float = 25.0,
+    mean_lifetime: float = 60.0,
+    channel_switch_rate: float = 0.0,
+    num_stages: int = 150,
+    demand_per_peer: float = 100.0,
+    backend: str = "vectorized",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """A flash crowd: heavy Poisson arrivals piling onto Zipf-hot channels.
+
+    The initial population is the calm before the event; ``arrival_rate``
+    then adds ~``arrival_rate × mean_lifetime`` transient viewers whose
+    channel draws follow the skewed popularity, concentrating load on the
+    hot channels' helper blocks while lifetimes churn the crowd through.
+    Exercises the free-list/bank-row reuse paths at scale.
+    """
+    from repro.workloads.popularity import zipf_popularity
+
+    return ExperimentSpec(
+        name="flash-crowd",
+        backend=backend,
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=num_peers,
+            num_helpers=num_helpers,
+            num_channels=num_channels,
+            channel_bitrates=demand_per_peer,
+            channel_popularity=tuple(
+                zipf_popularity(num_channels, zipf_exponent)
+            ),
+            channel_switch_rate=channel_switch_rate,
+        ),
+        learner=LearnerSpec(name="r2hs"),
+        churn=ChurnSpec(
+            arrival_rate=arrival_rate,
+            mean_lifetime=mean_lifetime,
+            initial_peer_lifetimes=True,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario registry entries: every preset resolvable by name
+# ----------------------------------------------------------------------
+
+
+@register_scenario("small_scale")
+def _small_scale_entry(num_stages: int = 2000, **kwargs) -> ExperimentSpec:
+    return spec_for_scenario(
+        small_scale_scenario(num_stages=num_stages), **kwargs
+    )
+
+
+@register_scenario("large_scale")
+def _large_scale_entry(
+    num_peers: int = 100,
+    num_helpers: int = 10,
+    num_stages: int = 3000,
+    **kwargs,
+) -> ExperimentSpec:
+    return spec_for_scenario(
+        large_scale_scenario(
+            num_peers=num_peers, num_helpers=num_helpers, num_stages=num_stages
+        ),
+        **kwargs,
+    )
+
+
+@register_scenario("fig5")
+def _fig5_entry(num_stages: int = 1500, **kwargs) -> ExperimentSpec:
+    return spec_for_scenario(fig5_scenario(num_stages=num_stages), **kwargs)
+
+
+@register_scenario("massive_scale")
+def _massive_scale_entry(**kwargs) -> ExperimentSpec:
+    scenario_keys = {"num_peers", "num_helpers", "num_channels", "num_stages"}
+    scenario_kwargs = {k: kwargs.pop(k) for k in list(kwargs) if k in scenario_keys}
+    return spec_for_scenario(massive_scale_scenario(**scenario_kwargs), **kwargs)
+
+
+register_scenario("popularity_skew", popularity_skew_spec)
+register_scenario("flash_crowd", flash_crowd_spec)

@@ -1,0 +1,224 @@
+"""CLI integration for the spec layer: --spec, --dump-spec, parse-time errors."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.spec import ExperimentSpec
+
+
+def write_spec(tmp_path, **overrides):
+    data = {
+        "name": "cli-test",
+        "backend": "vectorized",
+        "rounds": 5,
+        "seed": 3,
+        "topology": {"num_peers": 30, "num_helpers": 3, "channel_bitrates": 100.0},
+    }
+    data.update(overrides)
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(data))
+    return path
+
+
+class TestDumpSpec:
+    def test_dump_spec_prints_roundtrippable_json(self):
+        out = io.StringIO()
+        code = main(
+            ["run", "--peers", "40", "--helpers", "4", "--rounds", "9",
+             "--learner", "rths", "--dump-spec"],
+            out=out,
+        )
+        assert code == 0
+        spec = ExperimentSpec.from_json(out.getvalue())
+        assert spec.topology.num_peers == 40
+        assert spec.rounds == 9
+        assert spec.learner.name == "rths"
+
+    def test_dump_spec_does_not_run(self):
+        out = io.StringIO()
+        main(["run", "--peers", "10", "--helpers", "3", "--dump-spec"], out=out)
+        assert "mean_welfare" not in out.getvalue()
+
+
+class TestRunFromSpecFile:
+    def test_spec_file_runs_end_to_end(self, tmp_path):
+        path = write_spec(tmp_path)
+        out = io.StringIO()
+        code = main(["run", "--spec", str(path)], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "backend=vectorized" in text
+        assert "mean_welfare" in text
+        assert "30.000" in text  # mean_online_peers from the file's topology
+
+    def test_cli_flags_override_spec_fields(self, tmp_path):
+        path = write_spec(tmp_path)
+        out = io.StringIO()
+        code = main(
+            ["run", "--spec", str(path), "--backend", "scalar",
+             "--learner", "uniform", "--dump-spec"],
+            out=out,
+        )
+        assert code == 0
+        spec = ExperimentSpec.from_json(out.getvalue())
+        assert spec.backend == "scalar"
+        assert spec.learner.name == "uniform"
+        assert spec.topology.num_peers == 30  # untouched file field survives
+
+    def test_explicit_flag_equal_to_default_still_overrides(self, tmp_path):
+        """--backend vectorized IS the argparse default, but passing it
+        explicitly must still override a scalar-backend spec file (the
+        float32 combination below is only legal after the override)."""
+        path = write_spec(tmp_path, backend="scalar")
+        out = io.StringIO()
+        code = main(
+            ["run", "--spec", str(path), "--backend", "vectorized",
+             "--dtype", "float32", "--dump-spec"],
+            out=out,
+        )
+        assert code == 0
+        spec = ExperimentSpec.from_json(out.getvalue())
+        assert spec.backend == "vectorized"
+        assert spec.learner.dtype == "float32"
+
+    def test_mean_lifetime_allowed_when_spec_enables_churn(self, tmp_path):
+        path = write_spec(
+            tmp_path, churn={"arrival_rate": 5.0}
+        )
+        out = io.StringIO()
+        code = main(
+            ["run", "--spec", str(path), "--mean-lifetime", "40",
+             "--dump-spec"],
+            out=out,
+        )
+        assert code == 0
+        spec = ExperimentSpec.from_json(out.getvalue())
+        assert spec.churn.arrival_rate == 5.0
+        assert spec.churn.mean_lifetime == 40.0
+
+    def test_same_spec_file_runs_on_both_backends(self, tmp_path):
+        path = write_spec(tmp_path)
+        for backend in ("scalar", "vectorized"):
+            out = io.StringIO()
+            code = main(
+                ["run", "--spec", str(path), "--backend", backend], out=out
+            )
+            assert code == 0
+            assert f"backend={backend}" in out.getvalue()
+            assert "30.000" in out.getvalue()
+
+    def test_missing_spec_file_fails_at_parse_time(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--spec", str(tmp_path / "nope.json")], out=io.StringIO())
+        assert excinfo.value.code == 2
+
+    def test_malformed_spec_file_fails_at_parse_time(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--spec", str(path)], out=io.StringIO())
+        assert excinfo.value.code == 2
+
+    def test_unknown_field_in_spec_file_fails_at_parse_time(self, tmp_path):
+        path = write_spec(tmp_path, flux_capacitor=True)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--spec", str(path)], out=io.StringIO())
+        assert excinfo.value.code == 2
+
+    def test_spec_file_sweep_section_is_honored(self, tmp_path):
+        path = write_spec(
+            tmp_path,
+            sweep={"grid": {"learner.epsilon": [0.02, 0.1]}, "replications": 2},
+        )
+        out = io.StringIO()
+        code = main(["run", "--spec", str(path)], out=out)
+        assert code == 0
+        text = out.getvalue()
+        assert "cells=4" in text  # 2 grid points x 2 replications
+        assert "replications=2" in text
+
+    def test_replications_flag_composes_with_spec_grid(self, tmp_path):
+        path = write_spec(
+            tmp_path, sweep={"grid": {"learner.epsilon": [0.02, 0.1]}}
+        )
+        out = io.StringIO()
+        code = main(
+            ["run", "--spec", str(path), "--replications", "3"], out=out
+        )
+        assert code == 0
+        assert "cells=6" in out.getvalue()
+
+
+class TestParseTimeValidation:
+    def test_float32_with_scalar_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["run", "--backend", "scalar", "--dtype", "float32"],
+                out=io.StringIO(),
+            )
+        assert excinfo.value.code == 2
+        assert "float32" in capsys.readouterr().err
+
+    def test_unknown_learner_rejected_with_menu(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--learner", "quantum"], out=io.StringIO())
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "quantum" in err and "r2hs" in err
+
+    def test_unknown_capacity_backend_rejected_with_menu(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--capacity-backend", "warp"], out=io.StringIO())
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "warp" in err and "vectorized" in err
+
+    def test_invalid_topology_fails_cleanly_not_deep(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--peers", "0"], out=io.StringIO())
+        assert excinfo.value.code == 2
+        assert "num_peers" in capsys.readouterr().err
+
+    def test_too_few_helpers_for_regret_learner_fails_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--helpers", "2", "--channels", "2"], out=io.StringIO())
+        assert excinfo.value.code == 2
+        assert "helper" in capsys.readouterr().err
+
+    def test_zero_replications_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--replications", "0"], out=io.StringIO())
+        assert excinfo.value.code == 2
+        assert "--replications" in capsys.readouterr().err
+
+    def test_negative_churn_rate_fails_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--churn-rate", "-1"], out=io.StringIO())
+        assert excinfo.value.code == 2
+        assert "arrival_rate" in capsys.readouterr().err
+
+    def test_mean_lifetime_without_churn_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--mean-lifetime", "20"], out=io.StringIO())
+        assert excinfo.value.code == 2
+        assert "--churn-rate" in capsys.readouterr().err
+
+    def test_valid_combination_parses(self):
+        parser = build_parser()
+        args = parser.parse_args(
+            ["run", "--backend", "vectorized", "--dtype", "float32"]
+        )
+        assert args.dtype == "float32"
+
+
+class TestListCommand:
+    def test_list_shows_registered_components(self):
+        out = io.StringIO()
+        assert main(["list"], out=out) == 0
+        text = out.getvalue()
+        for needle in ("scenarios", "flash_crowd", "learners", "r2hs",
+                       "capacity backends", "metrics"):
+            assert needle in text

@@ -1,0 +1,105 @@
+"""Tests for the spec-layer component registries."""
+
+import pytest
+
+from repro.spec import (
+    CAPACITY_BACKENDS,
+    LEARNERS,
+    METRICS,
+    SCENARIOS,
+    LearnerEntry,
+    Registry,
+    UnknownComponentError,
+    register_learner,
+)
+
+
+class TestRegistry:
+    def test_register_and_get(self):
+        reg = Registry("widget")
+        reg.register("a", object())
+        assert "a" in reg
+        assert reg.names() == ["a"]
+
+    def test_decorator_form(self):
+        reg = Registry("widget")
+
+        @reg.register("fn")
+        def build():
+            return 42
+
+        assert reg.get("fn") is build
+
+    def test_unknown_name_lists_registered(self):
+        reg = Registry("widget")
+        reg.register("alpha", 1)
+        reg.register("beta", 2)
+        with pytest.raises(UnknownComponentError) as excinfo:
+            reg.get("gamma")
+        message = str(excinfo.value)
+        assert "gamma" in message
+        assert "alpha" in message and "beta" in message
+        assert excinfo.value.registered == ["alpha", "beta"]
+
+    def test_unknown_component_is_a_key_error(self):
+        reg = Registry("widget")
+        with pytest.raises(KeyError):
+            reg.get("missing")
+
+    def test_duplicate_registration_rejected(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("a", 2)
+        reg.register("a", 2, overwrite=True)
+        assert reg.get("a") == 2
+
+    def test_unregister_is_idempotent(self):
+        reg = Registry("widget")
+        reg.register("a", 1)
+        reg.unregister("a")
+        reg.unregister("a")
+        assert "a" not in reg
+
+    def test_bad_names_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(ValueError):
+            reg.register("", 1)
+        with pytest.raises(ValueError):
+            # decorator form applied to None (obj=None alone means
+            # "give me the decorator")
+            reg.register("x")(None)
+
+
+class TestBuiltinRegistrations:
+    def test_stock_capacity_backends(self):
+        assert {"scalar", "vectorized"} <= set(CAPACITY_BACKENDS.names())
+
+    def test_stock_learners_cover_both_backends(self):
+        for name in ("rths", "r2hs", "uniform", "sticky"):
+            entry = LEARNERS.get(name)
+            assert isinstance(entry, LearnerEntry)
+            assert entry.scalar is not None
+            assert entry.bank is not None
+
+    def test_stock_metrics(self):
+        assert {"mean_welfare", "final_welfare", "welfare_series"} <= set(
+            METRICS.names()
+        )
+
+    def test_scenario_presets_registered(self):
+        # workloads.scenarios registers the presets on import
+        import repro.workloads.scenarios  # noqa: F401
+
+        assert {
+            "small_scale",
+            "large_scale",
+            "fig5",
+            "massive_scale",
+            "flash_crowd",
+            "popularity_skew",
+        } <= set(SCENARIOS.names())
+
+    def test_register_learner_requires_a_factory(self):
+        with pytest.raises(ValueError):
+            register_learner("hollow")

@@ -1,0 +1,89 @@
+"""One spec, two backends: the acceptance-criterion equivalence suite.
+
+The same ``ExperimentSpec`` JSON, run with ``backend="scalar"`` and
+``backend="vectorized"``, must produce trace-equivalent headline metrics.
+Under a shared recorded environment the agreement is distributional (the
+established tolerances of ``tests/runtime/test_equivalence.py``: same
+dynamics, different RNG stream layouts); integer population accounting
+must match exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import TraceCapacityProcess, paper_bandwidth_process, record_capacity_trace
+from repro.spec import ExperimentSpec
+
+SPEC_JSON = """
+{
+  "name": "equivalence",
+  "backend": "vectorized",
+  "rounds": 600,
+  "seed": 1,
+  "topology": {"num_peers": 60, "num_helpers": 4, "channel_bitrates": 100.0},
+  "capacity": {"backend": "auto", "levels": [700.0, 800.0, 900.0]},
+  "learner": {"name": "r2hs"}
+}
+"""
+
+
+class TestOneSpecTwoBackends:
+    def _run(self, spec, shared):
+        system = spec.build(
+            capacity_process=TraceCapacityProcess(shared.copy())
+        )
+        return system.run(spec.rounds)
+
+    def test_headline_metrics_agree_across_backends(self):
+        spec = ExperimentSpec.from_json(SPEC_JSON)
+        T = spec.rounds
+        shared = record_capacity_trace(
+            paper_bandwidth_process(spec.topology.num_helpers, rng=5), T
+        )
+        tv = self._run(spec, shared)
+        ts = self._run(spec.with_overrides({"backend": "scalar", "seed": 2}), shared)
+        tail = slice(T // 2, None)
+        ws, wv = ts.welfare[tail].mean(), tv.welfare[tail].mean()
+        assert abs(ws - wv) / ws < 0.03
+        ss, sv = ts.server_load[tail].mean(), tv.server_load[tail].mean()
+        assert abs(ss - sv) < 0.05 * max(ss, 1.0)
+        # Integer accounting agrees exactly.
+        assert np.array_equal(ts.online_peers, tv.online_peers)
+        assert np.array_equal(ts.total_demand, tv.total_demand)
+        assert np.array_equal(ts.min_deficit, tv.min_deficit)
+        n, h = spec.topology.num_peers, spec.topology.num_helpers
+        for trace in (ts, tv):
+            assert np.allclose(
+                trace.loads[tail].mean(axis=0), n / h, atol=0.15 * n / h
+            )
+
+    def test_spec_metrics_agree_across_backends(self):
+        """The spec's own metric evaluation, not just raw trace fields."""
+        spec = ExperimentSpec.from_json(SPEC_JSON).with_overrides(
+            {"metrics.metrics": ["mean_welfare", "tail_welfare", "load_jain"]}
+        )
+        shared = record_capacity_trace(
+            paper_bandwidth_process(spec.topology.num_helpers, rng=8),
+            spec.rounds,
+        )
+        mv = spec.metrics_of(self._run(spec, shared))
+        ms = spec.metrics_of(
+            self._run(spec.with_overrides({"backend": "scalar"}), shared)
+        )
+        assert ms["tail_welfare"] == pytest.approx(mv["tail_welfare"], rel=0.03)
+        assert ms["load_jain"] == pytest.approx(mv["load_jain"], abs=0.02)
+
+    def test_float32_spec_matches_float64_within_tolerance(self):
+        """The float32 opt-in through the spec stays within the established
+        float32 band on the vectorized backend."""
+        base = ExperimentSpec.from_json(SPEC_JSON).with_overrides({"rounds": 300})
+        shared = record_capacity_trace(
+            paper_bandwidth_process(base.topology.num_helpers, rng=3), 300
+        )
+        t64 = self._run(base, shared)
+        t32 = self._run(
+            base.with_overrides({"learner.dtype": "float32"}), shared
+        )
+        tail = slice(150, None)
+        w64, w32 = t64.welfare[tail].mean(), t32.welfare[tail].mean()
+        assert abs(w64 - w32) / w64 < 0.03
