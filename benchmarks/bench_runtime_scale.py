@@ -18,12 +18,22 @@ H in the thousands.
 comparison that exits non-zero if the vectorized capacity backend is not
 faster than the scalar one.
 
+``--memory-guard`` is the giant-run gate for the sparse top-k regret
+banks: it (1) asserts small-H trace identity between the dense bank and a
+``topk`` bank with ``k = H``, (2) shows the dense bank is infeasible at
+the guard scale (20k peers x 2000 helpers by default — its predicted
+regret-tensor footprint alone blows the RSS budget, so it is skipped),
+and (3) runs the topk bank at that scale end-to-end, failing unless peak
+RSS stays under ``--rss-budget-mb`` and the round loop under
+``--round-budget-s``.
+
 Usage::
 
     python benchmarks/bench_runtime_scale.py            # full: 10k peers
     python benchmarks/bench_runtime_scale.py --quick    # CI smoke: 2k peers
     python benchmarks/bench_runtime_scale.py --helpers-scale
     python benchmarks/bench_runtime_scale.py --capacity-guard
+    python benchmarks/bench_runtime_scale.py --memory-guard
 
 The JSON report lands in ``BENCH_runtime.json`` (repo root by default) as a
 *trajectory* — ``{"schema": 2, "runs": [...]}``, one entry appended per
@@ -259,6 +269,167 @@ def append_run(path: pathlib.Path, run: dict) -> dict:
     return report
 
 
+def _peak_rss_mb() -> float:
+    """Lifetime peak RSS of this process in MiB (Linux: ru_maxrss is KiB)."""
+    import resource
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # bytes on macOS
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def _check_topk_trace_identity(seed: int) -> dict:
+    """Small-H gate: a topk bank with k = H must be trace-identical to the
+    dense bank (same config, same seed, bit-for-bit round records)."""
+    N, H, T = 300, 12, 40
+    config = SystemConfig(
+        num_peers=N, num_helpers=H, num_channels=1, channel_bitrates=100.0
+    )
+    traces = {}
+    for bank in ("dense", "topk"):
+        system = VectorizedStreamingSystem(
+            config,
+            bank_factory("r2hs", u_max=U_MAX, bank=bank, topk=H),
+            rng=seed,
+        )
+        traces[bank] = system.run(T)
+    td, tt = traces["dense"], traces["topk"]
+    identical = (
+        np.array_equal(td.loads, tt.loads)
+        and np.array_equal(td.welfare, tt.welfare)
+        and np.array_equal(td.server_load, tt.server_load)
+        and np.array_equal(td.capacities, tt.capacities)
+    )
+    return {"peers": N, "helpers": H, "rounds": T, "identical": identical}
+
+
+def run_memory_guard(args) -> int:
+    """CI gate for giant runs: topk fits the budget where dense cannot."""
+    peers, helpers = args.guard_peers, args.guard_helpers
+    k, rounds = args.guard_topk, args.guard_rounds
+    budget_mb = float(args.rss_budget_mb)
+    round_budget = float(args.round_budget_s)
+    failures = []
+
+    identity = _check_topk_trace_identity(args.seed)
+    print(
+        f"memory guard: k=H trace identity at "
+        f"N={identity['peers']} H={identity['helpers']}: "
+        f"{'OK' if identity['identical'] else 'FAIL'}"
+    )
+    if not identity["identical"]:
+        failures.append("topk bank with k=H is not trace-identical to dense")
+
+    # The dense bank's per-channel regret tensor alone (float32, one
+    # channel) decides feasibility — no need to OOM the CI runner to
+    # prove it.
+    dense_bytes = peers * helpers * helpers * 4
+    dense_mb = dense_bytes / (1024 * 1024)
+    dense = {"predicted_bank_mb": dense_mb}
+    if dense_mb > budget_mb:
+        dense["status"] = "skipped"
+        print(
+            f"  dense bank : skipped — predicted (N, H, H) tensor "
+            f"{dense_mb / 1024:.0f} GiB >> budget {budget_mb:.0f} MiB"
+        )
+    else:
+        dense["status"] = "feasible"
+        print(
+            f"  dense bank : predicted {dense_mb:.0f} MiB fits the budget "
+            "(guard scale is not in the giant regime)"
+        )
+
+    config = SystemConfig(
+        num_peers=peers,
+        num_helpers=helpers,
+        num_channels=1,
+        channel_bitrates=100.0,
+    )
+    gc.collect()
+    t0 = time.perf_counter()
+    system = VectorizedStreamingSystem(
+        config,
+        bank_factory(
+            "r2hs", u_max=U_MAX, dtype=np.float32, bank="topk", topk=k
+        ),
+        rng=args.seed,
+        dtype=np.float32,
+    )
+    build_s = time.perf_counter() - t0
+    system.run(1)  # warmup round (first-touch allocation, promotion storm)
+    t0 = time.perf_counter()
+    system.run(rounds)
+    per_round = (time.perf_counter() - t0) / rounds
+    bank = system.banks[0]
+    bank_mb = bank.population.nbytes() / (1024 * 1024)
+    promotions = bank.population.promotions
+    welfare = float(system.trace.welfare[-1])
+    del system
+    gc.collect()
+    peak_mb = _peak_rss_mb()
+
+    print(
+        f"  topk bank  : N={peers} H={helpers} k={k} -> bank {bank_mb:.0f} "
+        f"MiB, build {build_s:.2f} s, {per_round:.3f} s/round, "
+        f"{promotions} promotions, peak RSS {peak_mb:.0f} MiB"
+    )
+    if peak_mb > budget_mb:
+        failures.append(
+            f"peak RSS {peak_mb:.0f} MiB exceeds budget {budget_mb:.0f} MiB"
+        )
+    if per_round > round_budget:
+        failures.append(
+            f"round time {per_round:.3f} s exceeds budget {round_budget:.3f} s"
+        )
+
+    append_run(
+        args.output,
+        {
+            "kind": "memory_guard",
+            "config": {
+                "peers": peers,
+                "helpers": helpers,
+                "topk": k,
+                "rounds": rounds,
+                "seed": args.seed,
+                "learner": "r2hs",
+                "dtype": "float32",
+                "rss_budget_mb": budget_mb,
+                "round_budget_s": round_budget,
+            },
+            "results": {
+                "trace_identity": identity,
+                "dense": dense,
+                "topk": {
+                    "bank_mb": bank_mb,
+                    "build_s": build_s,
+                    "seconds_per_round": per_round,
+                    "promotions": promotions,
+                    "final_welfare": welfare,
+                    "peak_rss_mb": peak_mb,
+                },
+            },
+            "passed": not failures,
+        },
+    )
+    print(f"  wrote {args.output}")
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "bench_memory_guard.txt").write_text(
+        f"N={peers} H={helpers} k={k}: bank {bank_mb:.0f} MiB, "
+        f"{per_round:.3f} s/round, peak RSS {peak_mb:.0f} MiB "
+        f"(budget {budget_mb:.0f} MiB); dense {dense['status']} "
+        f"({dense_mb / 1024:.0f} GiB predicted)\n"
+    )
+    if failures:
+        print("FAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("OK: sparse top-k bank holds the giant-run budget")
+    return 0
+
+
 def run_capacity_guard(seed: int) -> int:
     """CI gate: vectorized capacity advancement must beat scalar at H=1000."""
     result = bench_capacity_advance(1000, seed)
@@ -311,6 +482,26 @@ def main(argv=None) -> int:
         "beats scalar at H=1000 (no report written)",
     )
     parser.add_argument(
+        "--memory-guard",
+        action="store_true",
+        help="CI gate for giant runs: sparse topk bank at "
+        "--guard-peers x --guard-helpers must hold the RSS and per-round "
+        "budgets (dense is skipped as infeasible), and topk with k=H must "
+        "be trace-identical to dense at small H",
+    )
+    parser.add_argument("--guard-peers", type=int, default=20_000)
+    parser.add_argument("--guard-helpers", type=int, default=2_000)
+    parser.add_argument("--guard-topk", type=int, default=32)
+    parser.add_argument("--guard-rounds", type=int, default=3)
+    parser.add_argument(
+        "--rss-budget-mb", type=float, default=2048.0,
+        help="peak-RSS ceiling for --memory-guard",
+    )
+    parser.add_argument(
+        "--round-budget-s", type=float, default=2.0,
+        help="per-round wall-clock ceiling for --memory-guard",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=pathlib.Path(__file__).resolve().parent.parent
@@ -319,6 +510,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.capacity_guard:
         return run_capacity_guard(args.seed)
+    if args.memory_guard:
+        return run_memory_guard(args)
     if args.quick:
         args.peers, args.helpers, args.rounds = 2_000, 20, 3
         if args.helpers_grid == "100,1000,5000":

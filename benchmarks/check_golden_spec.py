@@ -9,7 +9,10 @@ vectorized backend and diffs the headline metrics against
   reproducibility tolerance (same seed, same code path -> same numbers);
 * across backends, the headline welfare/server-load metrics must agree
   within the established distributional tolerance (the two backends
-  realize the same dynamics on different RNG stream layouts).
+  realize the same dynamics on different RNG stream layouts);
+* the sparse top-k bank must reproduce the dense vectorized run exactly
+  at k >= per-channel H (trace-identical by construction) and stay
+  within a distributional band of it at k below that (true sparsity).
 
 Run with ``--update`` after an intentional behaviour change to
 regenerate the expectations file (and say why in the commit message).
@@ -44,12 +47,66 @@ SAME_BACKEND_RTOL = 1e-6
 #: padded for the short smoke horizon).
 CROSS_BACKEND_RTOL = 0.05
 
+#: Dense-vs-sparse band when k is genuinely below the channel helper
+#: count: same recursion on the tracked block, the tail approximated —
+#: wider than the cross-backend band (different action sequences) but
+#: the same steady state.
+TOPK_SPARSE_RTOL = 0.10
+
 BACKENDS = ("scalar", "vectorized")
+
+#: Tracked arms for the sparse phase: below the smoke spec's 4 helpers
+#: per channel, so promotion/eviction actually exercises.
+SPARSE_TOPK = 2
 
 
 def run_backend(spec: ExperimentSpec, backend: str) -> dict:
     result = spec.with_overrides({"backend": backend}).run()
     return {name: float(value) for name, value in result.metrics.items()}
+
+
+def run_topk(spec: ExperimentSpec, topk: int) -> dict:
+    result = spec.with_overrides(
+        {"backend": "vectorized", "learner.bank": "topk", "learner.topk": topk}
+    ).run()
+    return {name: float(value) for name, value in result.metrics.items()}
+
+
+def check_topk(spec: ExperimentSpec, observed: dict) -> list:
+    """Sparse-bank phase: k >= H must equal dense, k < H must track it."""
+    failures = []
+    # Round-robin partitioning hands the largest channel ceil(H/C)
+    # helpers; k must cover that one for the identity phase to hold.
+    helpers_per_channel = -(
+        -spec.topology.num_helpers // spec.topology.num_channels
+    )
+    dense = observed["vectorized"]
+
+    full = run_topk(spec, helpers_per_channel)
+    observed["topk-full"] = full
+    for name, value in dense.items():
+        got = full.get(name)
+        if got is None or not math.isclose(
+            got, value, rel_tol=SAME_BACKEND_RTOL, abs_tol=1e-9
+        ):
+            failures.append(
+                f"topk-full.{name}: got {got!r}, dense vectorized gave "
+                f"{value!r} (k >= H must be trace-identical)"
+            )
+
+    sparse = run_topk(spec, SPARSE_TOPK)
+    observed["topk-sparse"] = sparse
+    for name in ("mean_welfare", "tail_welfare", "mean_server_load"):
+        if name not in dense:
+            continue
+        want, got = dense[name], sparse.get(name, float("nan"))
+        if abs(got - want) / max(abs(want), 1.0) > TOPK_SPARSE_RTOL:
+            failures.append(
+                f"topk-sparse.{name}: got {got:.2f}, dense vectorized gave "
+                f"{want:.2f} (> {TOPK_SPARSE_RTOL:.0%} drift at "
+                f"k={SPARSE_TOPK})"
+            )
+    return failures
 
 
 def main(argv=None) -> int:
@@ -93,16 +150,18 @@ def main(argv=None) -> int:
             f"vectorized {wv:.2f} (> {CROSS_BACKEND_RTOL:.0%})"
         )
 
-    for backend in BACKENDS:
-        print(f"{backend:10s}: " + "  ".join(
-            f"{k}={v:.3f}" for k, v in observed[backend].items()
+    failures.extend(check_topk(spec, observed))
+
+    for label in (*BACKENDS, "topk-full", "topk-sparse"):
+        print(f"{label:11s}: " + "  ".join(
+            f"{k}={v:.3f}" for k, v in observed[label].items()
         ))
     if failures:
         print("\nFAIL:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\nOK: golden spec reproduces on both backends")
+    print("\nOK: golden spec reproduces on both backends and the topk bank")
     return 0
 
 

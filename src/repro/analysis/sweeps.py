@@ -24,7 +24,6 @@ from repro.core.population import LearnerPopulation
 from repro.game.repeated_game import Trajectory
 from repro.metrics.distributions import load_balance_report
 from repro.sim.bandwidth import (
-    MarkovCapacityProcess,
     TraceCapacityProcess,
     paper_bandwidth_process,
     record_capacity_trace,

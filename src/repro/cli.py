@@ -79,6 +79,8 @@ RUN_FLAG_SPEC_PATHS = {
     "delta": "learner.delta",
     "mu": "learner.mu",
     "dtype": "learner.dtype",
+    "bank": "learner.bank",
+    "topk": "learner.topk",
     "churn_rate": "churn.arrival_rate",
     "mean_lifetime": "churn.mean_lifetime",
 }
@@ -159,6 +161,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="learner-bank and peer-store precision (float32 halves the "
         "regret update's memory traffic; vectorized backend only; "
         "default float64)",
+    )
+    runp.add_argument(
+        "--bank",
+        choices=["dense", "topk"],
+        default=unset,
+        help="regret-bank storage family: the full per-peer regret tensor "
+        "or sparse top-k blocks (vectorized regret learners only; the "
+        "memory unlock for --helpers >> 1000; default dense)",
+    )
+    runp.add_argument(
+        "--topk",
+        type=int,
+        default=unset,
+        help="tracked helper arms per peer for --bank topk "
+        "(clamped to the channel helper count; default 32)",
     )
     runp.add_argument("--peers", type=int, default=unset)
     runp.add_argument("--helpers", type=int, default=unset)

@@ -18,6 +18,9 @@ Layout
 * :mod:`repro.core.r2hs` — :class:`R2HSLearner` (Algorithm 2, recursive).
 * :mod:`repro.core.population` — vectorized population of R2HS learners for
   large-scale runs (paper Fig. 1).
+* :mod:`repro.core.sparse_population` — sparse top-k variant of the
+  population: exact ``(k, k)`` regret blocks plus an aggregated tail
+  bucket, ``O(N k^2)`` memory for giant helper counts (``H >> 10^3``).
 * :mod:`repro.core.equilibrium` — correlated-equilibrium machinery: the CE
   inequality (Eq. 3-1) on empirical play, and an exact CE linear program
   for small tabular games.
@@ -37,6 +40,7 @@ from repro.core.equilibrium import (
 )
 from repro.core.population import LearnerPopulation
 from repro.core.probability import update_play_probabilities
+from repro.core.sparse_population import TopKPopulation
 from repro.core.proxy_regret import ExactProxyRegret, RecursiveProxyRegret
 from repro.core.r2hs import R2HSLearner
 from repro.core.rths import RTHSLearner, regret_matching_learner
@@ -53,6 +57,7 @@ __all__ = [
     "R2HSLearner",
     "regret_matching_learner",
     "LearnerPopulation",
+    "TopKPopulation",
     "empirical_ce_regret",
     "empirical_ce_regret_report",
     "CERegretReport",

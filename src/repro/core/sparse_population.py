@@ -1,0 +1,562 @@
+"""Sparse top-k population of regret-tracking learners.
+
+:class:`~repro.core.population.LearnerPopulation` carries the full
+``(N, H, H)`` proxy-regret tensor — the last memory wall for single-cell
+giant runs: at ``H = 2000`` helpers one float32 peer costs 16 MB, so
+``N = 20 000`` peers would need ~320 GB *per channel*.  Regret matching
+concentrates probability mass on a handful of helper arms per peer (the
+paper's convergence to the correlated-equilibrium set), which makes the
+tensor effectively sparse: almost every row and column of a peer's ``S``
+belongs to an arm the peer no longer plays and whose entries have decayed
+to the exploration floor.
+
+:class:`TopKPopulation` exploits that structure.  Each peer tracks an
+*exact* ``(k, k)`` block of the recursion restricted to its ``k`` tracked
+helper arms (CSR-style ``(N, k)`` index + value blocks), and every
+untracked arm is represented by the **aggregated tail bucket** — a closed
+form, because an arm with no tracked regret receives exactly the
+exploration probability ``delta / H`` from the probability update, so the
+whole tail carries ``(H - k) * delta / H`` of mass without per-arm
+storage.
+
+**Why the block stays exact.**  The recursive update (Eq. 3-5) increments
+only *column* ``a`` of ``S`` when ``a`` is played; every other entry just
+decays.  So information about an arm arrives exclusively while it is
+being played — the moment a peer plays an untracked arm, that arm is
+**promoted** into the tracked set (evicting the tracked arm with the
+least probability mass, whose row/column have decayed to the floor), and
+from then on its regret accrues exactly as in the dense recursion.  The
+only approximation is the discarded history of evicted arms, which the
+per-peer ``tail_regret`` diagnostic upper-bounds.
+
+**Periodic re-selection.**  Every ``reselect_every`` stages a slot
+re-selects its tracked set against the bank-wide play popularity (an
+EWMA over observed actions): the globally hottest arm the slot does not
+track yet replaces the slot's weakest tracked arm, *provided* that arm
+sits at the exploration floor (so the swap moves no probability mass and
+discards no regret).  This pre-warms popular arms — their regret history
+starts accruing before the peer's own exploration finds them — without
+ever perturbing the current strategy.
+
+With ``k >= H`` every arm is tracked, no promotion or re-selection can
+trigger, and the class performs the *bit-identical* sequence of
+floating-point operations as :class:`LearnerPopulation` (asserted
+trace-for-trace in ``tests/runtime/test_topk_bank.py``), so the sparse
+representation is a pure memory optimization at small ``H`` and a
+controlled approximation at large ``H``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.probability import default_mu
+from repro.core.schedules import StepSchedule, constant_step
+from repro.util.rng import Seedish, as_generator
+from repro.util.validation import require_positive, require_positive_int
+
+# Lazy-decay renorm floors and the observe chunk size are shared with the
+# dense kernel: the two recursions must renormalize at the same points to
+# stay bit-identical at k >= H, so there is exactly one source of truth.
+from repro.core.population import _OBSERVE_BLOCK, _SCALE_FLOOR, _SCALE_FLOOR32
+
+#: Decay of the bank-wide play-popularity EWMA driving re-selection.
+_PLAY_EWMA_DECAY = 0.05
+
+#: How many globally-hot candidate arms a re-selection pass considers.
+_RESELECT_CANDIDATES = 8
+
+
+class TopKPopulation:
+    """``N`` regret learners tracking exact ``(k, k)`` regret blocks.
+
+    Drop-in slot-API replacement for
+    :class:`~repro.core.population.LearnerPopulation` (``act_slots`` /
+    ``observe_slots`` / ``reset_slots`` / ``ensure_capacity``), storing
+    ``O(N * k^2)`` instead of ``O(N * H^2)``.
+
+    Parameters
+    ----------
+    num_peers, num_helpers:
+        Population and action-set sizes.
+    k:
+        Tracked arms per peer; clamped to ``num_helpers``.  At
+        ``k >= num_helpers`` the dynamics are bit-identical to the dense
+        population.
+    epsilon, mu, delta, u_max, rng, schedule, dtype:
+        As in :class:`~repro.core.population.LearnerPopulation`.
+    reselect_every:
+        Period (in per-slot stages) of the popularity-driven tracked-set
+        re-selection; ``0`` disables it (promotion on play still runs —
+        it is required for correctness, not a policy).
+    """
+
+    def __init__(
+        self,
+        num_peers: int,
+        num_helpers: int,
+        k: int = 32,
+        epsilon: float = 0.05,
+        mu: Optional[float] = None,
+        delta: float = 0.1,
+        u_max: float = 1.0,
+        rng: Seedish = None,
+        schedule: Optional[StepSchedule] = None,
+        dtype=np.float64,
+        reselect_every: int = 32,
+    ) -> None:
+        self._n = require_positive_int(num_peers, "num_peers")
+        self._h = require_positive_int(num_helpers, "num_helpers")
+        if self._h < 2:
+            raise ValueError("need at least two helpers")
+        if int(k) < 2:
+            raise ValueError("k must be >= 2 (the action set must be non-degenerate)")
+        self._k = min(int(k), self._h)
+        if not 0 < delta < 1:
+            raise ValueError("delta must lie strictly in (0, 1)")
+        if reselect_every < 0:
+            raise ValueError("reselect_every must be >= 0")
+        self._reselect_every = int(reselect_every)
+        self._schedule = schedule if schedule is not None else constant_step(epsilon)
+        self._constant_eps: Optional[float] = getattr(
+            self._schedule, "constant_value", None
+        )
+        self._eps_cache: Dict[int, float] = {}
+        self._mu = require_positive(
+            mu if mu is not None else default_mu(num_helpers), "mu"
+        )
+        self._delta = float(delta)
+        self._u_max = require_positive(u_max, "u_max")
+        self._rng = as_generator(rng)
+        self._dtype = np.dtype(dtype)
+        if self._dtype not in (np.dtype(np.float32), np.dtype(np.float64)):
+            raise ValueError(
+                f"dtype must be float32 or float64, got {self._dtype}"
+            )
+        self._scale_floor = (
+            _SCALE_FLOOR32 if self._dtype == np.dtype(np.float32) else _SCALE_FLOOR
+        )
+        n, kk = self._n, self._k
+        self._tail_count = self._h - kk
+        # Tail bucket probability mass after an observe is the closed form
+        # tail_count * delta / H; before a slot's first observe it is the
+        # uniform (H - k) / H.
+        self._tail_mass = self._tail_count * self._delta / self._h
+        # Tracked-arm ids, per-row sorted ascending (CSR-style index block).
+        self._ids = np.tile(np.arange(kk, dtype=np.int32), (n, 1))
+        # Transposed block exactly like the dense kernel: _s[i, c, r] holds
+        # S_i(row=ids[i, r], col=ids[i, c]) — the played column is the
+        # contiguous row _s[i, a_loc, :].
+        self._s = np.zeros((n, kk, kk), dtype=self._dtype)
+        self._scale = np.ones(n)
+        self._probs = np.full((n, kk), 1.0 / self._h, dtype=self._dtype)
+        self._tail_prob = np.full(n, self._tail_count / self._h)
+        self._stage = 0
+        self._stages = np.zeros(n, dtype=np.int64)
+        self._peer_index = np.arange(n)
+        self._last_played_regrets = np.zeros((n, kk), dtype=self._dtype)
+        # Aggregated tail bucket: regret mass discarded by evictions
+        # (absolute units) — an upper bound on the per-peer approximation.
+        self._tail_regret = np.zeros(n)
+        self._play_ewma = np.zeros(self._h)
+        self._promotions = 0
+        self._reselections = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_peers(self) -> int:
+        """Population size ``N`` (the number of slots)."""
+        return self._n
+
+    @property
+    def num_helpers(self) -> int:
+        """Number of helpers ``H``."""
+        return self._h
+
+    @property
+    def k(self) -> int:
+        """Tracked arms per peer (clamped to ``H``)."""
+        return self._k
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Storage dtype of the regret blocks and strategies."""
+        return self._dtype
+
+    @property
+    def stage(self) -> int:
+        """Whole-population stages completed (``observe_all`` calls)."""
+        return self._stage
+
+    @property
+    def promotions(self) -> int:
+        """Untracked plays promoted into tracked sets so far."""
+        return self._promotions
+
+    @property
+    def reselections(self) -> int:
+        """Popularity-driven tracked-set swaps performed so far."""
+        return self._reselections
+
+    def nbytes(self) -> int:
+        """Bytes held by the per-peer sparse state (blocks + indices)."""
+        return (
+            self._s.nbytes
+            + self._ids.nbytes
+            + self._probs.nbytes
+            + self._tail_prob.nbytes
+            + self._last_played_regrets.nbytes
+            + self._tail_regret.nbytes
+        )
+
+    def slot_stages(self) -> np.ndarray:
+        """Per-slot stage counters, shape ``(N,)`` (copy)."""
+        return self._stages.copy()
+
+    def tracked_arms(self) -> np.ndarray:
+        """Tracked helper ids, shape ``(N, k)``, rows sorted (copy)."""
+        return self._ids.copy()
+
+    def tail_regret(self) -> np.ndarray:
+        """Per-peer regret mass discarded by evictions, shape ``(N,)``."""
+        return self._tail_regret.copy()
+
+    def strategies(self) -> np.ndarray:
+        """All mixed strategies densified to shape ``(N, H)``."""
+        out = np.empty((self._n, self._h))
+        if self._tail_count:
+            out[:] = (self._tail_prob / self._tail_count)[:, None]
+        np.put_along_axis(
+            out, self._ids.astype(np.intp), self._probs.astype(np.float64), axis=1
+        )
+        return out
+
+    def played_regrets(self) -> np.ndarray:
+        """Tracked regret rows of the last played actions, ``(N, k)``."""
+        return self._last_played_regrets.copy()
+
+    def worst_player_regret(self) -> float:
+        """``max_i max_k Q_i(a_i^n, k)`` over tracked arms (the Fig. 1
+        quantity; untracked arms carry zero tracked regret by
+        construction)."""
+        if self._stage == 0 and not self._stages.any():
+            return 0.0
+        return float(self._last_played_regrets.max())
+
+    # ------------------------------------------------------------------
+    # Slot management (used by repro.runtime banks)
+    # ------------------------------------------------------------------
+
+    def ensure_capacity(self, capacity: int) -> None:
+        """Grow the population to at least ``capacity`` slots."""
+        if capacity <= self._n:
+            return
+        old = self._n
+        extra = capacity - old
+        kk = self._k
+        self._ids = np.concatenate(
+            [self._ids, np.tile(np.arange(kk, dtype=np.int32), (extra, 1))]
+        )
+        self._s = np.concatenate(
+            [self._s, np.zeros((extra, kk, kk), dtype=self._dtype)]
+        )
+        self._scale = np.concatenate([self._scale, np.ones(extra)])
+        self._probs = np.concatenate(
+            [self._probs, np.full((extra, kk), 1.0 / self._h, dtype=self._dtype)]
+        )
+        self._tail_prob = np.concatenate(
+            [self._tail_prob, np.full(extra, self._tail_count / self._h)]
+        )
+        self._stages = np.concatenate(
+            [self._stages, np.zeros(extra, dtype=np.int64)]
+        )
+        self._last_played_regrets = np.concatenate(
+            [
+                self._last_played_regrets,
+                np.zeros((extra, kk), dtype=self._dtype),
+            ]
+        )
+        self._tail_regret = np.concatenate([self._tail_regret, np.zeros(extra)])
+        self._n = int(capacity)
+        self._peer_index = np.arange(self._n)
+
+    def reset_slots(self, slots: np.ndarray) -> None:
+        """Reinitialize ``slots`` to the fresh-learner state.
+
+        The tracked index block is rewound to the first ``k`` arms and the
+        value block zeroed, so a recycled slot carries no stale indices or
+        regret from its previous occupant.
+        """
+        slots = np.asarray(slots, dtype=np.intp)
+        self._ids[slots] = np.arange(self._k, dtype=np.int32)
+        self._s[slots] = 0.0
+        self._scale[slots] = 1.0
+        self._probs[slots] = 1.0 / self._h
+        self._tail_prob[slots] = self._tail_count / self._h
+        self._stages[slots] = 0
+        self._last_played_regrets[slots] = 0.0
+        self._tail_regret[slots] = 0.0
+
+    def act_slots(self, slots: np.ndarray) -> np.ndarray:
+        """Sample one action per listed slot (one uniform draw per slot).
+
+        The draw inverts the CDF over the tracked arms first; a draw
+        landing in the tail bucket is re-used (rescaled) to pick one of
+        the ``H - k`` untracked arms uniformly, so the per-slot RNG
+        consumption matches the dense population exactly.
+        """
+        slots = np.asarray(slots, dtype=np.intp)
+        cdf = self._probs[slots]
+        np.cumsum(cdf, axis=1, out=cdf)
+        draws = self._rng.random(slots.shape[0])
+        local = (cdf < draws[:, None]).sum(axis=1)
+        if self._tail_count == 0:
+            local = np.minimum(local, self._k - 1)
+            return self._ids[slots, local].astype(np.int64)
+        actions = np.empty(slots.shape[0], dtype=np.int64)
+        tracked = local < self._k
+        t_idx = np.flatnonzero(tracked)
+        if t_idx.size:
+            actions[t_idx] = self._ids[slots[t_idx], local[t_idx]]
+        u_idx = np.flatnonzero(~tracked)
+        if u_idx.size:
+            us = slots[u_idx]
+            tail_prob = self._tail_prob[us]
+            residual = draws[u_idx] - cdf[u_idx, -1]
+            frac = residual / np.maximum(tail_prob, 1e-300)
+            rank = np.minimum(
+                (frac * self._tail_count).astype(np.int64), self._tail_count - 1
+            )
+            np.maximum(rank, 0, out=rank)
+            # rank-th arm NOT in the (sorted) tracked row: classic skip
+            # walk — each tracked id <= the running candidate shifts the
+            # candidate up by one.
+            g = rank
+            tids = self._ids[us]
+            for j in range(self._k):
+                g = g + (tids[:, j] <= g)
+            actions[u_idx] = g
+        return actions
+
+    def observe_slots(
+        self, slots: np.ndarray, actions: np.ndarray, utilities: np.ndarray
+    ) -> None:
+        """Regret + probability update for the listed slots only.
+
+        Plays of untracked arms promote those arms into the tracked set
+        first (see the module docstring); the update itself is the dense
+        recursion restricted to the tracked block.
+        """
+        slots = np.asarray(slots, dtype=np.intp)
+        actions = np.asarray(actions, dtype=int)
+        utilities = np.asarray(utilities, dtype=float)
+        count = slots.shape[0]
+        if actions.shape != (count,) or utilities.shape != (count,):
+            raise ValueError("slots, actions and utilities must align")
+        if count == 0:
+            return
+        if actions.min(initial=0) < 0 or actions.max(initial=0) >= self._h:
+            raise ValueError("actions out of range")
+        if self._reselect_every and self._tail_count:
+            self._play_ewma *= 1.0 - _PLAY_EWMA_DECAY
+            np.add.at(self._play_ewma, actions, _PLAY_EWMA_DECAY)
+        if count > _OBSERVE_BLOCK:
+            for start in range(0, count, _OBSERVE_BLOCK):
+                stop = start + _OBSERVE_BLOCK
+                self._observe_block(
+                    slots[start:stop], actions[start:stop], utilities[start:stop]
+                )
+            return
+        self._observe_block(slots, actions, utilities)
+
+    # ------------------------------------------------------------------
+    # Tracked-set maintenance
+    # ------------------------------------------------------------------
+
+    def _locate(self, slots: np.ndarray, actions: np.ndarray) -> np.ndarray:
+        """Per-row insertion point of ``actions`` in the sorted id rows."""
+        return (self._ids[slots] < actions[:, None]).sum(axis=1)
+
+    def _permute_rows(self, slots: np.ndarray) -> None:
+        """Re-sort ``slots``' id rows ascending, permuting probs + blocks."""
+        order = np.argsort(self._ids[slots], axis=1, kind="stable")
+        self._ids[slots] = np.take_along_axis(self._ids[slots], order, axis=1)
+        self._probs[slots] = np.take_along_axis(self._probs[slots], order, axis=1)
+        block = self._s[slots]
+        block = np.take_along_axis(block, order[:, :, None], axis=1)
+        block = np.take_along_axis(block, order[:, None, :], axis=2)
+        self._s[slots] = block
+
+    def _promote(self, slots: np.ndarray, arms: np.ndarray) -> None:
+        """Swap ``arms`` (untracked, just played) into ``slots``' tracked
+        sets, evicting each slot's least-probable tracked arm."""
+        evict = np.asarray(self._probs[slots]).argmin(axis=1)
+        # Fold the evicted arms' remaining regret mass into the tail
+        # bucket diagnostic (column + row of the block, diagonal once).
+        col_sum = self._s[slots, evict, :].sum(axis=1)
+        row_sum = self._s[slots, :, evict].sum(axis=1)
+        diag = self._s[slots, evict, evict]
+        discarded = (col_sum + row_sum - diag) * self._scale[slots]
+        self._tail_regret[slots] += np.maximum(discarded, 0.0)
+        # The promoted arm enters with its true current probability — the
+        # per-arm tail share — and a fresh row/column.
+        arm_prob = self._tail_prob[slots] / max(self._tail_count, 1)
+        self._ids[slots, evict] = arms.astype(np.int32)
+        self._s[slots, evict, :] = 0.0
+        self._s[slots, :, evict] = 0.0
+        self._probs[slots, evict] = arm_prob.astype(self._dtype)
+        self._permute_rows(slots)
+        self._promotions += int(slots.shape[0])
+
+    def _reselect(self, slots: np.ndarray) -> None:
+        """Popularity-driven re-selection for ``slots``.
+
+        Each slot swaps the globally hottest arm it does not track for
+        its weakest tracked arm — only when that arm sits at the
+        exploration floor ``delta / H`` (zero tracked regret), so the
+        swap is probability-mass-preserving and discards no information.
+        """
+        m = min(_RESELECT_CANDIDATES, self._h)
+        hot = np.argpartition(self._play_ewma, self._h - m)[self._h - m:]
+        hot = hot[np.argsort(self._play_ewma[hot])[::-1]]
+        hot = hot[self._play_ewma[hot] > 0.0]
+        if not hot.size:
+            return
+        probs = self._probs[slots]
+        weak = probs.argmin(axis=1)
+        floor = self._delta / self._h
+        swappable = probs[np.arange(slots.shape[0]), weak] <= floor * (1.0 + 1e-9)
+        ids = self._ids[slots]
+        chosen = np.full(slots.shape[0], -1, dtype=np.int64)
+        for arm in hot:
+            pos = np.minimum((ids < arm).sum(axis=1), self._k - 1)
+            tracked = ids[np.arange(slots.shape[0]), pos] == arm
+            take = (chosen < 0) & ~tracked
+            chosen[take] = arm
+        pick = np.flatnonzero(swappable & (chosen >= 0))
+        if not pick.size:
+            return
+        ps = slots[pick]
+        ev = weak[pick]
+        self._ids[ps, ev] = chosen[pick].astype(np.int32)
+        self._s[ps, ev, :] = 0.0
+        self._s[ps, :, ev] = 0.0
+        # weakest arm sat at the floor, which is exactly the incoming
+        # arm's tail probability — stored probs stay consistent as-is.
+        self._permute_rows(ps)
+        self._reselections += int(pick.size)
+
+    # ------------------------------------------------------------------
+    # The stage update (dense recursion on the tracked block)
+    # ------------------------------------------------------------------
+
+    def _observe_block(
+        self, slots: np.ndarray, actions: np.ndarray, utilities: np.ndarray
+    ) -> None:
+        count = slots.shape[0]
+        self._stages[slots] += 1
+        eps = self._eps_for(self._stages[slots])
+        normalized = utilities / self._u_max
+
+        # Lazy decay, mirrored operation-for-operation from the dense
+        # kernel (bit-identical at k >= H).
+        decay = 1.0 - eps
+        wiped = decay < self._scale_floor
+        if np.any(wiped):
+            wiped_slots = slots if np.ndim(wiped) == 0 else slots[wiped]
+            self._s[wiped_slots] = 0.0
+            self._scale[wiped_slots] = 1.0
+            decay = np.where(wiped, 1.0, decay)
+        self._scale[slots] *= decay
+        scale = self._scale[slots]
+        row_index = np.arange(count)
+
+        # Promote untracked plays so the played column exists in the block.
+        loc = self._locate(slots, actions)
+        loc_c = np.minimum(loc, self._k - 1)
+        is_tracked = self._ids[slots, loc_c] == actions
+        untracked = np.flatnonzero(~is_tracked)
+        if untracked.size:
+            self._promote(slots[untracked], actions[untracked])
+            loc[untracked] = self._locate(slots[untracked], actions[untracked])
+        np.minimum(loc, self._k - 1, out=loc)
+
+        gathered = self._probs[slots]
+        played_prob = gathered[row_index, loc]
+        weight = eps * normalized / played_prob / scale
+        np.multiply(gathered, weight[:, None], out=gathered)
+        flat_rows = self._s.reshape(self._n * self._k, self._k)
+        flat_rows[slots * self._k + loc] += gathered
+
+        # Tracked regret row of the played action (Eq. 3-6, row j = a_i).
+        q = self._s[slots, :, loc]
+        diag = self._s[slots, loc, loc]
+        q -= diag[:, None]
+        q *= scale[:, None]
+        np.maximum(q, 0.0, out=q)
+        q[row_index, loc] = 0.0
+        self._last_played_regrets[slots] = q
+
+        # Probability update (Algorithm 2) over the tracked arms; every
+        # untracked arm lands exactly on the exploration floor delta / H,
+        # so the tail bucket's mass is the constant (H - k) * delta / H.
+        cap = 1.0 / (self._h - 1)
+        np.multiply(q, (1.0 - self._delta) / self._mu, out=q)
+        np.minimum(q, (1.0 - self._delta) * cap, out=q)
+        q += self._delta / self._h
+        q[row_index, loc] = 0.0
+        if self._tail_count:
+            q[row_index, loc] = 1.0 - self._tail_mass - q.sum(axis=1)
+        else:
+            q[row_index, loc] = 1.0 - q.sum(axis=1)
+        self._probs[slots] = q
+        if self._tail_count:
+            self._tail_prob[slots] = self._tail_mass
+
+        # Fold nearly-underflowed scales back into the stored blocks.
+        tiny = scale < self._scale_floor
+        if np.any(tiny):
+            idx = slots[tiny]
+            self._s[idx] *= self._scale[idx][:, None, None]
+            self._scale[idx] = 1.0
+
+        if self._reselect_every and self._tail_count:
+            due = self._stages[slots] % self._reselect_every == 0
+            if np.any(due):
+                self._reselect(slots[due])
+
+    def _eps_for(self, stages: np.ndarray) -> "np.ndarray | float":
+        """Step sizes for the given (1-based) stage indices."""
+        if self._constant_eps is not None:
+            return self._constant_eps
+        out = np.empty(stages.shape)
+        for value in np.unique(stages):
+            n = int(value)
+            eps = self._eps_cache.get(n)
+            if eps is None:
+                eps = float(self._schedule(n))
+                self._eps_cache[n] = eps
+            out[stages == value] = eps
+        return out
+
+    # ------------------------------------------------------------------
+    # Whole-population API (tests / bare repeated-game use)
+    # ------------------------------------------------------------------
+
+    def act_all(self) -> np.ndarray:
+        """Sample one action per peer from the current mixed strategies."""
+        return self.act_slots(self._peer_index)
+
+    def observe_all(self, actions: np.ndarray, utilities: np.ndarray) -> None:
+        """Batch regret + probability update for one stage."""
+        actions = np.asarray(actions, dtype=int)
+        utilities = np.asarray(utilities, dtype=float)
+        if actions.shape != (self._n,) or utilities.shape != (self._n,):
+            raise ValueError("actions and utilities must both have shape (N,)")
+        self.observe_slots(self._peer_index, actions, utilities)
+        self._stage += 1

@@ -16,7 +16,7 @@ overloading it, and the population oscillates forever.  This module provides
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 

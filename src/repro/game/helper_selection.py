@@ -19,7 +19,7 @@ equilibrium (see :mod:`repro.game.nash`).
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

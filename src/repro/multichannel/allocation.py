@@ -8,7 +8,6 @@ per-helper slices exactly as in the single-channel game.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -28,6 +28,7 @@ from repro.runtime.learner_bank import (
     RegretBank,
     RTHSBank,
     StickyBank,
+    TopKRegretBank,
     UniformBank,
     bank_factory,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "RegretBank",
     "RTHSBank",
     "R2HSBank",
+    "TopKRegretBank",
     "UniformBank",
     "StickyBank",
     "bank_factory",

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.population import LearnerPopulation
 from repro.core.schedules import StepSchedule
+from repro.core.sparse_population import TopKPopulation
 from repro.util.rng import Seedish, as_generator
 
 #: Builds one bank for a channel with ``num_actions`` helpers — the
@@ -213,6 +214,77 @@ class R2HSBank(RegretBank):
     allowed (a harmonic schedule recovers classic regret matching)."""
 
 
+class TopKRegretBank(_RowBank):
+    """Sparse top-k regret block for giant helper counts (``H >> 10^3``).
+
+    Same slot API and the same RTHS/R2HS recursion as :class:`RegretBank`,
+    but backed by :class:`~repro.core.sparse_population.TopKPopulation`:
+    each row tracks an exact ``(k, k)`` regret block over its top-k helper
+    arms plus an aggregated tail bucket, so a channel's memory is
+    ``O(rows * k^2)`` instead of ``O(rows * H^2)``.  With ``k >= H`` the
+    bank is bit-identical to :class:`RegretBank` (asserted in
+    ``tests/runtime/test_topk_bank.py``); below that it is the controlled
+    approximation described in the sparse-population module docstring.
+    """
+
+    def __init__(
+        self,
+        num_actions: int,
+        k: int = 32,
+        rng: Seedish = None,
+        epsilon: float = 0.05,
+        mu: Optional[float] = None,
+        delta: float = 0.1,
+        u_max: float = 1.0,
+        schedule: Optional[StepSchedule] = None,
+        initial_rows: int = _INITIAL_ROWS,
+        dtype=np.float64,
+        reselect_every: int = 32,
+    ) -> None:
+        super().__init__(initial_rows)
+        self._pop = TopKPopulation(
+            self.rows,
+            num_actions,
+            k=k,
+            epsilon=epsilon,
+            mu=mu,
+            delta=delta,
+            u_max=u_max,
+            rng=rng,
+            schedule=schedule,
+            dtype=dtype,
+            reselect_every=reselect_every,
+        )
+
+    @property
+    def num_actions(self) -> int:
+        return self._pop.num_helpers
+
+    @property
+    def k(self) -> int:
+        """Tracked arms per row (clamped to the channel's helper count)."""
+        return self._pop.k
+
+    @property
+    def population(self) -> TopKPopulation:
+        """The backing sparse population (for diagnostics)."""
+        return self._pop
+
+    def _grow_rows(self, new_rows: int) -> None:
+        self._pop.ensure_capacity(new_rows)
+
+    def _reset_rows(self, rows: np.ndarray) -> None:
+        self._pop.reset_slots(rows)
+
+    def act(self, rows: np.ndarray) -> np.ndarray:
+        return self._pop.act_slots(rows)
+
+    def observe(
+        self, rows: np.ndarray, actions: np.ndarray, utilities: np.ndarray
+    ) -> None:
+        self._pop.observe_slots(rows, actions, utilities)
+
+
 class UniformBank(_RowBank):
     """Vectorized :class:`~repro.game.baselines.UniformRandomLearner`."""
 
@@ -306,6 +378,9 @@ def bank_factory(
     u_max: float = 900.0,
     switch_probability: float = 0.01,
     dtype=np.float64,
+    bank: str = "dense",
+    topk: int = 32,
+    reselect_every: int = 32,
 ) -> BankFactory:
     """Build a :data:`BankFactory` by name.
 
@@ -315,17 +390,33 @@ def bank_factory(
     the regret banks' storage precision (float32 opt-in; see
     :class:`~repro.core.population.LearnerPopulation`); the stateless
     baselines ignore it.
+
+    ``bank`` selects the regret families' storage family: ``"dense"``
+    (the full per-row regret tensor) or ``"topk"`` (sparse
+    :class:`TopKRegretBank` blocks tracking ``topk`` arms per row, with
+    popularity-driven re-selection every ``reselect_every`` stages).  The
+    baselines have no regret state and reject ``"topk"``.
     """
     kind = kind.lower()
-    if kind == "rths":
-        return lambda h, rng: RTHSBank(
+    if bank not in ("dense", "topk"):
+        raise ValueError(f"bank must be 'dense' or 'topk', got {bank!r}")
+    if kind in ("rths", "r2hs"):
+        # RTHS is the constant-step member of the family; with the spec
+        # layer's constant epsilon both kinds share one recursion, so the
+        # sparse variant serves both.
+        if bank == "topk":
+            return lambda h, rng: TopKRegretBank(
+                h, k=topk, rng=rng, epsilon=epsilon, mu=mu, delta=delta,
+                u_max=u_max, dtype=dtype, reselect_every=reselect_every,
+            )
+        cls = RTHSBank if kind == "rths" else R2HSBank
+        return lambda h, rng: cls(
             h, rng=rng, epsilon=epsilon, mu=mu, delta=delta, u_max=u_max,
             dtype=dtype,
         )
-    if kind == "r2hs":
-        return lambda h, rng: R2HSBank(
-            h, rng=rng, epsilon=epsilon, mu=mu, delta=delta, u_max=u_max,
-            dtype=dtype,
+    if bank == "topk":
+        raise ValueError(
+            f"bank 'topk' applies to the regret families, not {kind!r}"
         )
     if kind == "uniform":
         return lambda h, rng: UniformBank(h, rng=rng)

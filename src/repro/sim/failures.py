@@ -18,7 +18,6 @@ designed for.  The failure ablation bench compares RTHS against a sticky
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

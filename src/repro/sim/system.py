@@ -19,7 +19,7 @@ helper loads) are exactly the series plotted in Figs. 3–5.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np

@@ -60,9 +60,10 @@ def _regret_scalar(cls):
 
 
 def _regret_bank(kind):
-    def build(epsilon, delta, mu, u_max, dtype):
+    def build(epsilon, delta, mu, u_max, dtype, bank="dense", topk=32):
         return _runtime_bank_factory(
-            kind, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max, dtype=dtype
+            kind, epsilon=epsilon, delta=delta, mu=mu, u_max=u_max,
+            dtype=dtype, bank=bank, topk=topk,
         )
 
     return build
@@ -86,11 +87,11 @@ def _sticky_bank(epsilon, delta, mu, u_max, dtype):
 
 register_learner(
     "rths", scalar=_regret_scalar(RTHSLearner), bank=_regret_bank("rths"),
-    min_actions=2,
+    min_actions=2, sparse=True,
 )
 register_learner(
     "r2hs", scalar=_regret_scalar(R2HSLearner), bank=_regret_bank("r2hs"),
-    min_actions=2,
+    min_actions=2, sparse=True,
 )
 register_learner("uniform", scalar=_uniform_scalar, bank=_uniform_bank)
 register_learner("sticky", scalar=_sticky_scalar, bank=_sticky_bank)

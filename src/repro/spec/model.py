@@ -42,6 +42,9 @@ SYSTEM_BACKENDS = ("scalar", "vectorized")
 #: Learner storage precisions a spec can request.
 SPEC_DTYPES = ("float32", "float64")
 
+#: Learner-bank storage families a spec can request.
+SPEC_BANKS = ("dense", "topk")
+
 
 def _check_unknown_keys(cls, data: Mapping[str, Any]) -> None:
     allowed = {f.name for f in dataclasses.fields(cls)}
@@ -159,7 +162,12 @@ class LearnerSpec:
     ``name`` resolves through the learner registry on either backend.
     ``u_max`` is the utility normalizer; ``None`` defaults to the highest
     capacity level.  ``dtype`` selects the vectorized banks' storage
-    precision (``"float32"`` is vectorized-backend-only).
+    precision (``"float32"`` is vectorized-backend-only).  ``bank``
+    selects the regret storage family: ``"dense"`` keeps the full
+    per-peer regret tensor, ``"topk"`` the sparse top-k blocks of
+    :class:`~repro.runtime.learner_bank.TopKRegretBank` tracking ``topk``
+    arms per peer (vectorized backend, regret families only; the memory
+    unlock for giant helper counts).
     """
 
     name: str = "r2hs"
@@ -168,12 +176,22 @@ class LearnerSpec:
     mu: Optional[float] = None
     u_max: Optional[float] = None
     dtype: str = "float64"
+    bank: str = "dense"
+    topk: int = 32
 
     def __post_init__(self) -> None:
         LEARNERS.get(self.name)  # raises with the menu
         if self.dtype not in SPEC_DTYPES:
             raise ValueError(
                 f"dtype must be one of {SPEC_DTYPES}, got {self.dtype!r}"
+            )
+        if self.bank not in SPEC_BANKS:
+            raise ValueError(
+                f"bank must be one of {SPEC_BANKS}, got {self.bank!r}"
+            )
+        if not isinstance(self.topk, int) or self.topk < 2:
+            raise ValueError(
+                f"topk must be an integer >= 2, got {self.topk!r}"
             )
         if not 0 < self.epsilon <= 1 or not 0 < self.delta < 1:
             raise ValueError("epsilon in (0,1], delta in (0,1) required")
@@ -364,6 +382,19 @@ class ExperimentSpec:
             raise ValueError(
                 f"learner {self.learner.name!r} has no vectorized bank"
             )
+        if self.learner.bank == "topk":
+            if self.backend == "scalar":
+                raise ValueError(
+                    "bank 'topk' requires the vectorized backend (scalar "
+                    "learners keep per-object regret state); use "
+                    'backend="vectorized" or bank="dense"'
+                )
+            if not entry.sparse:
+                raise ValueError(
+                    f"learner {self.learner.name!r} has no sparse top-k "
+                    "bank; families registered with sparse=True: "
+                    f"{[n for n in LEARNERS if LEARNERS.get(n).sparse]}"
+                )
         # Helpers partition round-robin, so the smallest channel gets
         # floor(H/C) of them; the learner family's action set must fit.
         topo = self.topology
@@ -536,13 +567,19 @@ class ExperimentSpec:
                 f"learner {self.learner.name!r} has no vectorized bank"
             )
         hp = self.learner
-        return entry.bank(
+        kwargs = dict(
             epsilon=hp.epsilon,
             delta=hp.delta,
             mu=hp.mu,
             u_max=self.u_max,
             dtype=np.dtype(self.learner.dtype),
         )
+        if hp.bank != "dense":
+            # Only sparse-capable entries (validated at construction) see
+            # the extra kwargs, so plain third-party builders keep the
+            # original five-argument contract.
+            kwargs.update(bank=hp.bank, topk=hp.topk)
+        return entry.bank(**kwargs)
 
     def build_capacity_process(self, rng: Seedish = None):
         """The spec's helper-bandwidth environment, via the registry."""
@@ -561,12 +598,13 @@ class ExperimentSpec:
         that advance a population directly against a capacity process,
         without the full streaming substrate.  Uses the spec's regret
         hyper-parameters; the learner *family* distinction does not apply
-        (the population is the single RTHS/R2HS recursion).
+        (the population is the single RTHS/R2HS recursion), but the
+        storage family does: ``learner.bank = "topk"`` returns the sparse
+        :class:`~repro.core.sparse_population.TopKPopulation` instead of
+        allocating the dense ``(N, H, H)`` tensor the spec opted out of.
         """
-        from repro.core.population import LearnerPopulation
-
         hp = self.learner
-        return LearnerPopulation(
+        kwargs = dict(
             num_peers=self.topology.num_peers,
             num_helpers=self.topology.num_helpers,
             epsilon=hp.epsilon,
@@ -576,6 +614,13 @@ class ExperimentSpec:
             rng=self.seed if rng is None else rng,
             dtype=np.dtype(hp.dtype),
         )
+        if hp.bank == "topk":
+            from repro.core.sparse_population import TopKPopulation
+
+            return TopKPopulation(k=hp.topk, **kwargs)
+        from repro.core.population import LearnerPopulation
+
+        return LearnerPopulation(**kwargs)
 
     def build(self, rng: Seedish = None, capacity_process=None):
         """A ready-to-run system on the spec's backend.

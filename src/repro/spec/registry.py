@@ -144,12 +144,17 @@ class LearnerEntry:
     error.  ``min_actions`` is the smallest per-channel helper count the
     family can learn over (2 for the regret learners, whose action set
     must be non-degenerate); specs validate their topology against it at
-    construction.
+    construction.  ``sparse`` declares that the bank builder additionally
+    accepts ``bank=``/``topk=`` keyword arguments selecting a sparse
+    top-k storage family (see
+    :class:`~repro.runtime.learner_bank.TopKRegretBank`); specs with
+    ``learner.bank = "topk"`` are only valid against such entries.
     """
 
     scalar: Optional[Callable] = None
     bank: Optional[Callable] = None
     min_actions: int = 1
+    sparse: bool = False
 
 
 #: The four global registries.
@@ -176,12 +181,19 @@ def register_learner(
     scalar=None,
     bank=None,
     min_actions: int = 1,
+    sparse: bool = False,
     overwrite: bool = False,
 ) -> LearnerEntry:
-    """Register a learner family under ``name`` for one or both backends."""
+    """Register a learner family under ``name`` for one or both backends.
+
+    Pass ``sparse=True`` when the ``bank`` builder also accepts
+    ``bank=``/``topk=`` keyword arguments (sparse top-k storage).
+    """
     if scalar is None and bank is None:
         raise ValueError("register_learner needs a scalar factory, a bank factory, or both")
-    entry = LearnerEntry(scalar=scalar, bank=bank, min_actions=min_actions)
+    entry = LearnerEntry(
+        scalar=scalar, bank=bank, min_actions=min_actions, sparse=sparse
+    )
     LEARNERS.register(name, entry, overwrite=overwrite)
     return entry
 

@@ -1,6 +1,5 @@
 """Tests for the parameter-sweep harness."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.sweeps import (

@@ -1,6 +1,5 @@
 """Tests for repro.game.helper_selection."""
 
-import numpy as np
 import pytest
 
 from repro.game.helper_selection import (

@@ -7,7 +7,6 @@ from repro.game.baselines import StickyLearner, UniformRandomLearner
 from repro.game.repeated_game import (
     RepeatedGameDriver,
     StaticCapacities,
-    Trajectory,
 )
 
 

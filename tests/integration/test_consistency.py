@@ -2,7 +2,6 @@
 and the DES system implement the same game."""
 
 import numpy as np
-import pytest
 
 from repro.core import LearnerPopulation, R2HSLearner
 from repro.game.repeated_game import RepeatedGameDriver

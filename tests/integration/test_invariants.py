@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 
 from repro.core.population import LearnerPopulation
 from repro.game.repeated_game import StaticCapacities
-from repro.mdp.markov_chain import MarkovChain, stationary_distribution
+from repro.mdp.markov_chain import stationary_distribution
 from repro.sim.chunks import HelperUploader
 from repro.sim.engine import Simulator
 

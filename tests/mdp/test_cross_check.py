@@ -6,7 +6,6 @@ the same optimal average welfare — they are three formulations of one
 optimization.
 """
 
-import numpy as np
 import pytest
 
 from repro.mdp.cooperative import build_cooperative_mdp

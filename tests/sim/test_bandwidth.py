@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.game.repeated_game import CapacityProcess
-from repro.mdp.markov_chain import BatchMarkovChains, birth_death_chain
+from repro.mdp.markov_chain import birth_death_chain
 from repro.sim.bandwidth import (
     PAPER_BANDWIDTH_LEVELS,
     MarkovCapacityProcess,

@@ -222,3 +222,71 @@ class TestListCommand:
         for needle in ("scenarios", "flash_crowd", "learners", "r2hs",
                        "capacity backends", "metrics"):
             assert needle in text
+
+
+class TestTopKFlags:
+    def test_dump_spec_emits_bank_and_topk_fields(self):
+        out = io.StringIO()
+        code = main(
+            ["run", "--peers", "50", "--helpers", "40", "--bank", "topk",
+             "--topk", "8", "--dump-spec"],
+            out=out,
+        )
+        assert code == 0
+        data = json.loads(out.getvalue())
+        assert data["learner"]["bank"] == "topk"
+        assert data["learner"]["topk"] == 8
+
+    def test_dump_spec_roundtrips_bit_identically(self):
+        """The dumped JSON must reparse into a spec whose own dump is the
+        same text — bank/topk included."""
+        out = io.StringIO()
+        code = main(
+            ["run", "--bank", "topk", "--topk", "64", "--dump-spec"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        spec = ExperimentSpec.from_json(text)
+        assert spec.to_json() + "\n" == text
+
+    def test_default_dump_spec_emits_dense_bank(self):
+        out = io.StringIO()
+        main(["run", "--dump-spec"], out=out)
+        data = json.loads(out.getvalue())
+        assert data["learner"]["bank"] == "dense"
+        assert data["learner"]["topk"] == 32
+
+    def test_topk_run_executes(self):
+        out = io.StringIO()
+        code = main(
+            ["run", "--peers", "40", "--helpers", "30", "--rounds", "5",
+             "--bank", "topk", "--topk", "4"],
+            out=out,
+        )
+        assert code == 0
+        assert "mean_welfare" in out.getvalue()
+
+    def test_topk_with_scalar_backend_fails_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--backend", "scalar", "--bank", "topk"])
+        assert excinfo.value.code == 2
+        assert "vectorized" in capsys.readouterr().err
+
+    def test_topk_with_baseline_learner_fails_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "--learner", "sticky", "--bank", "topk"])
+        assert excinfo.value.code == 2
+        assert "sparse" in capsys.readouterr().err
+
+    def test_spec_file_with_topk_bank_runs(self, tmp_path):
+        path = write_spec(
+            tmp_path,
+            topology={"num_peers": 30, "num_helpers": 12,
+                      "channel_bitrates": 100.0},
+            learner={"name": "r2hs", "bank": "topk", "topk": 4},
+        )
+        out = io.StringIO()
+        code = main(["run", "--spec", str(path)], out=out)
+        assert code == 0
+        assert "mean_welfare" in out.getvalue()

@@ -311,3 +311,62 @@ class TestDeprecationShims:
         )
         assert np.array_equal(shim_trace.welfare, spec_trace.welfare)
         assert np.array_equal(shim_trace.loads, spec_trace.loads)
+
+
+class TestTopKBankSpecFields:
+    """learner.bank / learner.topk: serialization and validation."""
+
+    def test_defaults_are_dense(self):
+        spec = ExperimentSpec()
+        assert spec.learner.bank == "dense"
+        assert spec.learner.topk == 32
+
+    def test_bank_fields_survive_json_roundtrip_bit_identically(self):
+        spec = ExperimentSpec(
+            backend="vectorized",
+            learner=LearnerSpec(name="rths", bank="topk", topk=16),
+        )
+        text = spec.to_json()
+        clone = ExperimentSpec.from_json(text)
+        assert clone == spec
+        assert clone.learner.bank == "topk"
+        assert clone.learner.topk == 16
+        assert clone.to_json() == text
+
+    def test_topk_requires_vectorized_backend(self):
+        with pytest.raises(ValueError, match="topk.*vectorized|vectorized"):
+            ExperimentSpec(
+                backend="scalar", learner=LearnerSpec(bank="topk")
+            )
+
+    def test_topk_requires_sparse_capable_family(self):
+        with pytest.raises(ValueError, match="sparse"):
+            ExperimentSpec(
+                backend="vectorized",
+                learner=LearnerSpec(name="uniform", bank="topk"),
+            )
+
+    def test_bad_bank_name_rejected(self):
+        with pytest.raises(ValueError, match="bank"):
+            LearnerSpec(bank="csr")
+
+    def test_bad_topk_rejected(self):
+        with pytest.raises(ValueError, match="topk"):
+            LearnerSpec(topk=1)
+        with pytest.raises(ValueError, match="topk"):
+            LearnerSpec(topk=2.5)
+
+    def test_sweep_over_bank_family(self):
+        """The bank family is sweepable like any other spec field."""
+        from repro.spec import SweepSpec
+
+        spec = ExperimentSpec(
+            rounds=4,
+            topology=TopologySpec(num_peers=30, num_helpers=6),
+            sweep_spec=SweepSpec(grid={"learner.bank": ["dense", "topk"]}),
+        )
+        cells = spec.sweep(workers=1).cells
+        assert len(cells) == 2
+        assert {c.parameters["learner.bank"] for c in cells} == {
+            "dense", "topk",
+        }
