@@ -27,12 +27,22 @@ and (3) runs the topk bank at that scale end-to-end, failing unless peak
 RSS stays under ``--rss-budget-mb`` and the round loop under
 ``--round-budget-s``.
 
+``--channels-scale`` is the *channel*-scaling study for the fused learner
+engine: for each C in the grid it builds the same system (two helpers per
+channel, so only the channel count — the dispatch structure — varies) on
+the ``grouped`` and ``per_channel`` engines and times the round loop.
+``--channels-guard`` is the CI gate: at C = 50 / 10k peers the fused
+engine must beat the per-channel dispatch (the engines are bit-identical,
+so the comparison is pure overhead).
+
 Usage::
 
     python benchmarks/bench_runtime_scale.py            # full: 10k peers
     python benchmarks/bench_runtime_scale.py --quick    # CI smoke: 2k peers
     python benchmarks/bench_runtime_scale.py --helpers-scale
+    python benchmarks/bench_runtime_scale.py --channels-scale
     python benchmarks/bench_runtime_scale.py --capacity-guard
+    python benchmarks/bench_runtime_scale.py --channels-guard
     python benchmarks/bench_runtime_scale.py --memory-guard
 
 The JSON report lands in ``BENCH_runtime.json`` (repo root by default) as a
@@ -224,6 +234,98 @@ def bench_helpers_scale(
             f"{row['capacity_share_of_scalar_round']:.0%})"
         )
     return rows
+
+
+def _time_engines(
+    config: SystemConfig, rounds: int, seed: int, blocks: int = 3
+) -> dict:
+    """Best-of-blocks per-round time of each learner engine.
+
+    Blocks alternate between engines so machine-load drift hits both
+    alike (same estimator as :func:`time_backends`); both systems run the
+    same seed, and the engines are bit-identical, so the measured gap is
+    pure dispatch overhead.
+    """
+    systems = {}
+    round_s = {}
+    for engine in ("grouped", "per_channel"):
+        gc.collect()
+        systems[engine] = VectorizedStreamingSystem(
+            config,
+            bank_factory("r2hs", u_max=U_MAX),
+            rng=seed,
+            engine=engine,
+        )
+        systems[engine].run(1)  # warmup
+        round_s[engine] = []
+    for _ in range(blocks):
+        for engine, system in systems.items():
+            t0 = time.perf_counter()
+            system.run(rounds)
+            round_s[engine].append(time.perf_counter() - t0)
+    return {engine: min(blocks_s) / rounds for engine, blocks_s in round_s.items()}
+
+
+def bench_channels_scale(
+    channels_grid: list, peers: int, rounds: int, seed: int
+) -> list:
+    """Channel-scaling study: grouped vs per-channel dispatch.
+
+    Every cell keeps two helpers per channel, so the per-channel regret
+    width (and the arithmetic) is constant across the grid — the only
+    thing that grows with C is the number of per-round dispatches the
+    per-channel engine makes, which is exactly what fusing removes.
+    """
+    rows = []
+    for channels in channels_grid:
+        config = SystemConfig(
+            num_peers=peers,
+            num_helpers=2 * channels,
+            num_channels=channels,
+            channel_bitrates=100.0,
+        )
+        round_s = _time_engines(config, rounds, seed)
+        row = {
+            "channels": channels,
+            "helpers": 2 * channels,
+            "peers": peers,
+            "round_s": round_s,
+            "speedup": round_s["per_channel"] / round_s["grouped"],
+        }
+        rows.append(row)
+        print(
+            f"  C={channels:4d} H={2 * channels:4d}: per_channel "
+            f"{round_s['per_channel'] * 1e3:8.3f} ms -> grouped "
+            f"{round_s['grouped'] * 1e3:8.3f} ms/round "
+            f"({row['speedup']:4.2f}x)"
+        )
+    return rows
+
+
+def run_channels_guard(args) -> int:
+    """CI gate: the fused engine must beat per-channel dispatch at C=50."""
+    channels, peers = args.guard_channels, args.guard_channel_peers
+    config = SystemConfig(
+        num_peers=peers,
+        num_helpers=2 * channels,
+        num_channels=channels,
+        channel_bitrates=100.0,
+    )
+    round_s = _time_engines(config, max(3, args.rounds), args.seed)
+    speedup = round_s["per_channel"] / round_s["grouped"]
+    print(
+        f"channels guard (C={channels}, N={peers}): per_channel "
+        f"{round_s['per_channel'] * 1e3:.3f} ms/round, grouped "
+        f"{round_s['grouped'] * 1e3:.3f} ms/round ({speedup:.2f}x)"
+    )
+    if speedup <= 1.0:
+        print(
+            "FAIL: the fused grouped engine is not faster than per-channel "
+            "dispatch"
+        )
+        return 1
+    print("OK")
+    return 0
 
 
 def append_run(path: pathlib.Path, run: dict) -> dict:
@@ -476,10 +578,35 @@ def main(argv=None) -> int:
         help="comma-separated helper counts for --helpers-scale",
     )
     parser.add_argument(
+        "--channels-scale",
+        action="store_true",
+        help="channel-scaling study over --channels-grid: grouped vs "
+        "per_channel learner engine (two helpers per channel, so only the "
+        "dispatch count varies)",
+    )
+    parser.add_argument(
+        "--channels-grid",
+        type=str,
+        default="1,20,100",
+        help="comma-separated channel counts for --channels-scale",
+    )
+    parser.add_argument(
         "--capacity-guard",
         action="store_true",
         help="CI gate: exit non-zero unless the vectorized capacity backend "
         "beats scalar at H=1000 (no report written)",
+    )
+    parser.add_argument(
+        "--channels-guard",
+        action="store_true",
+        help="CI gate: exit non-zero unless the fused grouped engine beats "
+        "per-channel dispatch at --guard-channels channels (no report "
+        "written)",
+    )
+    parser.add_argument("--guard-channels", type=int, default=50)
+    parser.add_argument(
+        "--guard-channel-peers", type=int, default=10_000,
+        help="population for --channels-guard",
     )
     parser.add_argument(
         "--memory-guard",
@@ -510,12 +637,51 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.capacity_guard:
         return run_capacity_guard(args.seed)
+    if args.channels_guard:
+        return run_channels_guard(args)
     if args.memory_guard:
         return run_memory_guard(args)
     if args.quick:
         args.peers, args.helpers, args.rounds = 2_000, 20, 3
         if args.helpers_grid == "100,1000,5000":
             args.helpers_grid = "100,1000"
+        if args.channels_grid == "1,20,100":
+            args.channels_grid = "1,20"
+
+    if args.channels_scale:
+        grid = [int(c) for c in args.channels_grid.split(",") if c]
+        print(
+            f"bench_runtime_scale --channels-scale: N={args.peers} "
+            f"C in {grid} rounds={args.rounds}"
+        )
+        rows = bench_channels_scale(grid, args.peers, args.rounds, args.seed)
+        report = append_run(
+            args.output,
+            {
+                "kind": "channels_scale",
+                "config": {
+                    "peers": args.peers,
+                    "rounds": args.rounds,
+                    "seed": args.seed,
+                    "learner": "r2hs",
+                    "quick": bool(args.quick),
+                },
+                "results": rows,
+            },
+        )
+        print(f"  wrote {args.output} ({len(report['runs'])} runs)")
+        OUTPUT_DIR.mkdir(exist_ok=True)
+        lines = [
+            f"C={r['channels']:4d}: per_channel "
+            f"{r['round_s']['per_channel'] * 1e3:.3f} ms -> grouped "
+            f"{r['round_s']['grouped'] * 1e3:.3f} ms/round "
+            f"({r['speedup']:.2f}x)"
+            for r in rows
+        ]
+        (OUTPUT_DIR / "bench_channels_scale.txt").write_text(
+            "\n".join(lines) + "\n"
+        )
+        return 0
 
     if args.helpers_scale:
         grid = [int(h) for h in args.helpers_grid.split(",") if h]

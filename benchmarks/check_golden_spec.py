@@ -12,7 +12,10 @@ vectorized backend and diffs the headline metrics against
   realize the same dynamics on different RNG stream layouts);
 * the sparse top-k bank must reproduce the dense vectorized run exactly
   at k >= per-channel H (trace-identical by construction) and stay
-  within a distributional band of it at k below that (true sparsity).
+  within a distributional band of it at k below that (true sparsity);
+* the per-channel learner engine must reproduce the (default) fused
+  grouped engine exactly — the two dispatch structures are bit-identical
+  by design, so their metrics must agree to float tolerance.
 
 Run with ``--update`` after an intentional behaviour change to
 regenerate the expectations file (and say why in the commit message).
@@ -109,6 +112,28 @@ def check_topk(spec: ExperimentSpec, observed: dict) -> list:
     return failures
 
 
+def check_engines(spec: ExperimentSpec, observed: dict) -> list:
+    """Engine phase: per_channel must equal the fused grouped default."""
+    failures = []
+    per_channel = {
+        name: float(value)
+        for name, value in spec.with_overrides(
+            {"backend": "vectorized", "learner.engine": "per_channel"}
+        ).run().metrics.items()
+    }
+    observed["per-channel"] = per_channel
+    for name, value in observed["vectorized"].items():
+        got = per_channel.get(name)
+        if got is None or not math.isclose(
+            got, value, rel_tol=SAME_BACKEND_RTOL, abs_tol=1e-9
+        ):
+            failures.append(
+                f"per-channel.{name}: got {got!r}, grouped engine gave "
+                f"{value!r} (the engines must be bit-identical)"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -151,8 +176,9 @@ def main(argv=None) -> int:
         )
 
     failures.extend(check_topk(spec, observed))
+    failures.extend(check_engines(spec, observed))
 
-    for label in (*BACKENDS, "topk-full", "topk-sparse"):
+    for label in (*BACKENDS, "topk-full", "topk-sparse", "per-channel"):
         print(f"{label:11s}: " + "  ".join(
             f"{k}={v:.3f}" for k, v in observed[label].items()
         ))

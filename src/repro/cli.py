@@ -81,6 +81,7 @@ RUN_FLAG_SPEC_PATHS = {
     "dtype": "learner.dtype",
     "bank": "learner.bank",
     "topk": "learner.topk",
+    "engine": "learner.engine",
     "churn_rate": "churn.arrival_rate",
     "mean_lifetime": "churn.mean_lifetime",
 }
@@ -176,6 +177,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=unset,
         help="tracked helper arms per peer for --bank topk "
         "(clamped to the channel helper count; default 32)",
+    )
+    runp.add_argument(
+        "--engine",
+        choices=["auto", "grouped", "per_channel"],
+        default=unset,
+        help="vectorized learner dispatch: one fused act/observe across "
+        "all channels per round ('grouped', bit-identical to "
+        "'per_channel' and faster from C >= 20) or private per-channel "
+        "banks; default auto (grouped for the regret families)",
     )
     runp.add_argument("--peers", type=int, default=unset)
     runp.add_argument("--helpers", type=int, default=unset)
@@ -293,9 +303,11 @@ def _run_system(parser, args, out) -> None:
         runner = ParallelRunner(workers=args.workers)
         cells = spec.sweep(runner=runner, sweep=sweep).cells
     topo = spec.topology
+    engine = spec.resolved_engine()
     print(
         f"run: backend={spec.backend} learner={spec.learner.name} "
-        f"N={topo.num_peers} H={topo.num_helpers} C={topo.num_channels} "
+        + (f"engine={engine} " if engine is not None else "")
+        + f"N={topo.num_peers} H={topo.num_helpers} C={topo.num_channels} "
         f"rounds={spec.rounds} replications={replications} "
         f"cells={len(cells)} workers={args.workers}",
         file=out,

@@ -252,13 +252,28 @@ class LearnerPopulation:
         self._stages[slots] = 0
         self._last_played_regrets[slots] = 0.0
 
-    def act_slots(self, slots: np.ndarray) -> np.ndarray:
+    def act_slots(
+        self, slots: np.ndarray, draws: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Sample one action per listed slot (inverse-CDF, one uniform draw
-        per slot)."""
+        per slot).
+
+        ``draws`` optionally supplies the per-slot uniforms instead of
+        pulling them from the population's own generator — the hook the
+        channel-grouped engine uses to fuse many channels' updates into
+        one kernel call while preserving each channel's RNG stream
+        exactly (see :mod:`repro.runtime.grouped_bank`).  The inversion
+        arithmetic is identical either way.
+        """
         slots = np.asarray(slots, dtype=np.intp)
         cdf = self._probs[slots]
         np.cumsum(cdf, axis=1, out=cdf)
-        draws = self._rng.random(slots.shape[0])
+        if draws is None:
+            draws = self._rng.random(slots.shape[0])
+        else:
+            draws = np.asarray(draws, dtype=float)
+            if draws.shape != (slots.shape[0],):
+                raise ValueError("draws must supply one uniform per slot")
         actions = (cdf < draws[:, None]).sum(axis=1)
         return np.minimum(actions, self._h - 1)
 

@@ -91,6 +91,17 @@ class TopKPopulation:
         Period (in per-slot stages) of the popularity-driven tracked-set
         re-selection; ``0`` disables it (promotion on play still runs —
         it is required for correctness, not a policy).
+    num_channel_groups:
+        Number of independent popularity domains sharing this population.
+        The play-popularity EWMA that drives re-selection is kept *per
+        group*, and each slot belongs to exactly one group (assigned with
+        :meth:`set_slot_groups`; default group 0).  The channel-grouped
+        engine (:mod:`repro.runtime.grouped_bank`) hosts every channel of
+        one arm count in a single population and maps each channel to its
+        own group, so a slot's re-selection sees only its own channel's
+        play popularity — exactly as if the channel had a private bank.
+        With the default of one group the behaviour (and the arithmetic)
+        is identical to the original single-EWMA population.
     """
 
     def __init__(
@@ -106,7 +117,11 @@ class TopKPopulation:
         schedule: Optional[StepSchedule] = None,
         dtype=np.float64,
         reselect_every: int = 32,
+        num_channel_groups: int = 1,
     ) -> None:
+        self._num_groups = require_positive_int(
+            num_channel_groups, "num_channel_groups"
+        )
         self._n = require_positive_int(num_peers, "num_peers")
         self._h = require_positive_int(num_helpers, "num_helpers")
         if self._h < 2:
@@ -160,7 +175,8 @@ class TopKPopulation:
         # Aggregated tail bucket: regret mass discarded by evictions
         # (absolute units) — an upper bound on the per-peer approximation.
         self._tail_regret = np.zeros(n)
-        self._play_ewma = np.zeros(self._h)
+        self._play_ewma = np.zeros((self._num_groups, self._h))
+        self._slot_group = np.zeros(n, dtype=np.int32)
         self._promotions = 0
         self._reselections = 0
 
@@ -202,6 +218,19 @@ class TopKPopulation:
     def reselections(self) -> int:
         """Popularity-driven tracked-set swaps performed so far."""
         return self._reselections
+
+    @property
+    def num_channel_groups(self) -> int:
+        """Independent popularity domains (per-group play EWMAs)."""
+        return self._num_groups
+
+    def slot_groups(self) -> np.ndarray:
+        """Per-slot channel-group ids, shape ``(N,)`` (copy)."""
+        return self._slot_group.copy()
+
+    def play_popularity(self) -> np.ndarray:
+        """Per-group play-popularity EWMAs, shape ``(G, H)`` (copy)."""
+        return self._play_ewma.copy()
 
     def nbytes(self) -> int:
         """Bytes held by the per-peer sparse state (blocks + indices)."""
@@ -282,8 +311,24 @@ class TopKPopulation:
             ]
         )
         self._tail_regret = np.concatenate([self._tail_regret, np.zeros(extra)])
+        self._slot_group = np.concatenate(
+            [self._slot_group, np.zeros(extra, dtype=np.int32)]
+        )
         self._n = int(capacity)
         self._peer_index = np.arange(self._n)
+
+    def set_slot_groups(self, slots: np.ndarray, group: int) -> None:
+        """Assign ``slots`` to popularity domain ``group``.
+
+        Called by the channel-grouped bank when a row is (re)acquired for
+        a channel, so re-selection reads that channel's EWMA.  No regret
+        or strategy state is touched.
+        """
+        if not 0 <= int(group) < self._num_groups:
+            raise ValueError(
+                f"group must lie in [0, {self._num_groups}), got {group}"
+            )
+        self._slot_group[np.asarray(slots, dtype=np.intp)] = int(group)
 
     def reset_slots(self, slots: np.ndarray) -> None:
         """Reinitialize ``slots`` to the fresh-learner state.
@@ -301,19 +346,30 @@ class TopKPopulation:
         self._stages[slots] = 0
         self._last_played_regrets[slots] = 0.0
         self._tail_regret[slots] = 0.0
+        self._slot_group[slots] = 0
 
-    def act_slots(self, slots: np.ndarray) -> np.ndarray:
+    def act_slots(
+        self, slots: np.ndarray, draws: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Sample one action per listed slot (one uniform draw per slot).
 
         The draw inverts the CDF over the tracked arms first; a draw
         landing in the tail bucket is re-used (rescaled) to pick one of
         the ``H - k`` untracked arms uniformly, so the per-slot RNG
-        consumption matches the dense population exactly.
+        consumption matches the dense population exactly.  ``draws``
+        optionally supplies the uniforms externally (the channel-grouped
+        engine's per-channel-stream hook, as in
+        :meth:`~repro.core.population.LearnerPopulation.act_slots`).
         """
         slots = np.asarray(slots, dtype=np.intp)
         cdf = self._probs[slots]
         np.cumsum(cdf, axis=1, out=cdf)
-        draws = self._rng.random(slots.shape[0])
+        if draws is None:
+            draws = self._rng.random(slots.shape[0])
+        else:
+            draws = np.asarray(draws, dtype=float)
+            if draws.shape != (slots.shape[0],):
+                raise ValueError("draws must supply one uniform per slot")
         local = (cdf < draws[:, None]).sum(axis=1)
         if self._tail_count == 0:
             local = np.minimum(local, self._k - 1)
@@ -363,8 +419,20 @@ class TopKPopulation:
         if actions.min(initial=0) < 0 or actions.max(initial=0) >= self._h:
             raise ValueError("actions out of range")
         if self._reselect_every and self._tail_count:
-            self._play_ewma *= 1.0 - _PLAY_EWMA_DECAY
-            np.add.at(self._play_ewma, actions, _PLAY_EWMA_DECAY)
+            # Each group's EWMA decays once per observe it participates in
+            # and absorbs only its own slots' plays — for a single group
+            # this is exactly the original global update, and in the
+            # grouped engine it matches the per-channel banks' private
+            # EWMAs update-for-update.
+            if self._num_groups == 1:
+                self._play_ewma[0] *= 1.0 - _PLAY_EWMA_DECAY
+                np.add.at(self._play_ewma[0], actions, _PLAY_EWMA_DECAY)
+            else:
+                groups = self._slot_group[slots]
+                self._play_ewma[np.unique(groups)] *= 1.0 - _PLAY_EWMA_DECAY
+                np.add.at(
+                    self._play_ewma, (groups, actions), _PLAY_EWMA_DECAY
+                )
         if count > _OBSERVE_BLOCK:
             for start in range(0, count, _OBSERVE_BLOCK):
                 stop = start + _OBSERVE_BLOCK
@@ -416,15 +484,25 @@ class TopKPopulation:
     def _reselect(self, slots: np.ndarray) -> None:
         """Popularity-driven re-selection for ``slots``.
 
-        Each slot swaps the globally hottest arm it does not track for
-        its weakest tracked arm — only when that arm sits at the
-        exploration floor ``delta / H`` (zero tracked regret), so the
-        swap is probability-mass-preserving and discards no information.
+        Each slot swaps the hottest arm *of its own channel group* it
+        does not track for its weakest tracked arm — only when that arm
+        sits at the exploration floor ``delta / H`` (zero tracked
+        regret), so the swap is probability-mass-preserving and discards
+        no information.
         """
+        if self._num_groups == 1:
+            self._reselect_in(slots, self._play_ewma[0])
+            return
+        groups = self._slot_group[slots]
+        for g in np.unique(groups):
+            self._reselect_in(slots[groups == g], self._play_ewma[g])
+
+    def _reselect_in(self, slots: np.ndarray, play_ewma: np.ndarray) -> None:
+        """Re-selection of ``slots`` against one group's popularity EWMA."""
         m = min(_RESELECT_CANDIDATES, self._h)
-        hot = np.argpartition(self._play_ewma, self._h - m)[self._h - m:]
-        hot = hot[np.argsort(self._play_ewma[hot])[::-1]]
-        hot = hot[self._play_ewma[hot] > 0.0]
+        hot = np.argpartition(play_ewma, self._h - m)[self._h - m:]
+        hot = hot[np.argsort(play_ewma[hot])[::-1]]
+        hot = hot[play_ewma[hot] > 0.0]
         if not hot.size:
             return
         probs = self._probs[slots]

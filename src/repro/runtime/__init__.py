@@ -12,17 +12,30 @@ on dense arrays:
 * :mod:`repro.runtime.learner_bank` — per-channel vectorized strategy
   blocks (RTHS / R2HS via :class:`repro.core.population.LearnerPopulation`,
   plus uniform and sticky baselines);
+* :mod:`repro.runtime.grouped_bank` — the fused multi-channel engine:
+  one :class:`~repro.runtime.grouped_bank.GroupedLearnerBank` owns every
+  channel's rows and advances them with a single ``act_all`` /
+  ``observe_all`` per round (one kernel pass per distinct channel width),
+  bit-identical to the per-channel dispatch;
 * :mod:`repro.runtime.system` — :class:`VectorizedStreamingSystem`, whose
-  learning round is a handful of numpy ops (``np.bincount`` loads, masked
-  deficit accounting, one batched learner update per channel).
+  learning round is a handful of numpy ops (one fused learner draw,
+  ``np.bincount`` loads, masked deficit accounting, one fused learner
+  update — pick the dispatch with ``engine=``).
 
 Pick a backend per experiment: the scalar system for per-peer
 introspection and plug-in scalar learners, the vectorized runtime for
 scale (see README for the decision guide and measured speedups).
 """
 
+from repro.runtime.grouped_bank import (
+    GroupedChannelView,
+    GroupedLearnerBank,
+    GroupedRegretBank,
+    PerChannelGroupedBank,
+)
 from repro.runtime.learner_bank import (
     BankFactory,
+    GroupableBankFactory,
     LearnerBank,
     R2HSBank,
     RegretBank,
@@ -33,18 +46,24 @@ from repro.runtime.learner_bank import (
     bank_factory,
 )
 from repro.runtime.peer_store import PeerStore
-from repro.runtime.system import VectorizedStreamingSystem
+from repro.runtime.system import ENGINES, VectorizedStreamingSystem
 
 __all__ = [
     "PeerStore",
     "LearnerBank",
     "BankFactory",
+    "GroupableBankFactory",
     "RegretBank",
     "RTHSBank",
     "R2HSBank",
     "TopKRegretBank",
     "UniformBank",
     "StickyBank",
+    "GroupedLearnerBank",
+    "GroupedRegretBank",
+    "GroupedChannelView",
+    "PerChannelGroupedBank",
     "bank_factory",
+    "ENGINES",
     "VectorizedStreamingSystem",
 ]

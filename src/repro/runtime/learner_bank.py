@@ -370,6 +370,30 @@ class StickyBank(_RowBank):
             raise ValueError("actions out of range")
 
 
+class GroupableBankFactory:
+    """A per-channel :data:`BankFactory` that can also build a fused bank.
+
+    Calling the object with ``(num_actions, rng)`` builds one per-channel
+    bank, exactly like a plain factory; :meth:`make_grouped` builds the
+    fused :class:`~repro.runtime.grouped_bank.GroupedLearnerBank` over
+    *all* channels at once.  The vectorized system's ``engine="auto"``
+    picks the fused engine iff the factory it was handed exposes
+    ``make_grouped`` — plain third-party lambdas fall back to the
+    per-channel path automatically.
+    """
+
+    def __init__(self, per_channel: BankFactory, make_grouped) -> None:
+        self._per_channel = per_channel
+        self._make_grouped = make_grouped
+
+    def __call__(self, num_actions: int, rng: np.random.Generator):
+        return self._per_channel(num_actions, rng)
+
+    def make_grouped(self, arm_counts, rngs):
+        """Build the fused bank: ``(arm_counts, per-channel rngs)``."""
+        return self._make_grouped(arm_counts, rngs)
+
+
 def bank_factory(
     kind: str,
     epsilon: float = 0.05,
@@ -396,6 +420,14 @@ def bank_factory(
     :class:`TopKRegretBank` blocks tracking ``topk`` arms per row, with
     popularity-driven re-selection every ``reselect_every`` stages).  The
     baselines have no regret state and reject ``"topk"``.
+
+    The regret families return a :class:`GroupableBankFactory` whose
+    ``make_grouped`` hook fuses all channels into a
+    :class:`~repro.runtime.grouped_bank.GroupedRegretBank` (one kernel
+    pass per distinct channel width).  The baselines return a plain
+    per-channel factory: their per-round cost *is* the per-channel RNG
+    call, so there is nothing to fuse and ``engine="auto"`` honestly
+    resolves to the per-channel dispatch for them.
     """
     kind = kind.lower()
     if bank not in ("dense", "topk"):
@@ -405,15 +437,30 @@ def bank_factory(
         # layer's constant epsilon both kinds share one recursion, so the
         # sparse variant serves both.
         if bank == "topk":
-            return lambda h, rng: TopKRegretBank(
-                h, k=topk, rng=rng, epsilon=epsilon, mu=mu, delta=delta,
-                u_max=u_max, dtype=dtype, reselect_every=reselect_every,
+            def per_channel(h, rng):
+                return TopKRegretBank(
+                    h, k=topk, rng=rng, epsilon=epsilon, mu=mu, delta=delta,
+                    u_max=u_max, dtype=dtype, reselect_every=reselect_every,
+                )
+        else:
+            cls = RTHSBank if kind == "rths" else R2HSBank
+
+            def per_channel(h, rng):
+                return cls(
+                    h, rng=rng, epsilon=epsilon, mu=mu, delta=delta,
+                    u_max=u_max, dtype=dtype,
+                )
+
+        def make_grouped(arm_counts, rngs):
+            from repro.runtime.grouped_bank import GroupedRegretBank
+
+            return GroupedRegretBank(
+                arm_counts, rngs, epsilon=epsilon, mu=mu, delta=delta,
+                u_max=u_max, dtype=dtype, bank=bank, topk=topk,
+                reselect_every=reselect_every,
             )
-        cls = RTHSBank if kind == "rths" else R2HSBank
-        return lambda h, rng: cls(
-            h, rng=rng, epsilon=epsilon, mu=mu, delta=delta, u_max=u_max,
-            dtype=dtype,
-        )
+
+        return GroupableBankFactory(per_channel, make_grouped)
     if bank == "topk":
         raise ValueError(
             f"bank 'topk' applies to the regret families, not {kind!r}"

@@ -17,7 +17,8 @@ later occupant of the same slot (the property test in
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from bisect import bisect_left, insort
+from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
@@ -78,6 +79,16 @@ class PeerStore:
         self._free: List[int] = []  # released slots, LIFO
         self._num_online = 0
         self._total_created = 0
+        # Incremental channel index: per-channel sorted slot lists kept in
+        # step with allocate/release, plus cached ndarray segments (see
+        # channel_grouping).  A join/leave costs O(log n_c + n_c memmove)
+        # here instead of an O(N * C) per-channel rescan at the next
+        # round.  _index_valid=False forces a full rebuild from the
+        # columns (the escape hatch for direct column mutation).
+        self._members: Dict[int, List[int]] = {}
+        self._member_arrays: Dict[int, np.ndarray] = {}
+        self._dirty_channels: Set[int] = set()
+        self._index_valid = True
 
     # ------------------------------------------------------------------
     # Introspection
@@ -125,6 +136,102 @@ class PeerStore:
             and bool(self.online[slot])
             and int(self.generation[slot]) == generation
         )
+
+    # ------------------------------------------------------------------
+    # Incremental channel index
+    # ------------------------------------------------------------------
+
+    def _index_add(self, channel: int, slot: int) -> None:
+        if not self._index_valid:
+            return
+        members = self._members.setdefault(channel, [])
+        if not members or slot > members[-1]:
+            members.append(slot)
+        else:
+            insort(members, slot)
+        self._dirty_channels.add(channel)
+
+    def _index_remove(self, channel: int, slot: int) -> None:
+        if not self._index_valid:
+            return
+        members = self._members.get(channel)
+        if members:
+            i = bisect_left(members, slot)
+            if i < len(members) and members[i] == slot:
+                del members[i]
+                self._dirty_channels.add(channel)
+                return
+        # The slot is not where the index says it should be — the channel
+        # column was edited directly without invalidate_channel_index().
+        # Fall back to a full rebuild rather than serve a stale grouping.
+        self._index_valid = False
+
+    def invalidate_channel_index(self) -> None:
+        """Force a full channel-index rebuild at the next grouping call.
+
+        Call after mutating the ``channel`` or ``online`` columns
+        directly (slot lifecycle through :meth:`allocate` /
+        :meth:`release` maintains the index incrementally).
+        """
+        self._index_valid = False
+
+    def _rebuild_index(self) -> None:
+        online = np.flatnonzero(self.online[: self._size])
+        channels = self.channel[online]
+        order = np.argsort(channels, kind="stable")
+        sorted_slots = online[order]
+        sorted_channels = channels[order]
+        self._members = {}
+        uniques, starts = np.unique(sorted_channels, return_index=True)
+        bounds = list(starts) + [sorted_slots.size]
+        for i, channel in enumerate(uniques):
+            self._members[int(channel)] = sorted_slots[
+                bounds[i]: bounds[i + 1]
+            ].tolist()
+        self._member_arrays = {}
+        self._dirty_channels = set(self._members)
+        self._index_valid = True
+
+    def channel_grouping(
+        self, num_channels: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Online slots sorted by ``(channel, slot)`` plus segment offsets.
+
+        Returns ``(slots_sorted, offsets)`` with ``offsets`` of shape
+        ``(num_channels + 1,)``: channel ``c``'s online slots are
+        ``slots_sorted[offsets[c]:offsets[c + 1]]``, ascending.  This is
+        the channel-sorted permutation the fused learner engine consumes;
+        it is maintained incrementally under churn (only channels dirtied
+        since the last call re-materialize their segment array).
+        """
+        if not self._index_valid:
+            self._rebuild_index()
+        counts = np.zeros(num_channels + 1, dtype=np.int64)
+        for channel, members in self._members.items():
+            if not members:
+                continue
+            if not 0 <= channel < num_channels:
+                raise ValueError(
+                    f"slot channel {channel} outside [0, {num_channels})"
+                )
+            counts[channel + 1] = len(members)
+        offsets = np.cumsum(counts)
+        slots_sorted = np.empty(int(offsets[-1]), dtype=np.int64)
+        for channel, members in self._members.items():
+            if not members:
+                continue
+            if (
+                channel in self._dirty_channels
+                or channel not in self._member_arrays
+            ):
+                self._member_arrays[channel] = np.array(
+                    members, dtype=np.int64
+                )
+            slots_sorted[offsets[channel]: offsets[channel + 1]] = (
+                self._member_arrays[channel]
+            )
+        self._dirty_channels.clear()
+        return slots_sorted, offsets
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -180,6 +287,7 @@ class PeerStore:
         self.cumulative_deficit[slot] = 0.0
         self._total_created += 1
         self._num_online += 1
+        self._index_add(int(channel), slot)
         return slot, int(self.generation[slot])
 
     def allocate_many(
@@ -216,6 +324,13 @@ class PeerStore:
         self._size += k
         self._total_created += k
         self._num_online += k
+        if self._index_valid:
+            # Fresh slots are a block past every existing index entry, so
+            # per-channel extends preserve sortedness.
+            for channel in np.unique(channels):
+                members = self._members.setdefault(int(channel), [])
+                members.extend(slots[channels == channel].tolist())
+                self._dirty_channels.add(int(channel))
         return slots
 
     def release(self, slot: int, now: float = 0.0) -> None:
@@ -228,3 +343,4 @@ class PeerStore:
         self.generation[slot] += 1
         self._num_online -= 1
         self._free.append(slot)
+        self._index_remove(int(self.channel[slot]), slot)

@@ -8,16 +8,27 @@ driving rounds and churn, same origin-server semantics, and the same
 :class:`~repro.sim.trace.SystemTrace` / RoundRecord schema — so every
 existing metric, analysis and reporting path works unchanged.  Only the
 *representation* differs: peers live in a :class:`~repro.runtime.peer_store.PeerStore`
-(struct-of-arrays with a free-list) and strategies in per-channel
-:class:`~repro.runtime.learner_bank.LearnerBank` blocks, so one learning
-round is a handful of numpy operations (`np.bincount` for helper loads,
-masked arithmetic for shares and deficits, one batched learner update per
-channel) instead of a Python loop over peers.
+(struct-of-arrays with a free-list) and strategies in one
+:class:`~repro.runtime.grouped_bank.GroupedLearnerBank` owning every
+channel's rows, so a learning round is a handful of numpy operations —
+one fused ``act_all``, ``np.bincount`` for helper loads, masked
+arithmetic for shares and deficits, one fused ``observe_all`` — instead
+of a Python loop over peers or ``2 * C`` per-channel bank calls.
 
-Given identical helper choices the two systems produce identical round
-records (asserted trace-for-trace in ``tests/runtime/test_equivalence.py``
-by scripting the choices); with learners on, agreement is distributional
-(same dynamics, different RNG stream layout).
+The ``engine`` parameter picks the learner dispatch structure:
+``"grouped"`` (the fused engine, one kernel pass per distinct channel
+width) or ``"per_channel"`` (private per-channel banks looped inside the
+fused API — the pre-fusion reference).  The two engines are
+**bit-identical**: same per-channel RNG streams, same per-row float
+sequences, same traces (asserted trace-for-trace in
+``tests/runtime/test_grouped_engine.py``).  ``"auto"`` (default) uses the
+fused engine whenever the bank factory provides one.
+
+Given identical helper choices the scalar and vectorized systems produce
+identical round records (asserted trace-for-trace in
+``tests/runtime/test_equivalence.py`` by scripting the choices); with
+learners on, agreement is distributional (same dynamics, different RNG
+stream layout).
 """
 
 from __future__ import annotations
@@ -26,7 +37,12 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.runtime.learner_bank import BankFactory, LearnerBank
+from repro.runtime.grouped_bank import (
+    GroupedLearnerBank,
+    PerChannelGroupedBank,
+    build_per_channel_banks,
+)
+from repro.runtime.learner_bank import BankFactory
 from repro.runtime.peer_store import PeerStore
 from repro.sim.bandwidth import paper_bandwidth_process
 from repro.sim.churn import ChurnProcess
@@ -36,11 +52,15 @@ from repro.sim.system import (
     SystemConfig,
     drive_rounds,
     install_channel_switching,
+    install_popularity_drift,
     normalized_channel_weights,
 )
 from repro.sim.trace import RoundRecord, SystemTrace
 from repro.sim.tracker import Tracker
 from repro.util.rng import Seedish, as_generator, spawn
+
+#: Learner dispatch structures the vectorized system supports.
+ENGINES = ("auto", "grouped", "per_channel")
 
 
 class VectorizedStreamingSystem:
@@ -53,7 +73,10 @@ class VectorizedStreamingSystem:
         takes.
     bank_factory:
         Builds one :class:`~repro.runtime.learner_bank.LearnerBank` per
-        channel: called with ``(num_channel_helpers, child_rng)``.
+        channel: called with ``(num_channel_helpers, child_rng)``.  The
+        stock factories from :func:`repro.runtime.bank_factory` also
+        carry a ``make_grouped`` hook building the fused multi-channel
+        engine; plain factories run on the per-channel engine.
     rng, capacity_process:
         As in the scalar system.
     initial_channels:
@@ -72,6 +95,13 @@ class VectorizedStreamingSystem:
         halves their memory traffic; pair it with a float32 bank via
         ``bank_factory(..., dtype=np.float32)`` for the full effect.
         Round records stay float64.
+    engine:
+        ``"grouped"`` — one fused ``act_all``/``observe_all`` across all
+        channels per round (requires a factory with ``make_grouped``);
+        ``"per_channel"`` — private per-channel banks, the pre-fusion
+        dispatch; ``"auto"`` (default) — grouped when available.  The
+        engines are bit-identical; grouped removes the O(C) per-round
+        Python/numpy dispatch wall.
     """
 
     def __init__(
@@ -83,6 +113,7 @@ class VectorizedStreamingSystem:
         initial_channels: Optional[Sequence[int]] = None,
         capacity_backend: str = "vectorized",
         dtype=np.float64,
+        engine: str = "auto",
     ) -> None:
         self._config = config
         self._rng = as_generator(rng)
@@ -122,6 +153,10 @@ class VectorizedStreamingSystem:
         self._channel_weights = normalized_channel_weights(
             config.num_channels, config.channel_popularity
         )
+        # Per-channel playback bitrates as a lookup table: demand vectors
+        # for whole populations (and single join events) become one
+        # gather instead of a Python loop over config.bitrate_of.
+        self._bitrate_table = np.asarray(config.channel_bitrates, dtype=float)
         self._channels = [
             Channel(
                 channel_id=c,
@@ -136,25 +171,50 @@ class VectorizedStreamingSystem:
             np.asarray(self._tracker.helpers_for(c), dtype=np.int64)
             for c in range(config.num_channels)
         ]
+        # Channel-local action -> global helper id, one 2-D gather per
+        # round (padding rows never indexed past the channel's width).
+        widths = [int(helpers.size) for helpers in self._channel_helpers]
+        self._helper_table = np.full(
+            (config.num_channels, max(widths)), -1, dtype=np.int64
+        )
+        for c, helpers in enumerate(self._channel_helpers):
+            self._helper_table[c, : helpers.size] = helpers
 
-        # One learner bank per channel block.
-        self._banks: List[LearnerBank] = []
-        for c in range(config.num_channels):
-            try:
-                bank = bank_factory(
-                    int(self._channel_helpers[c].size), spawn(self._rng)
-                )
-            except ValueError as exc:
+        # The learner bank: one object owning every channel's rows.  Child
+        # generators are spawned in channel order regardless of engine, so
+        # both engines (and the pre-fusion per-channel banks) consume the
+        # parent stream identically.
+        if engine not in ENGINES:
+            raise ValueError(f"engine must be one of {ENGINES}, got {engine!r}")
+        bank_rngs = [spawn(self._rng) for _ in range(config.num_channels)]
+        make_grouped = getattr(bank_factory, "make_grouped", None)
+        if engine == "auto":
+            engine = "grouped" if make_grouped is not None else "per_channel"
+        if engine == "grouped":
+            if make_grouped is None:
                 raise ValueError(
-                    f"cannot build a learner bank for channel {c} with "
-                    f"{self._channel_helpers[c].size} helper(s): {exc}"
-                ) from exc
-            if bank.num_actions != self._channel_helpers[c].size:
-                raise ValueError(
-                    f"bank_factory produced {bank.num_actions} actions for "
-                    f"a channel with {self._channel_helpers[c].size} helpers"
+                    "bank_factory has no fused channel-grouped "
+                    "implementation (no make_grouped hook); use "
+                    "engine='per_channel' or a stock factory from "
+                    "repro.runtime.bank_factory"
                 )
-            self._banks.append(bank)
+            self._bank: GroupedLearnerBank = make_grouped(widths, bank_rngs)
+            if self._bank.num_channels != config.num_channels:
+                raise ValueError(
+                    f"grouped bank hosts {self._bank.num_channels} "
+                    f"channels, config has {config.num_channels}"
+                )
+            for c, width in enumerate(widths):
+                if self._bank.num_actions_of(c) != width:
+                    raise ValueError(
+                        f"grouped bank produced {self._bank.num_actions_of(c)} "
+                        f"actions for channel {c} with {width} helpers"
+                    )
+        else:
+            self._bank = PerChannelGroupedBank(
+                build_per_channel_banks(bank_factory, widths, bank_rngs)
+            )
+        self._engine = engine
 
         # Initial population, bulk-allocated.
         self._store = PeerStore(
@@ -175,14 +235,14 @@ class VectorizedStreamingSystem:
             channels = self._rng.choice(
                 config.num_channels, size=config.num_peers, p=self._channel_weights
             ).astype(np.int64)
-        demands = np.array([config.bitrate_of(int(c)) for c in channels])
+        demands = self._bitrate_table[channels]
         slots = self._store.allocate_many(channels, demands, now=self._sim.now)
         for c in range(config.num_channels):
             mask = channels == c
             count = int(mask.sum())
             if count == 0:
                 continue
-            self._store.bank_row[slots[mask]] = self._banks[c].acquire_many(count)
+            self._store.bank_row[slots[mask]] = self._bank.acquire_many(c, count)
         for slot in slots:
             self._uid_slot[int(self._store.uid[slot])] = int(slot)
 
@@ -211,6 +271,16 @@ class VectorizedStreamingSystem:
                 self._switch_once,
             )
 
+        # Diurnal popularity drift (skew-shifting workloads): periodically
+        # re-mixes the channel weights that churn joins and viewer
+        # switches draw from.  The child generator is only spawned when
+        # drift is on, so drift-free configs keep their RNG streams.
+        if config.popularity_drift_rate > 0:
+            install_popularity_drift(
+                self._sim, config, spawn(self._rng),
+                lambda: self._channel_weights, self._set_channel_weights,
+            )
+
     # ------------------------------------------------------------------
     # Construction helpers / churn callbacks
     # ------------------------------------------------------------------
@@ -221,10 +291,10 @@ class VectorizedStreamingSystem:
             channel_id = int(
                 self._rng.choice(self._config.num_channels, p=self._channel_weights)
             )
-        row = self._banks[channel_id].acquire()
+        row = self._bank.acquire(channel_id)
         slot, _ = self._store.allocate(
             channel_id,
-            self._config.bitrate_of(channel_id),
+            float(self._bitrate_table[channel_id]),
             now=self._sim.now,
             bank_row=row,
         )
@@ -242,8 +312,8 @@ class VectorizedStreamingSystem:
         slot = self._uid_slot.pop(int(uid), None)
         if slot is None or not self._store.online[slot]:
             return
-        self._banks[int(self._store.channel[slot])].release(
-            int(self._store.bank_row[slot])
+        self._bank.release(
+            int(self._store.channel[slot]), int(self._store.bank_row[slot])
         )
         self._store.release(slot, now=self._sim.now)
         self._population_changed = True
@@ -261,6 +331,9 @@ class VectorizedStreamingSystem:
         self._population_changed = True
         self._grouping = None
         return uid
+
+    def _set_channel_weights(self, weights: np.ndarray) -> None:
+        self._channel_weights = weights
 
     # ------------------------------------------------------------------
     # Introspection
@@ -282,14 +355,37 @@ class VectorizedStreamingSystem:
         return self._store
 
     @property
-    def banks(self) -> List[LearnerBank]:
-        """Per-channel learner banks."""
-        return self._banks
+    def engine(self) -> str:
+        """The resolved learner engine: ``"grouped"`` or ``"per_channel"``."""
+        return self._engine
+
+    @property
+    def bank(self) -> GroupedLearnerBank:
+        """The learner bank owning every channel's rows."""
+        return self._bank
+
+    @property
+    def banks(self) -> List:
+        """Per-channel bank views, in channel order.
+
+        Under the per-channel engine these are the actual
+        :class:`~repro.runtime.learner_bank.LearnerBank` objects; under
+        the grouped engine they are lightweight
+        :class:`~repro.runtime.grouped_bank.GroupedChannelView` objects
+        exposing ``num_actions`` and the shared width-group
+        ``population`` for introspection.
+        """
+        return self._bank.channel_views()
 
     @property
     def channels(self) -> List[Channel]:
         """All channels."""
         return self._channels
+
+    @property
+    def channel_weights(self) -> np.ndarray:
+        """Current channel popularity weights (drift updates them)."""
+        return self._channel_weights.copy()
 
     @property
     def server(self) -> StreamingServer:
@@ -312,47 +408,56 @@ class VectorizedStreamingSystem:
         return self._store.num_online
 
     def invalidate_round_cache(self) -> None:
-        """Drop the memoized per-channel round grouping.
+        """Drop the memoized round grouping and the store's channel index.
 
-        The round loop caches which slots are online, their per-channel
-        bank rows, and their demand totals until the population changes
-        (churn and channel switches invalidate automatically).  Call this
-        after mutating the grouping-defining store columns directly —
-        ``channel``, ``demand``, ``online`` or ``bank_row`` — so the next
-        round observes the edit; the accumulator columns
+        The round loop caches the channel-sorted permutation of online
+        slots, their bank rows, and their demand totals until the
+        population changes (churn and channel switches invalidate
+        automatically, updating the store's channel index incrementally).
+        Call this after mutating the grouping-defining store columns
+        directly — ``channel``, ``demand``, ``online`` or ``bank_row`` —
+        so the next round observes the edit; the accumulator columns
         (``cumulative_rate`` etc.) are not cached and need no
         invalidation.
         """
         self._grouping = None
+        self._store.invalidate_channel_index()
 
     # ------------------------------------------------------------------
     # The learning round
     # ------------------------------------------------------------------
 
     def _round_grouping(self):
-        """Per-channel round grouping, memoized until the population changes.
+        """The channel-sorted round grouping, memoized until churn.
 
-        Returns ``(online, groups, demand_online, total_demand)`` with
-        ``groups`` a list of ``(channel, idx, rows)`` — ``idx`` the
-        positions of the channel's peers inside ``online``, ``rows`` their
-        bank rows.  All of it is a pure function of the online population
-        (slots, channels, bank rows and demands are fixed for a live
-        peer), so churn-free stretches pay the grouping scan exactly once
-        instead of every round.
+        Returns ``(online, perm, offsets, rows_sorted, chan_sorted,
+        demand_online, total_demand)``: ``online`` the ascending online
+        slots, ``perm`` the positions inside ``online`` of the
+        channel-sorted slots (``online[perm]`` is sorted by ``(channel,
+        slot)``), ``offsets`` the per-channel segment table, and
+        ``rows_sorted`` / ``chan_sorted`` the bank rows and channel ids
+        in sorted order.  The sorted permutation is maintained
+        incrementally by the store's channel index, so churn-free
+        stretches pay nothing and a churn-y round pays one concatenation
+        instead of a per-channel rescan.
         """
         if self._grouping is None:
             store = self._store
             online = store.online_slots()
-            channel_of = store.channel[online]
-            groups = []
-            for c in range(self._config.num_channels):
-                idx = np.flatnonzero(channel_of == c)
-                if not idx.size:
-                    continue
-                groups.append((c, idx, store.bank_row[online[idx]]))
+            slots_sorted, offsets = store.channel_grouping(
+                self._config.num_channels
+            )
+            position_of = np.empty(max(store.size, 1), dtype=np.int64)
+            position_of[online] = np.arange(online.size, dtype=np.int64)
             demand_online = store.demand[online]
             self._grouping = (
-                online, groups, demand_online, float(demand_online.sum())
+                online,
+                position_of[slots_sorted],
+                offsets,
+                store.bank_row[slots_sorted],
+                store.channel[slots_sorted],
+                demand_online,
+                float(demand_online.sum()),
             )
         return self._grouping
 
@@ -361,16 +466,19 @@ class VectorizedStreamingSystem:
         store = self._store
         num_helpers = config.num_helpers
         caps = np.asarray(self._capacity_process.capacities(), dtype=float)
-        online, groups, demand_online, total_demand = self._round_grouping()
+        (
+            online, perm, offsets, rows_sorted, chan_sorted,
+            demand_online, total_demand,
+        ) = self._round_grouping()
         n = online.size
 
-        # 1. Every online peer draws a helper from its channel's bank.
+        # 1. One fused draw: every online peer's helper, all channels at
+        # once.  Work stays in channel-sorted order for the bank and is
+        # scattered back to slot (= creation) order for the aggregates,
+        # so sums below run in the same order as the per-channel path.
+        local = self._bank.act_all(offsets, rows_sorted)
         helper_global = np.empty(n, dtype=np.int64)
-        per_channel: List[tuple] = []  # (channel, idx, rows, local actions)
-        for c, idx, rows in groups:
-            local = self._banks[c].act(rows)
-            helper_global[idx] = self._channel_helpers[c][local]
-            per_channel.append((c, idx, rows, local))
+        helper_global[perm] = self._helper_table[chan_sorted, local]
         loads = np.bincount(helper_global, minlength=num_helpers)
 
         # 2./3. Shares realize; the server covers deficits.
@@ -386,9 +494,9 @@ class VectorizedStreamingSystem:
             total_deficit_requested = 0.0
         granted = self._server.serve(total_deficit_requested)
 
-        # 4. Banks observe the raw helper shares (the game utility).
-        for c, idx, rows, local in per_channel:
-            self._banks[c].observe(rows, local, shares[idx])
+        # 4. One fused observe: the banks see the raw helper shares (the
+        # game utility), gathered back into channel-sorted order.
+        self._bank.observe_all(offsets, rows_sorted, local, shares[perm])
         store.rounds_participated[online] += 1
         store.cumulative_rate[online] += shares
         store.cumulative_deficit[online] += deficits

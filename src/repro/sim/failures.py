@@ -72,6 +72,18 @@ class FailureInjectingProcess:
         caps[self._failed] = 0.0
         return caps
 
+    def minimum_capacities(self) -> np.ndarray:
+        """Per-helper lower bound over time (the systems' deficit floor).
+
+        With a positive failure rate every helper can read zero during an
+        outage, so the bound is zero everywhere; at rate zero the wrapped
+        process's bound passes through.
+        """
+        base = np.asarray(self._base.minimum_capacities(), dtype=float)
+        if self._failure_rate > 0:
+            return np.zeros_like(base)
+        return base
+
     def advance(self) -> None:
         """Advance the base process and the failure/recovery dynamics."""
         self._base.advance()

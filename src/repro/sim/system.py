@@ -98,6 +98,41 @@ def install_channel_switching(
     schedule_next()
 
 
+def install_popularity_drift(
+    sim: Simulator,
+    config: "SystemConfig",
+    drift_rng: np.random.Generator,
+    get_weights: Callable[[], np.ndarray],
+    set_weights: Callable[[np.ndarray], None],
+) -> None:
+    """Install the periodic popularity-drift process (diurnal skew).
+
+    Every ``config.popularity_drift_period`` simulation-time units the
+    backend's channel weights (read through ``get_weights``, written back
+    through ``set_weights``) are re-mixed with
+    :func:`repro.workloads.popularity.popularity_drift` at rate
+    ``config.popularity_drift_rate`` — so churn joins and viewer channel
+    switches gradually shift toward a new popularity profile, the way
+    real deployments' hot channels move through the day.  Only the
+    *weights* drift; each peer keeps its channel until it leaves or
+    switches.  Both the scheduling and the mixing live here, shared by
+    both backends, so drift semantics cannot diverge.
+    """
+
+    def drift_once(_sim: Simulator) -> None:
+        # Lazy import: the workloads layer may import the spec layer,
+        # which reaches back into the systems.
+        from repro.workloads.popularity import popularity_drift
+
+        set_weights(
+            popularity_drift(
+                get_weights(), config.popularity_drift_rate, rng=drift_rng
+            )
+        )
+
+    sim.schedule_periodic(config.popularity_drift_period, drift_once)
+
+
 def normalized_channel_weights(
     num_channels: int, popularity: Optional[Sequence[float]]
 ) -> np.ndarray:
@@ -167,10 +202,16 @@ class SystemConfig:
     churn: ChurnConfig = field(default_factory=ChurnConfig)
     channel_switch_rate: float = 0.0
     record_peers: bool = False
+    popularity_drift_rate: float = 0.0
+    popularity_drift_period: float = 10.0
 
     def __post_init__(self) -> None:
         if self.channel_switch_rate < 0:
             raise ValueError("channel_switch_rate must be >= 0")
+        if not 0 <= self.popularity_drift_rate <= 1:
+            raise ValueError("popularity_drift_rate must lie in [0, 1]")
+        if self.popularity_drift_period <= 0:
+            raise ValueError("popularity_drift_period must be positive")
         if self.num_peers < 1:
             raise ValueError("num_peers must be >= 1")
         if self.num_channels < 1:
@@ -298,12 +339,28 @@ class StreamingSystem:
                 self._switch_once,
             )
 
+        # Diurnal popularity drift (only spawns its generator when on, so
+        # drift-free configs keep their RNG streams bit-identical).
+        if config.popularity_drift_rate > 0:
+            install_popularity_drift(
+                self._sim, config, spawn(self._rng),
+                lambda: self._channel_weights, self._set_channel_weights,
+            )
+
     # ------------------------------------------------------------------
     # Construction helpers
     # ------------------------------------------------------------------
 
     def _draw_channel(self) -> int:
         return int(self._rng.choice(self._config.num_channels, p=self._channel_weights))
+
+    def _set_channel_weights(self, weights: np.ndarray) -> None:
+        self._channel_weights = weights
+
+    @property
+    def channel_weights(self) -> np.ndarray:
+        """Current channel popularity weights (drift updates them)."""
+        return self._channel_weights.copy()
 
     def _create_peer(self, channel_id: Optional[int] = None) -> Peer:
         if channel_id is None:

@@ -45,6 +45,45 @@ register_capacity_backend("scalar", _paper_backend("scalar"))
 register_capacity_backend("vectorized", _paper_backend("vectorized"))
 
 
+def _failing_backend(
+    num_helpers,
+    *,
+    levels,
+    stay_probability,
+    rng,
+    failure_rate: float = 0.02,
+    mean_outage_rounds: float = 20.0,
+    base: str = "vectorized",
+):
+    """The paper environment wrapped in random helper outages.
+
+    ``failure_rate`` / ``mean_outage_rounds`` parameterize
+    :class:`~repro.sim.failures.FailureInjectingProcess` (reachable from
+    a spec via ``capacity.options``); ``base`` picks the wrapped
+    environment's backend.
+    """
+    from repro.sim.failures import FailureInjectingProcess
+    from repro.util.rng import as_generator, spawn
+
+    parent = as_generator(rng)
+    process = paper_bandwidth_process(
+        num_helpers,
+        levels=levels,
+        stay_probability=stay_probability,
+        rng=spawn(parent),
+        backend=base,
+    )
+    return FailureInjectingProcess(
+        process,
+        failure_rate,
+        mean_outage_rounds=mean_outage_rounds,
+        rng=spawn(parent),
+    )
+
+
+register_capacity_backend("failures", _failing_backend)
+
+
 # ----------------------------------------------------------------------
 # Learner families (each drives both system backends)
 # ----------------------------------------------------------------------
@@ -87,12 +126,15 @@ def _sticky_bank(epsilon, delta, mu, u_max, dtype):
 
 register_learner(
     "rths", scalar=_regret_scalar(RTHSLearner), bank=_regret_bank("rths"),
-    min_actions=2, sparse=True,
+    min_actions=2, sparse=True, grouped=True,
 )
 register_learner(
     "r2hs", scalar=_regret_scalar(R2HSLearner), bank=_regret_bank("r2hs"),
-    min_actions=2, sparse=True,
+    min_actions=2, sparse=True, grouped=True,
 )
+# The baselines keep no regret state; their per-round cost is the
+# per-channel RNG call itself, so there is nothing to fuse — they run
+# (and honestly report) the per-channel engine.
 register_learner("uniform", scalar=_uniform_scalar, bank=_uniform_bank)
 register_learner("sticky", scalar=_sticky_scalar, bank=_sticky_bank)
 

@@ -45,6 +45,9 @@ SPEC_DTYPES = ("float32", "float64")
 #: Learner-bank storage families a spec can request.
 SPEC_BANKS = ("dense", "topk")
 
+#: Learner dispatch engines a spec can request (vectorized backend).
+SPEC_ENGINES = ("auto", "grouped", "per_channel")
+
 
 def _check_unknown_keys(cls, data: Mapping[str, Any]) -> None:
     allowed = {f.name for f in dataclasses.fields(cls)}
@@ -70,7 +73,11 @@ class TopologySpec:
     float for all channels or one per channel.  ``channel_popularity``
     weights initial and churn-time channel assignment (``None`` =
     uniform); ``channel_switch_rate`` is the Poisson rate of viewer
-    channel switches.
+    channel switches.  ``popularity_drift_rate`` > 0 re-mixes the
+    popularity weights every ``popularity_drift_period`` time units
+    (diurnal skew shift; see
+    :func:`repro.workloads.popularity.popularity_drift`), steering churn
+    joins and viewer switches toward the drifting profile.
     """
 
     num_peers: int = 1000
@@ -80,6 +87,8 @@ class TopologySpec:
     channel_popularity: Optional[Tuple[float, ...]] = None
     channel_switch_rate: float = 0.0
     round_duration: float = 1.0
+    popularity_drift_rate: float = 0.0
+    popularity_drift_period: float = 10.0
 
     def __post_init__(self) -> None:
         if not isinstance(self.channel_bitrates, (int, float)):
@@ -110,6 +119,14 @@ class TopologySpec:
             raise ValueError("topology channel_switch_rate must be >= 0")
         if self.round_duration <= 0:
             raise ValueError("topology round_duration must be positive")
+        if not 0 <= self.popularity_drift_rate <= 1:
+            raise ValueError(
+                "topology popularity_drift_rate must lie in [0, 1]"
+            )
+        if self.popularity_drift_period <= 0:
+            raise ValueError(
+                "topology popularity_drift_period must be positive"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -125,15 +142,20 @@ class CapacitySpec:
     """The helper-bandwidth environment and the origin server budget.
 
     ``backend`` names a registered capacity backend (``"scalar"``,
-    ``"vectorized"``, or a plug-in); ``"auto"`` follows the system
-    backend.  ``server_capacity`` is the origin server's per-round upload
-    budget (``None`` = unbounded; JSON has no ``inf``).
+    ``"vectorized"``, ``"failures"``, or a plug-in); ``"auto"`` follows
+    the system backend.  ``server_capacity`` is the origin server's
+    per-round upload budget (``None`` = unbounded; JSON has no ``inf``).
+    ``options`` carries backend-specific keyword arguments through to the
+    registered factory (e.g. ``{"failure_rate": 0.05}`` for the
+    ``"failures"`` backend); it must stay JSON-plain for the spec to
+    round-trip.
     """
 
     backend: str = "auto"
     levels: Tuple[float, ...] = PAPER_BANDWIDTH_LEVELS
     stay_probability: float = 0.9
     server_capacity: Optional[float] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "levels", tuple(float(v) for v in self.levels))
@@ -145,6 +167,13 @@ class CapacitySpec:
             raise ValueError("stay_probability must lie strictly in (0, 1)")
         if self.server_capacity is not None and self.server_capacity <= 0:
             raise ValueError("server_capacity must be positive or None")
+        if not isinstance(self.options, Mapping) or any(
+            not isinstance(key, str) for key in self.options
+        ):
+            raise ValueError(
+                "capacity options must be a mapping with string keys"
+            )
+        object.__setattr__(self, "options", dict(self.options))
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
@@ -167,7 +196,13 @@ class LearnerSpec:
     per-peer regret tensor, ``"topk"`` the sparse top-k blocks of
     :class:`~repro.runtime.learner_bank.TopKRegretBank` tracking ``topk``
     arms per peer (vectorized backend, regret families only; the memory
-    unlock for giant helper counts).
+    unlock for giant helper counts).  ``engine`` selects the vectorized
+    round's learner dispatch: ``"grouped"`` (one fused
+    ``act_all``/``observe_all`` across every channel — bit-identical to
+    per-channel, removes the O(C) dispatch wall), ``"per_channel"``
+    (private per-channel banks), or ``"auto"`` (grouped for families
+    registered with ``grouped=True`` — every builtin — per-channel
+    otherwise).  It composes with ``bank="topk"``.
     """
 
     name: str = "r2hs"
@@ -178,6 +213,7 @@ class LearnerSpec:
     dtype: str = "float64"
     bank: str = "dense"
     topk: int = 32
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         LEARNERS.get(self.name)  # raises with the menu
@@ -188,6 +224,10 @@ class LearnerSpec:
         if self.bank not in SPEC_BANKS:
             raise ValueError(
                 f"bank must be one of {SPEC_BANKS}, got {self.bank!r}"
+            )
+        if self.engine not in SPEC_ENGINES:
+            raise ValueError(
+                f"engine must be one of {SPEC_ENGINES}, got {self.engine!r}"
             )
         if not isinstance(self.topk, int) or self.topk < 2:
             raise ValueError(
@@ -395,6 +435,21 @@ class ExperimentSpec:
                     "bank; families registered with sparse=True: "
                     f"{[n for n in LEARNERS if LEARNERS.get(n).sparse]}"
                 )
+        if self.learner.engine != "auto":
+            if self.backend == "scalar":
+                raise ValueError(
+                    "learner.engine applies to the vectorized backend "
+                    "(scalar learners are per-peer objects); use "
+                    'backend="vectorized" or engine="auto"'
+                )
+            if self.learner.engine == "grouped" and not entry.grouped:
+                raise ValueError(
+                    f"learner {self.learner.name!r} has no fused "
+                    "channel-grouped engine; families registered with "
+                    "grouped=True: "
+                    f"{[n for n in LEARNERS if LEARNERS.get(n).grouped]}; "
+                    'use engine="per_channel"'
+                )
         # Helpers partition round-robin, so the smallest channel gets
         # floor(H/C) of them; the learner family's action set must fit.
         topo = self.topology
@@ -524,6 +579,23 @@ class ExperimentSpec:
             return self.capacity.backend
         return "vectorized" if self.backend == "vectorized" else "scalar"
 
+    def resolved_engine(self) -> Optional[str]:
+        """``learner.engine`` with ``"auto"`` resolved via the registry.
+
+        ``None`` on the scalar backend (no banks there); otherwise
+        ``"grouped"`` for families registered with the fused engine and
+        ``"per_channel"`` for the rest.
+        """
+        if self.backend != "vectorized":
+            return None
+        if self.learner.engine != "auto":
+            return self.learner.engine
+        return (
+            "grouped"
+            if LEARNERS.get(self.learner.name).grouped
+            else "per_channel"
+        )
+
     def to_config(self):
         """The :class:`~repro.sim.system.SystemConfig` both backends share."""
         from repro.sim.system import SystemConfig
@@ -545,6 +617,8 @@ class ExperimentSpec:
             churn=self.churn.to_config(),
             channel_switch_rate=topo.channel_switch_rate,
             record_peers=self.metrics.record_peers,
+            popularity_drift_rate=topo.popularity_drift_rate,
+            popularity_drift_period=topo.popularity_drift_period,
         )
 
     def scalar_learner_factory(self):
@@ -582,14 +656,21 @@ class ExperimentSpec:
         return entry.bank(**kwargs)
 
     def build_capacity_process(self, rng: Seedish = None):
-        """The spec's helper-bandwidth environment, via the registry."""
+        """The spec's helper-bandwidth environment, via the registry.
+
+        ``capacity.options`` pass through as extra keyword arguments only
+        when non-empty, so plain factories keep the original
+        four-argument contract.
+        """
         factory = CAPACITY_BACKENDS.get(self.resolved_capacity_backend())
-        return factory(
-            self.topology.num_helpers,
+        kwargs = dict(
             levels=self.capacity.levels,
             stay_probability=self.capacity.stay_probability,
             rng=self.seed if rng is None else rng,
         )
+        if self.capacity.options:
+            kwargs.update(self.capacity.options)
+        return factory(self.topology.num_helpers, **kwargs)
 
     def build_population(self, rng: Seedish = None):
         """A bare :class:`~repro.core.population.LearnerPopulation`.
@@ -644,6 +725,7 @@ class ExperimentSpec:
                 rng=parent,
                 capacity_process=capacity_process,
                 dtype=np.dtype(self.learner.dtype),
+                engine=self.resolved_engine(),
             )
         from repro.sim.system import StreamingSystem
 

@@ -149,12 +149,20 @@ class LearnerEntry:
     top-k storage family (see
     :class:`~repro.runtime.learner_bank.TopKRegretBank`); specs with
     ``learner.bank = "topk"`` are only valid against such entries.
+    ``grouped`` declares that the bank builder's factories carry a
+    ``make_grouped`` hook (see
+    :class:`~repro.runtime.learner_bank.GroupableBankFactory`) building
+    the fused multi-channel engine; specs with
+    ``learner.engine = "grouped"`` are only valid against such entries,
+    and ``engine = "auto"`` resolves to the fused engine exactly for
+    them.
     """
 
     scalar: Optional[Callable] = None
     bank: Optional[Callable] = None
     min_actions: int = 1
     sparse: bool = False
+    grouped: bool = False
 
 
 #: The four global registries.
@@ -182,17 +190,21 @@ def register_learner(
     bank=None,
     min_actions: int = 1,
     sparse: bool = False,
+    grouped: bool = False,
     overwrite: bool = False,
 ) -> LearnerEntry:
     """Register a learner family under ``name`` for one or both backends.
 
     Pass ``sparse=True`` when the ``bank`` builder also accepts
-    ``bank=``/``topk=`` keyword arguments (sparse top-k storage).
+    ``bank=``/``topk=`` keyword arguments (sparse top-k storage) and
+    ``grouped=True`` when its factories carry a ``make_grouped`` hook
+    (the fused multi-channel engine; plain factories run per-channel).
     """
     if scalar is None and bank is None:
         raise ValueError("register_learner needs a scalar factory, a bank factory, or both")
     entry = LearnerEntry(
-        scalar=scalar, bank=bank, min_actions=min_actions, sparse=sparse
+        scalar=scalar, bank=bank, min_actions=min_actions, sparse=sparse,
+        grouped=grouped,
     )
     LEARNERS.register(name, entry, overwrite=overwrite)
     return entry

@@ -483,6 +483,112 @@ def flash_crowd_spec(
     )
 
 
+def helper_failures_spec(
+    num_peers: int = 5_000,
+    num_helpers: int = 60,
+    num_channels: int = 6,
+    failure_rate: float = 0.02,
+    mean_outage_rounds: float = 15.0,
+    arrival_rate: float = 10.0,
+    mean_lifetime: float = 80.0,
+    num_stages: int = 200,
+    demand_per_peer: float = 100.0,
+    backend: str = "vectorized",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Helper crashes and recoveries under heavy churn (the ROADMAP item).
+
+    Helpers are volunteers: each round every healthy one fails with
+    probability ``failure_rate`` and stays dark for a geometric outage
+    (mean ``mean_outage_rounds``) — the
+    :class:`~repro.sim.failures.FailureInjectingProcess` wrapped around
+    the paper environment via the registered ``"failures"`` capacity
+    backend.  Peers discover outages only through a zero rate (bandit
+    feedback), while Poisson churn keeps the population itself moving —
+    the churn-heavy adaptation workload the fused multi-channel engine
+    is exercised under.
+    """
+    return ExperimentSpec(
+        name="helper-failures",
+        backend=backend,
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=num_peers,
+            num_helpers=num_helpers,
+            num_channels=num_channels,
+            channel_bitrates=demand_per_peer,
+        ),
+        capacity=CapacitySpec(
+            backend="failures",
+            options={
+                "failure_rate": failure_rate,
+                "mean_outage_rounds": mean_outage_rounds,
+            },
+        ),
+        learner=LearnerSpec(name="r2hs"),
+        churn=ChurnSpec(
+            arrival_rate=arrival_rate,
+            mean_lifetime=mean_lifetime,
+            initial_peer_lifetimes=True,
+        ),
+    )
+
+
+def popularity_drift_spec(
+    num_peers: int = 10_000,
+    num_helpers: int = 80,
+    num_channels: int = 20,
+    zipf_exponent: float = 1.0,
+    drift_rate: float = 0.1,
+    drift_period: float = 20.0,
+    channel_switch_rate: float = 5.0,
+    arrival_rate: float = 20.0,
+    mean_lifetime: float = 60.0,
+    num_stages: int = 200,
+    demand_per_peer: float = 100.0,
+    backend: str = "vectorized",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Diurnal popularity drift: the hot channels move through the day.
+
+    Starts from a Zipf profile and re-mixes the channel weights every
+    ``drift_period`` time units at ``drift_rate`` (see
+    :func:`repro.workloads.popularity.popularity_drift`); churn arrivals
+    and viewer channel switches follow the drifting weights, so channel
+    populations — and with them the per-channel learner loads — migrate
+    continuously.  The skew-*shifting* companion to the static
+    ``popularity_skew`` family, sized for the fused multi-channel engine
+    (C = 20 channels by default).
+    """
+    from repro.workloads.popularity import zipf_popularity
+
+    return ExperimentSpec(
+        name="popularity-drift",
+        backend=backend,
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=num_peers,
+            num_helpers=num_helpers,
+            num_channels=num_channels,
+            channel_bitrates=demand_per_peer,
+            channel_popularity=tuple(
+                zipf_popularity(num_channels, zipf_exponent)
+            ),
+            channel_switch_rate=channel_switch_rate,
+            popularity_drift_rate=drift_rate,
+            popularity_drift_period=drift_period,
+        ),
+        learner=LearnerSpec(name="r2hs"),
+        churn=ChurnSpec(
+            arrival_rate=arrival_rate,
+            mean_lifetime=mean_lifetime,
+            initial_peer_lifetimes=True,
+        ),
+    )
+
+
 # ----------------------------------------------------------------------
 # Scenario registry entries: every preset resolvable by name
 # ----------------------------------------------------------------------
@@ -524,3 +630,5 @@ def _massive_scale_entry(**kwargs) -> ExperimentSpec:
 
 register_scenario("popularity_skew", popularity_skew_spec)
 register_scenario("flash_crowd", flash_crowd_spec)
+register_scenario("helper_failures", helper_failures_spec)
+register_scenario("popularity_drift", popularity_drift_spec)

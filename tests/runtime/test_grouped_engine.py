@@ -1,0 +1,285 @@
+"""Bit-identity of the fused multi-channel engine.
+
+The decisive suite for the grouped learner engine: under the same seed,
+``engine="grouped"`` and ``engine="per_channel"`` must produce **the same
+bytes** — every trace array equal with ``np.array_equal`` (no tolerance),
+dense and sparse top-k storage, with and without churn, viewer channel
+switching, and per-peer recording.  Plus property tests for the
+incremental channel-sorted permutation the fused round loop consumes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    GroupedChannelView,
+    GroupedRegretBank,
+    PeerStore,
+    PerChannelGroupedBank,
+    VectorizedStreamingSystem,
+    bank_factory,
+)
+from repro.sim import ChurnConfig, SystemConfig
+
+U_MAX = 900.0
+
+CHURN = ChurnConfig(
+    arrival_rate=2.0, mean_lifetime=25.0, initial_peer_lifetimes=True
+)
+
+
+def build(engine, config, *, kind="r2hs", bank="dense", topk=32, seed=42,
+          initial_channels=None):
+    return VectorizedStreamingSystem(
+        config,
+        bank_factory(kind, u_max=U_MAX, bank=bank, topk=topk),
+        rng=seed,
+        engine=engine,
+        initial_channels=initial_channels,
+    )
+
+
+def assert_traces_identical(tg, tp):
+    assert np.array_equal(tg.welfare, tp.welfare)
+    assert np.array_equal(tg.loads, tp.loads)
+    assert np.array_equal(tg.server_load, tp.server_load)
+    assert np.array_equal(tg.capacities, tp.capacities)
+    assert np.array_equal(tg.min_deficit, tp.min_deficit)
+    assert np.array_equal(tg.online_peers, tp.online_peers)
+    assert np.array_equal(tg.total_demand, tp.total_demand)
+    assert np.array_equal(tg.times, tp.times)
+
+
+class TestGroupedBitIdentity:
+    def test_dense_multi_width_fixed_population(self):
+        # 3 channels over 7 helpers: widths 3 / 2 / 2 — two width groups.
+        config = SystemConfig(
+            num_peers=90, num_helpers=7, num_channels=3,
+            channel_bitrates=[100.0, 150.0, 250.0],
+        )
+        sg = build("grouped", config)
+        sp = build("per_channel", config)
+        assert sg.engine == "grouped" and sp.engine == "per_channel"
+        assert_traces_identical(sg.run(120), sp.run(120))
+
+    def test_dense_under_churn_and_switching(self):
+        config = SystemConfig(
+            num_peers=80, num_helpers=9, num_channels=4,
+            channel_bitrates=100.0, churn=CHURN, channel_switch_rate=0.5,
+        )
+        assert_traces_identical(
+            build("grouped", config).run(200),
+            build("per_channel", config).run(200),
+        )
+
+    def test_topk_under_churn_with_promotion_and_reselection(self):
+        # k well below the channel width, enough rounds for the periodic
+        # re-selection (every 32 stages) to fire many times.
+        config = SystemConfig(
+            num_peers=90, num_helpers=40, num_channels=2,
+            channel_bitrates=100.0, churn=CHURN,
+        )
+        sg = build("grouped", config, bank="topk", topk=3)
+        sp = build("per_channel", config, bank="topk", topk=3)
+        assert_traces_identical(sg.run(250), sp.run(250))
+        # The sparse machinery actually exercised on both sides.
+        grouped_promotions = sum(
+            {id(v.population): v.population.promotions for v in sg.banks}.values()
+        )
+        per_channel_promotions = sum(
+            b.population.promotions for b in sp.banks
+        )
+        assert grouped_promotions == per_channel_promotions > 0
+
+    def test_record_peers_actions_and_utilities_identical(self):
+        config = SystemConfig(
+            num_peers=40, num_helpers=6, num_channels=3,
+            channel_bitrates=100.0, record_peers=True,
+        )
+        initial = [i % 3 for i in range(40)]
+        tg = build("grouped", config, initial_channels=initial).run(60)
+        tp = build("per_channel", config, initial_channels=initial).run(60)
+        assert_traces_identical(tg, tp)
+        a, b = tg.to_trajectory(), tp.to_trajectory()
+        assert np.array_equal(a.actions, b.actions)
+        assert np.array_equal(a.utilities, b.utilities)
+
+    def test_baseline_families_run_per_channel_honestly(self):
+        """The baselines have nothing to fuse (their round cost is the
+        per-channel RNG call): auto resolves to per_channel, and asking
+        for the fused engine is a clear error, not silent relabeling."""
+        config = SystemConfig(
+            num_peers=50, num_helpers=8, num_channels=3,
+            channel_bitrates=100.0, churn=CHURN,
+        )
+        for kind in ("uniform", "sticky"):
+            system = build("auto", config, kind=kind)
+            assert system.engine == "per_channel"
+            trace = system.run(80)
+            assert np.all(trace.loads.sum(axis=1) == trace.online_peers)
+            with pytest.raises(ValueError, match="make_grouped"):
+                build("grouped", config, kind=kind)
+
+    def test_float32_banks_identical(self):
+        config = SystemConfig(
+            num_peers=60, num_helpers=6, num_channels=2,
+            channel_bitrates=100.0,
+        )
+        for engine_pair in [("grouped", "per_channel")]:
+            systems = [
+                VectorizedStreamingSystem(
+                    config,
+                    bank_factory("r2hs", u_max=U_MAX, dtype=np.float32),
+                    rng=3,
+                    engine=engine,
+                    dtype=np.float32,
+                )
+                for engine in engine_pair
+            ]
+            assert_traces_identical(systems[0].run(100), systems[1].run(100))
+
+
+class TestEngineSelection:
+    def test_auto_resolves_to_grouped_for_stock_factories(self):
+        config = SystemConfig(num_peers=10, num_helpers=4, channel_bitrates=100.0)
+        system = build("auto", config)
+        assert system.engine == "grouped"
+        assert isinstance(system.banks[0], GroupedChannelView)
+        assert isinstance(system.bank, GroupedRegretBank)
+
+    def test_auto_falls_back_for_plain_factories(self):
+        from repro.runtime.learner_bank import RTHSBank
+
+        config = SystemConfig(num_peers=10, num_helpers=4, channel_bitrates=100.0)
+        system = VectorizedStreamingSystem(
+            config, lambda h, rng: RTHSBank(h, rng=rng, u_max=U_MAX), rng=0
+        )
+        assert system.engine == "per_channel"
+        assert isinstance(system.bank, PerChannelGroupedBank)
+        assert isinstance(system.banks[0], RTHSBank)
+
+    def test_grouped_with_plain_factory_raises(self):
+        from repro.runtime.learner_bank import RTHSBank
+
+        config = SystemConfig(num_peers=10, num_helpers=4, channel_bitrates=100.0)
+        with pytest.raises(ValueError, match="make_grouped"):
+            VectorizedStreamingSystem(
+                config,
+                lambda h, rng: RTHSBank(h, rng=rng, u_max=U_MAX),
+                rng=0,
+                engine="grouped",
+            )
+
+    def test_unknown_engine_rejected(self):
+        config = SystemConfig(num_peers=10, num_helpers=4, channel_bitrates=100.0)
+        with pytest.raises(ValueError, match="engine"):
+            build("turbo", config)
+
+    def test_grouped_one_helper_channel_names_the_channel(self):
+        """Round-robin can hand a channel one helper; the fused regret
+        engine must report which channel could not be built."""
+        config = SystemConfig(
+            num_peers=10, num_helpers=5, num_channels=4, channel_bitrates=100.0
+        )
+        with pytest.raises(ValueError, match=r"channel 1 .*1 helper"):
+            build("grouped", config)
+
+    def test_width_groups_fuse_round_robin_partition(self):
+        # 10 helpers over 4 channels: widths 3, 3, 2, 2 -> 2 kernel groups.
+        config = SystemConfig(
+            num_peers=20, num_helpers=10, num_channels=4, channel_bitrates=100.0
+        )
+        system = build("grouped", config)
+        assert system.bank.num_width_groups == 2
+        # Channels of equal width share one backing population.
+        populations = {c: system.banks[c].population for c in range(4)}
+        assert populations[0] is populations[1]
+        assert populations[2] is populations[3]
+        assert populations[0] is not populations[2]
+
+
+class TestIncrementalChannelGrouping:
+    def brute_force(self, store, num_channels):
+        online = store.online_slots()
+        channels = store.channel[online]
+        order = np.argsort(channels, kind="stable")
+        slots_sorted = online[order]
+        counts = np.bincount(channels, minlength=num_channels)
+        offsets = np.concatenate([[0], np.cumsum(counts)])
+        return slots_sorted, offsets
+
+    def assert_matches(self, store, num_channels):
+        got_slots, got_offsets = store.channel_grouping(num_channels)
+        want_slots, want_offsets = self.brute_force(store, num_channels)
+        assert np.array_equal(got_slots, want_slots)
+        assert np.array_equal(got_offsets, want_offsets)
+
+    def test_join_leave_bursts_maintain_the_permutation(self):
+        """Property: after any interleaving of joins, leaves and bulk
+        allocations the incremental grouping equals a from-scratch sort."""
+        rng = np.random.default_rng(77)
+        C = 5
+        store = PeerStore(initial_capacity=8)
+        live = list(
+            store.allocate_many(
+                rng.integers(0, C, size=30), np.full(30, 100.0)
+            )
+        )
+        self.assert_matches(store, C)
+        for _ in range(60):
+            op = rng.integers(3)
+            if op == 0:  # join burst
+                for _ in range(int(rng.integers(1, 6))):
+                    slot, _gen = store.allocate(
+                        int(rng.integers(C)), 100.0
+                    )
+                    live.append(slot)
+            elif op == 1 and live:  # leave burst
+                for _ in range(min(len(live), int(rng.integers(1, 6)))):
+                    slot = live.pop(int(rng.integers(len(live))))
+                    store.release(slot)
+            else:  # interleave a grouping read (clears the dirty set)
+                self.assert_matches(store, C)
+            self.assert_matches(store, C)
+
+    def test_direct_column_mutation_needs_invalidate(self):
+        store = PeerStore()
+        slots = store.allocate_many(
+            np.array([0, 0, 1, 1]), np.full(4, 100.0)
+        )
+        store.channel_grouping(2)
+        store.channel[slots[0]] = 1  # behind the index's back
+        store.invalidate_channel_index()
+        self.assert_matches(store, 2)
+
+    def test_out_of_range_channel_rejected(self):
+        store = PeerStore()
+        store.allocate(5, 100.0)
+        with pytest.raises(ValueError, match="outside"):
+            store.channel_grouping(2)
+
+    def test_system_round_cache_invalidation_rebuilds_the_index(self):
+        """The documented contract: direct channel edits + invalidate are
+        observed by the next round (now including the channel index)."""
+        config = SystemConfig(
+            num_peers=12, num_helpers=4, num_channels=2, channel_bitrates=100.0
+        )
+        system = build("grouped", config, seed=1)
+        system.run(2)
+        store = system.store
+        moved = store.online_slots()[:3]
+        # Move three peers to channel 1, re-homing their bank rows the
+        # way the documented mutation contract requires.
+        for slot in moved:
+            if int(store.channel[slot]) == 1:
+                continue
+            system.bank.release(0, int(store.bank_row[slot]))
+            store.channel[slot] = 1
+            store.bank_row[slot] = system.bank.acquire(1)
+        system.invalidate_round_cache()
+        system.run(2)
+        _, offsets = store.channel_grouping(2)
+        assert int(offsets[2] - offsets[1]) == int(
+            (store.channel[store.online_slots()] == 1).sum()
+        )
+        assert np.all(system.trace.loads.sum(axis=1) == 12)

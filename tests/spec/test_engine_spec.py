@@ -1,0 +1,172 @@
+"""Spec/CLI surface of the fused multi-channel engine.
+
+``LearnerSpec.engine`` round-trips, validates through the registry
+capability flags, resolves ``"auto"`` per family, drives the built
+system, and reaches the CLI as ``--engine`` (including ``--dump-spec``).
+Also covers ``CapacitySpec.options`` (the failures backend's parameter
+channel).
+"""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.spec import ExperimentSpec, register_learner
+from repro.spec.registry import LEARNERS
+
+
+class TestEngineSpecField:
+    def test_roundtrip_preserves_engine(self):
+        spec = ExperimentSpec.from_dict(
+            {"learner": {"name": "r2hs", "engine": "per_channel"}}
+        )
+        assert spec.learner.engine == "per_channel"
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.to_dict()["learner"]["engine"] == "per_channel"
+
+    def test_auto_resolves_by_registry_flag(self):
+        spec = ExperimentSpec()
+        assert spec.learner.engine == "auto"
+        assert spec.resolved_engine() == "grouped"
+        assert spec.with_overrides({"backend": "scalar"}).resolved_engine() is None
+        assert (
+            spec.with_overrides(
+                {"learner.engine": "per_channel"}
+            ).resolved_engine()
+            == "per_channel"
+        )
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            ExperimentSpec.from_dict({"learner": {"engine": "turbo"}})
+
+    def test_explicit_engine_on_scalar_backend_rejected(self):
+        with pytest.raises(ValueError, match="vectorized backend"):
+            ExperimentSpec.from_dict(
+                {"backend": "scalar", "learner": {"engine": "grouped"}}
+            )
+
+    def test_grouped_engine_requires_capability_flag(self):
+        register_learner(
+            "plain-test-learner",
+            bank=lambda epsilon, delta, mu, u_max, dtype: (
+                __import__("repro.runtime", fromlist=["bank_factory"])
+                .bank_factory("uniform")
+            ),
+            overwrite=True,
+        )
+        try:
+            with pytest.raises(ValueError, match="grouped=True"):
+                ExperimentSpec.from_dict(
+                    {"learner": {"name": "plain-test-learner", "engine": "grouped"}}
+                )
+            # auto quietly picks the per-channel engine instead.
+            spec = ExperimentSpec.from_dict(
+                {"learner": {"name": "plain-test-learner"}}
+            )
+            assert spec.resolved_engine() == "per_channel"
+        finally:
+            LEARNERS.unregister("plain-test-learner")
+
+    def test_built_system_uses_resolved_engine(self):
+        base = {
+            "rounds": 5,
+            "topology": {"num_peers": 12, "num_helpers": 6, "num_channels": 2},
+        }
+        assert ExperimentSpec.from_dict(base).build().engine == "grouped"
+        per = dict(base, learner={"engine": "per_channel"})
+        assert ExperimentSpec.from_dict(per).build().engine == "per_channel"
+
+    def test_engines_run_bit_identically_through_the_spec(self):
+        base = {
+            "rounds": 40,
+            "seed": 5,
+            "topology": {"num_peers": 40, "num_helpers": 7, "num_channels": 3},
+        }
+        tg = ExperimentSpec.from_dict(
+            dict(base, learner={"engine": "grouped"})
+        ).run().trace
+        tp = ExperimentSpec.from_dict(
+            dict(base, learner={"engine": "per_channel"})
+        ).run().trace
+        assert np.array_equal(tg.welfare, tp.welfare)
+        assert np.array_equal(tg.loads, tp.loads)
+        assert np.array_equal(tg.server_load, tp.server_load)
+
+    def test_engine_composes_with_topk_bank(self):
+        spec = ExperimentSpec.from_dict(
+            {
+                "rounds": 10,
+                "topology": {"num_peers": 20, "num_helpers": 12, "num_channels": 2},
+                "learner": {"bank": "topk", "topk": 3, "engine": "grouped"},
+            }
+        )
+        system = spec.build()
+        assert system.engine == "grouped"
+        assert system.banks[0].k == 3
+
+
+class TestCapacityOptions:
+    def test_options_roundtrip(self):
+        spec = ExperimentSpec.from_dict(
+            {"capacity": {"backend": "failures", "options": {"failure_rate": 0.5}}}
+        )
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone.capacity.options == {"failure_rate": 0.5}
+
+    def test_options_reach_the_backend_factory(self):
+        spec = ExperimentSpec.from_dict(
+            {
+                "topology": {"num_peers": 10, "num_helpers": 4},
+                "capacity": {
+                    "backend": "failures",
+                    "options": {"failure_rate": 1.0, "mean_outage_rounds": 2.0},
+                },
+            }
+        )
+        process = spec.build_capacity_process(rng=0)
+        process.advance()
+        assert process.failed.all()  # rate 1.0: every helper down
+        assert np.all(process.capacities() == 0.0)
+        assert np.all(np.asarray(process.minimum_capacities()) == 0.0)
+
+    def test_non_mapping_options_rejected(self):
+        with pytest.raises(ValueError, match="options"):
+            ExperimentSpec.from_dict(
+                {"capacity": {"options": [1, 2, 3]}}
+            )
+
+
+class TestEngineCli:
+    def test_engine_flag_dumps_and_roundtrips(self):
+        out = io.StringIO()
+        main(
+            ["run", "--engine", "per_channel", "--dump-spec"], out=out
+        )
+        dumped = json.loads(out.getvalue())
+        assert dumped["learner"]["engine"] == "per_channel"
+        assert ExperimentSpec.from_dict(dumped).to_json() == out.getvalue().rstrip("\n")
+
+    def test_run_reports_resolved_engine(self):
+        out = io.StringIO()
+        code = main(
+            [
+                "run", "--peers", "12", "--helpers", "4", "--channels", "2",
+                "--rounds", "3",
+            ],
+            out=out,
+        )
+        assert code == 0
+        assert "engine=grouped" in out.getvalue()
+
+    def test_engine_rejected_with_scalar_backend_at_parse_time(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["run", "--backend", "scalar", "--engine", "grouped"],
+                out=io.StringIO(),
+            )
+        assert excinfo.value.code == 2
