@@ -45,10 +45,18 @@ Usage::
     python benchmarks/bench_runtime_scale.py --channels-guard
     python benchmarks/bench_runtime_scale.py --memory-guard
 
+``--phase-profile`` runs the 10k-peer / 100-helper round loop under the
+:mod:`repro.telemetry` instrumentation and appends the per-phase
+decomposition (act / observe / capacity / reductions / trace, with each
+phase's share of ``round.total``) to the trajectory — the ground truth
+behind "where does the 2.4 ms floor go".
+
 The JSON report lands in ``BENCH_runtime.json`` (repo root by default) as a
-*trajectory* — ``{"schema": 2, "runs": [...]}``, one entry appended per
-invocation (legacy single-snapshot files are wrapped on first append) — and
-a text table in ``benchmarks/output/``.
+*trajectory* — ``{"schema": 3, "runs": [...]}``, one entry appended per
+invocation (legacy single-snapshot files are wrapped on first append).
+Every run record carries a ``machine`` block (CPU count, python/numpy
+versions, platform) so trajectory points from different environments are
+comparable.  A text table lands in ``benchmarks/output/``.
 """
 
 from __future__ import annotations
@@ -57,7 +65,9 @@ import argparse
 import datetime
 import gc
 import json
+import os
 import pathlib
+import platform
 import sys
 import time
 
@@ -328,14 +338,29 @@ def run_channels_guard(args) -> int:
     return 0
 
 
+def machine_context() -> dict:
+    """Environment block stamped onto every run record.
+
+    Trajectory points accumulate across laptops and CI runners; without
+    the machine identity a regression and a slower machine look the same.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+    }
+
+
 def append_run(path: pathlib.Path, run: dict) -> dict:
-    """Append ``run`` to the JSON trajectory at ``path`` (schema 2).
+    """Append ``run`` to the JSON trajectory at ``path`` (schema 3).
 
     Legacy single-snapshot reports (the pre-trajectory schema: one dict
     with ``config``/``results`` at top level) are wrapped as the first
-    run instead of being overwritten.
+    run instead of being overwritten.  Schema 3 adds the ``machine``
+    block to each appended run; earlier entries are kept as-is.
     """
-    report = {"schema": 2, "runs": []}
+    report = {"schema": 3, "runs": []}
     if path.exists():
         try:
             old = json.loads(path.read_text())
@@ -365,6 +390,7 @@ def append_run(path: pathlib.Path, run: dict) -> dict:
         datetime.datetime.now(datetime.timezone.utc)
         .isoformat(timespec="seconds")
     )
+    run.setdefault("machine", machine_context())
     report["runs"].append(run)
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(report, indent=2) + "\n")
@@ -532,6 +558,96 @@ def run_memory_guard(args) -> int:
     return 0
 
 
+def run_phase_profile(args) -> int:
+    """Per-phase decomposition of the vectorized round loop.
+
+    Builds the default-scale system inside a live telemetry session (the
+    phase instruments bind at construction time), runs warmup + timed
+    rounds, and reports where ``round.total`` goes.  Warmup rounds stay
+    in the totals — ``Telemetry.reset()`` would orphan the instruments
+    already bound into the system — so keep ``--rounds`` comfortably
+    above ``--warmup`` for representative shares.
+    """
+    from repro.telemetry import (
+        render_phase_table,
+        round_phase_shares,
+        session,
+    )
+
+    rounds = args.warmup + args.rounds
+    config = SystemConfig(
+        num_peers=args.peers,
+        num_helpers=args.helpers,
+        num_channels=args.channels,
+        channel_bitrates=100.0,
+    )
+    print(
+        f"bench_runtime_scale --phase-profile: N={args.peers} "
+        f"H={args.helpers} C={args.channels} rounds={rounds} "
+        f"({args.warmup} warmup included in totals)"
+    )
+    gc.collect()
+    with session(enabled=True) as tel:
+        system = VectorizedStreamingSystem(
+            config,
+            bank_factory("r2hs", u_max=U_MAX),
+            rng=args.seed,
+        )
+        system.run(rounds)
+        snap = tel.snapshot()
+    del system
+    gc.collect()
+
+    print(render_phase_table(snap))
+    shares = round_phase_shares(snap)
+    if shares is None:
+        print("FAIL: no round.total envelope in the snapshot")
+        return 1
+    coverage = shares.pop("coverage")
+    total = snap["phases"]["round.total"]
+    per_round = total["total_s"] / total["count"]
+    print(
+        f"  {per_round * 1e3:.3f} ms/round over {total['count']} rounds, "
+        f"named phases cover {coverage:.1%} of round.total"
+    )
+
+    report = append_run(
+        args.output,
+        {
+            "kind": "phase_profile",
+            "config": {
+                "peers": args.peers,
+                "helpers": args.helpers,
+                "channels": args.channels,
+                "rounds": rounds,
+                "warmup": args.warmup,
+                "seed": args.seed,
+                "learner": "r2hs",
+                "quick": bool(args.quick),
+            },
+            "results": {
+                "seconds_per_round": per_round,
+                "coverage": coverage,
+                "shares": shares,
+                "phases": snap["phases"],
+            },
+        },
+    )
+    print(f"  wrote {args.output} ({len(report['runs'])} runs)")
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    lines = [
+        f"N={args.peers} H={args.helpers} C={args.channels}: "
+        f"{per_round * 1e3:.3f} ms/round, coverage {coverage:.1%}"
+    ] + [
+        f"  {name:16s} {share:6.1%}"
+        for name, share in sorted(shares.items(), key=lambda kv: -kv[1])
+    ]
+    (OUTPUT_DIR / "bench_phase_profile.txt").write_text(
+        "\n".join(lines) + "\n"
+    )
+    return 0
+
+
 def run_capacity_guard(seed: int) -> int:
     """CI gate: vectorized capacity advancement must beat scalar at H=1000."""
     result = bench_capacity_advance(1000, seed)
@@ -591,6 +707,12 @@ def main(argv=None) -> int:
         help="comma-separated channel counts for --channels-scale",
     )
     parser.add_argument(
+        "--phase-profile",
+        action="store_true",
+        help="per-phase decomposition of the vectorized round loop via "
+        "repro.telemetry (appends a phase_profile run to the trajectory)",
+    )
+    parser.add_argument(
         "--capacity-guard",
         action="store_true",
         help="CI gate: exit non-zero unless the vectorized capacity backend "
@@ -647,6 +769,9 @@ def main(argv=None) -> int:
             args.helpers_grid = "100,1000"
         if args.channels_grid == "1,20,100":
             args.channels_grid = "1,20"
+
+    if args.phase_profile:
+        return run_phase_profile(args)
 
     if args.channels_scale:
         grid = [int(c) for c in args.channels_grid.split(",") if c]

@@ -1,0 +1,71 @@
+"""Validate a telemetry JSONL file against the snapshot schema.
+
+CI's telemetry-guard step runs ``repro profile --output <file>.jsonl`` on
+the smoke spec and then this script on the result: every line must parse
+as JSON and pass :func:`repro.telemetry.validate_snapshot`.  Exits
+non-zero (listing every problem) on any violation, so schema drift in the
+emitted records fails the lane instead of silently breaking downstream
+consumers.
+
+Usage::
+
+    python benchmarks/check_telemetry_schema.py PATH.jsonl [PATH2.jsonl ...]
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+from repro.telemetry import validate_snapshot  # noqa: E402
+
+
+def check_file(path: pathlib.Path) -> list:
+    """All schema problems in ``path``, prefixed with ``file:line``."""
+    problems = []
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        return [f"{path}: unreadable ({exc})"]
+    if not any(line.strip() for line in lines):
+        return [f"{path}: no snapshot records"]
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            problems.append(f"{path}:{lineno}: not valid JSON ({exc})")
+            continue
+        for problem in validate_snapshot(record):
+            problems.append(f"{path}:{lineno}: {problem}")
+    return problems
+
+
+def main(argv=None) -> int:
+    paths = [pathlib.Path(p) for p in (argv if argv is not None else sys.argv[1:])]
+    if not paths:
+        print("usage: check_telemetry_schema.py PATH.jsonl [...]")
+        return 2
+    problems = []
+    total = 0
+    for path in paths:
+        problems.extend(check_file(path))
+        if path.exists():
+            total += sum(1 for line in path.read_text().splitlines() if line.strip())
+    if problems:
+        print(f"FAIL: {len(problems)} schema problem(s):")
+        for problem in problems:
+            print(f"  - {problem}")
+        return 1
+    print(f"OK: {total} snapshot record(s) across {len(paths)} file(s) match the schema")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -25,7 +25,10 @@ from typing import TYPE_CHECKING, Callable, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.analysis.sweeps import SweepCell, SweepResult
+from repro.util.logconfig import get_logger
 from repro.util.rng import Seedish, as_generator, derive_seed
+
+logger = get_logger("analysis")
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.spec.model import SweepSpec
@@ -308,15 +311,35 @@ class _CellFailure:
     cell's result payload — and with it the only references to their
     disowned shared-memory segments, leaking them until reboot.  Instead
     the worker returns this marker; the parent materializes (and thereby
-    releases) all successful cells first, then raises.
+    releases) all successful cells first, then raises.  Carries the cell
+    identity (submission index + parameter overrides) so a failure in a
+    4000-cell sweep names the cell to re-run.
     """
 
-    def __init__(self, formatted_traceback: str) -> None:
+    def __init__(
+        self,
+        formatted_traceback: str,
+        cell_index: Optional[int] = None,
+        params: Optional[Mapping[str, object]] = None,
+    ) -> None:
         self.formatted_traceback = formatted_traceback
+        self.cell_index = cell_index
+        self.params = dict(params) if params is not None else None
+
+    def describe(self) -> str:
+        """One line naming the failed cell, for the raised error."""
+        where = (
+            "sweep cell failed in worker"
+            if self.cell_index is None
+            else f"sweep cell {self.cell_index} failed in worker"
+        )
+        if self.params:
+            where += f" (params {self.params})"
+        return where
 
 
 def _invoke(payload):
-    fn, params, seed, result_mode = payload
+    fn, params, seed, result_mode, index = payload
     if result_mode is None:
         return fn(params, seed)
     import traceback
@@ -327,7 +350,7 @@ def _invoke(payload):
         # sibling cell's disowned segments unmaterialized.
         return _share_result_metrics(fn(params, seed), result_mode)
     except Exception:
-        return _CellFailure(traceback.format_exc())
+        return _CellFailure(traceback.format_exc(), index, params)
 
 
 class ParallelRunner:
@@ -394,9 +417,13 @@ class ParallelRunner:
             else None
         )
         payloads = [
-            (cell_fn, dict(params), derive_seed(parent), result_mode)
-            for params in parameter_sets
+            (cell_fn, dict(params), derive_seed(parent), result_mode, i)
+            for i, params in enumerate(parameter_sets)
         ]
+        logger.debug(
+            "mapping %d cell(s) over %d worker(s) (handoff=%s)",
+            len(payloads), self._workers, self._result_handoff,
+        )
         if not pooled:
             results = [_invoke(p) for p in payloads]
         else:
@@ -408,7 +435,7 @@ class ParallelRunner:
         # backings, so an early raise would leak the siblings' segments.
         cells: List[Optional[SweepCell]] = []
         failure: Optional[_CellFailure] = None
-        for (_, params, _, _), metrics in zip(payloads, results):
+        for (_, params, _, _, index), metrics in zip(payloads, results):
             if isinstance(metrics, _CellFailure):
                 failure = failure if failure is not None else metrics
                 cells.append(None)
@@ -419,7 +446,7 @@ class ParallelRunner:
                 # A vanished backing (reaped shm segment / deleted .npy)
                 # must not strand the remaining cells' segments.
                 failure = failure if failure is not None else _CellFailure(
-                    f"result materialization failed: {exc!r}"
+                    f"result materialization failed: {exc!r}", index, params
                 )
                 cells.append(None)
                 continue
@@ -427,8 +454,9 @@ class ParallelRunner:
                 SweepCell(parameters=dict(params), metrics=materialized)
             )
         if failure is not None:
+            logger.error("%s", failure.describe())
             raise RuntimeError(
-                "sweep cell failed in worker:\n" + failure.formatted_traceback
+                failure.describe() + ":\n" + failure.formatted_traceback
             )
         return cells
 

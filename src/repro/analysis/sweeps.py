@@ -57,17 +57,42 @@ class SweepResult:
     cells: List[SweepCell] = field(default_factory=list)
 
     def to_table(self) -> str:
-        """Aligned text table: one row per cell."""
+        """Aligned text table: one row per cell.
+
+        Only scalar-valued metrics become columns; structured payloads
+        riding in the metrics dict (array metrics, the per-worker
+        ``telemetry`` snapshot) are skipped here and read through
+        :meth:`column` / :meth:`merged_telemetry` instead.
+        """
         if not self.cells:
             raise ValueError("sweep produced no cells")
         param_names = list(self.cells[0].parameters)
-        metric_names = list(self.cells[0].metrics)
+        metric_names = [
+            name
+            for name, value in self.cells[0].metrics.items()
+            if isinstance(value, (int, float, np.number))
+        ]
         rows = [
             [cell.parameters[p] for p in param_names]
             + [float(cell.metrics[m]) for m in metric_names]
             for cell in self.cells
         ]
         return render_table(param_names + metric_names, rows)
+
+    def merged_telemetry(self) -> Optional[Dict]:
+        """The fleet-wide telemetry snapshot across all cells.
+
+        Each worker's final snapshot rides back in its cell's metrics
+        under ``"telemetry"`` (specs with telemetry enabled); this merges
+        them — counters and phase totals sum, gauges take the max,
+        histograms merge bucket-wise.  ``None`` when no cell collected
+        telemetry.
+        """
+        from repro.telemetry import merge_snapshots
+
+        return merge_snapshots(
+            cell.metrics.get("telemetry") for cell in self.cells
+        )
 
     def best(self, metric: str, maximize: bool = True) -> SweepCell:
         """The cell optimizing ``metric``."""

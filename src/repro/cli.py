@@ -54,6 +54,13 @@ from repro.spec import (
     ExperimentSpec,
     SweepSpec,
 )
+from repro.telemetry import (
+    merge_snapshots,
+    render_snapshot,
+    round_phase_shares,
+    sink_names,
+)
+from repro.util.logconfig import LOG_LEVELS, configure_logging
 
 FIGURE_DESCRIPTIONS = {
     "fig1": "worst-player regret decay (large scale)",
@@ -101,6 +108,13 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce 'Decentralized Adaptive Helper Selection in "
         "Multi-channel P2P Streaming Systems' (ICDCS 2014).",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=list(LOG_LEVELS),
+        default=None,
+        help="attach a stderr handler to the 'repro' logger hierarchy at "
+        "this level (library default: emit but never configure handlers)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     fig = sub.add_parser("figure", help="regenerate a paper figure")
@@ -128,6 +142,68 @@ def build_parser() -> argparse.ArgumentParser:
         "run",
         help="run the full streaming system (scalar or vectorized backend)",
     )
+    _add_spec_flags(runp)
+    runp.add_argument(
+        "--dump-spec",
+        action="store_true",
+        help="print the compiled ExperimentSpec JSON and exit without running",
+    )
+    runp.add_argument(
+        "--telemetry",
+        nargs="?",
+        const=None,
+        default=argparse.SUPPRESS,
+        metavar="SINK",
+        help="enable instrumentation for the run and print a merged "
+        "summary; the optional sink reference 'name[:arg]' over "
+        f"{{{', '.join(sink_names())}}} additionally streams snapshots "
+        "there (e.g. --telemetry=jsonl:run.jsonl)",
+    )
+    runp.add_argument(
+        "--replications", type=int, default=1,
+        help="independent repetitions (deterministically seeded)",
+    )
+    runp.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the replications",
+    )
+
+    prof = sub.add_parser(
+        "profile",
+        help="run one spec with telemetry on and print the per-phase "
+        "round-loop decomposition",
+    )
+    _add_spec_flags(prof)
+    prof.add_argument(
+        "--output", "-o",
+        default=None,
+        metavar="PATH",
+        help="also append snapshot records to a JSONL file at PATH",
+    )
+    prof.add_argument(
+        "--flush-interval", type=int, default=0,
+        help="emit an intermediate snapshot every this many rounds "
+        "(0 = final snapshot only)",
+    )
+    prof.add_argument(
+        "--sample-period", type=int, default=100,
+        help="record process gauges (RSS, GC) every this many rounds "
+        "(0 = off; default 100)",
+    )
+
+    sub.add_parser(
+        "list", help="list the available figures and registered components"
+    )
+    return parser
+
+
+def _add_spec_flags(runp: argparse.ArgumentParser) -> None:
+    """Register the shared spec-compiling flags (``run`` and ``profile``).
+
+    Every flag in :data:`RUN_FLAG_SPEC_PATHS` uses an
+    ``argparse.SUPPRESS`` default so :func:`compile_run_spec` can tell
+    "explicitly passed" from "left unset".
+    """
     runp.add_argument(
         "--spec",
         default=None,
@@ -135,12 +211,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="load the experiment from an ExperimentSpec JSON file; "
         "explicitly-set run flags override the file's fields",
     )
-    runp.add_argument(
-        "--dump-spec",
-        action="store_true",
-        help="print the compiled ExperimentSpec JSON and exit without running",
-    )
-    unset = argparse.SUPPRESS  # see RUN_FLAG_DEFAULTS
+    unset = argparse.SUPPRESS  # see RUN_FLAG_SPEC_PATHS
     runp.add_argument(
         "--backend",
         choices=["scalar", "vectorized"],
@@ -211,19 +282,6 @@ def build_parser() -> argparse.ArgumentParser:
         help="mean exponential peer lifetime (requires churn arrivals)",
     )
     runp.add_argument("--seed", type=int, default=unset)
-    runp.add_argument(
-        "--replications", type=int, default=1,
-        help="independent repetitions (deterministically seeded)",
-    )
-    runp.add_argument(
-        "--workers", type=int, default=1,
-        help="worker processes for the replications",
-    )
-
-    sub.add_parser(
-        "list", help="list the available figures and registered components"
-    )
-    return parser
 
 
 def compile_run_spec(
@@ -277,6 +335,14 @@ def _run_system(parser, args, out) -> None:
     if args.workers < 1:
         parser.error("--workers must be >= 1")
     spec = compile_run_spec(parser, args)
+    if hasattr(args, "telemetry"):
+        sinks = [] if args.telemetry is None else [args.telemetry]
+        try:
+            spec = spec.with_overrides(
+                {"telemetry.enabled": True, "telemetry.sinks": sinks}
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
     if args.dump_spec:
         print(spec.to_json(), file=out)
         return
@@ -312,9 +378,12 @@ def _run_system(parser, args, out) -> None:
         f"cells={len(cells)} workers={args.workers}",
         file=out,
     )
+    # Scalars only: dict payloads (the telemetry snapshot) and array
+    # metrics have no mean/std row.  np.ndim(dict) == 0, so an explicit
+    # scalar check is required.
     metric_names = [
         name for name in cells[0].metrics
-        if np.ndim(cells[0].metrics[name]) == 0
+        if isinstance(cells[0].metrics[name], (int, float, np.number))
     ]
     values = {
         name: np.array([cell.metrics[name] for cell in cells])
@@ -325,6 +394,54 @@ def _run_system(parser, args, out) -> None:
         for name in metric_names
     ]
     print(render_table(["metric", "mean", "std"], rows), file=out)
+    merged = merge_snapshots(
+        cell.metrics.get("telemetry") for cell in cells
+    )
+    if merged is not None:
+        print(file=out)
+        print(render_snapshot(merged), file=out)
+
+
+def _run_profile(parser, args, out) -> None:
+    """``repro profile``: one instrumented run, phase table to stdout."""
+    if args.flush_interval < 0:
+        parser.error("--flush-interval must be >= 0")
+    if args.sample_period < 0:
+        parser.error("--sample-period must be >= 0")
+    spec = compile_run_spec(parser, args)
+    sinks = [] if args.output is None else [f"jsonl:{args.output}"]
+    try:
+        spec = spec.with_overrides(
+            {
+                "telemetry.enabled": True,
+                "telemetry.sinks": sinks,
+                "telemetry.flush_interval": args.flush_interval,
+                "telemetry.sample_period": args.sample_period,
+            }
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    result = spec.run()
+    topo = spec.topology
+    engine = spec.resolved_engine()
+    print(
+        f"profile: spec={spec.spec_digest()} backend={spec.backend} "
+        + (f"engine={engine} " if engine is not None else "")
+        + f"learner={spec.learner.name} N={topo.num_peers} "
+        f"H={topo.num_helpers} C={topo.num_channels} rounds={spec.rounds}",
+        file=out,
+    )
+    print(render_snapshot(result.telemetry), file=out)
+    shares = round_phase_shares(result.telemetry)
+    if shares is not None and shares["coverage"] < 0.9:
+        print(
+            f"warning: named round phases cover only "
+            f"{shares['coverage']:.1%} of round.total — a hot unnamed "
+            "region is hiding",
+            file=out,
+        )
+    if args.output is not None:
+        print(f"snapshots appended to {args.output}", file=out)
 
 
 def _run_figure(which: str, seed: int, out) -> None:
@@ -386,6 +503,11 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out if out is not None else sys.stdout
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level is not None:
+        configure_logging(args.log_level)
+    if args.command == "profile":
+        _run_profile(parser, args, out)
+        return 0
     if args.command == "list":
         _run_list(out)
         return 0

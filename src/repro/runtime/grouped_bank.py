@@ -56,6 +56,7 @@ from repro.core.population import LearnerPopulation
 from repro.core.schedules import StepSchedule
 from repro.core.sparse_population import TopKPopulation
 from repro.runtime.learner_bank import _INITIAL_ROWS, LearnerBank, _RowBank
+from repro.telemetry import get_telemetry
 from repro.util.rng import as_generator
 
 
@@ -159,6 +160,9 @@ class PerChannelGroupedBank:
 
     def __init__(self, banks: Sequence[LearnerBank]) -> None:
         self._banks = list(banks)
+        tel = get_telemetry()
+        self._ph_act = tel.phase("bank.act")
+        self._ph_observe = tel.phase("bank.observe")
 
     @property
     def num_channels(self) -> int:
@@ -177,11 +181,13 @@ class PerChannelGroupedBank:
         self._banks[channel].release(row)
 
     def act_all(self, offsets: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        t0 = self._ph_act.start()
         local = np.empty(int(offsets[-1]), dtype=np.int64)
         for c, start, stop in _channel_segments(
             range(len(self._banks)), offsets
         ):
             local[start:stop] = self._banks[c].act(rows[start:stop])
+        self._ph_act.stop(t0)
         return local
 
     def observe_all(
@@ -191,12 +197,14 @@ class PerChannelGroupedBank:
         actions: np.ndarray,
         utilities: np.ndarray,
     ) -> None:
+        t0 = self._ph_observe.start()
         for c, start, stop in _channel_segments(
             range(len(self._banks)), offsets
         ):
             self._banks[c].observe(
                 rows[start:stop], actions[start:stop], utilities[start:stop]
             )
+        self._ph_observe.stop(t0)
 
     def channel_views(self) -> List[LearnerBank]:
         return list(self._banks)
@@ -356,6 +364,9 @@ class GroupedRegretBank:
             for domain, c in enumerate(channels):
                 self._group_of[c] = index
                 self._domain_of[c] = domain
+        tel = get_telemetry()
+        self._ph_act = tel.phase("bank.act")
+        self._ph_observe = tel.phase("bank.observe")
 
     # ------------------------------------------------------------------
     # Introspection
@@ -431,6 +442,7 @@ class GroupedRegretBank:
                 )
 
     def act_all(self, offsets: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        t0 = self._ph_act.start()
         local = np.empty(int(offsets[-1]), dtype=np.int64)
         for group, segments, index in self._group_passes(offsets):
             # Per-channel uniforms from per-channel streams (bit-identity
@@ -438,6 +450,7 @@ class GroupedRegretBank:
             draws = [self._rngs[c].random(stop - start) for c, start, stop in segments]
             draws = draws[0] if len(draws) == 1 else np.concatenate(draws)
             local[index] = group.population.act_slots(rows[index], draws=draws)
+        self._ph_act.stop(t0)
         return local
 
     def observe_all(
@@ -447,7 +460,9 @@ class GroupedRegretBank:
         actions: np.ndarray,
         utilities: np.ndarray,
     ) -> None:
+        t0 = self._ph_observe.start()
         for group, _, index in self._group_passes(offsets):
             group.population.observe_slots(
                 rows[index], actions[index], utilities[index]
             )
+        self._ph_observe.stop(t0)

@@ -57,7 +57,11 @@ from repro.sim.system import (
 )
 from repro.sim.trace import RoundRecord, SystemTrace
 from repro.sim.tracker import Tracker
+from repro.telemetry import get_telemetry
+from repro.util.logconfig import get_logger
 from repro.util.rng import Seedish, as_generator, spawn
+
+logger = get_logger("runtime")
 
 #: Learner dispatch structures the vectorized system supports.
 ENGINES = ("auto", "grouped", "per_channel")
@@ -281,6 +285,34 @@ class VectorizedStreamingSystem:
                 lambda: self._channel_weights, self._set_channel_weights,
             )
 
+        # Telemetry instruments bind once, here: when the process-wide
+        # registry is disabled every handle below is the shared null
+        # object, so the round loop pays one attribute call per phase
+        # and nothing else.  The `round.*` phases tile _execute_round;
+        # `round.total` is the envelope the profiler computes coverage
+        # against.
+        tel = get_telemetry()
+        self._ph_total = tel.phase("round.total")
+        self._ph_capacity = tel.phase("round.capacity")
+        self._ph_grouping = tel.phase("round.grouping")
+        self._ph_act = tel.phase("round.act")
+        self._ph_reduce = tel.phase("round.reduce")
+        self._ph_observe = tel.phase("round.observe")
+        self._ph_trace = tel.phase("round.trace")
+        self._ph_churn = tel.phase("churn.apply")
+        self._ctr_rounds = tel.counter("round.count")
+        self._ctr_joins = tel.counter("churn.joins")
+        self._ctr_leaves = tel.counter("churn.leaves")
+        self._ctr_switches = tel.counter("churn.switches")
+        self._gauge_online = tel.gauge("round.online_peers")
+        self._hist_round_s = tel.histogram("round.duration_s")
+        self._pump = tel.pump()
+        logger.debug(
+            "vectorized system up: N=%d H=%d C=%d engine=%s dtype=%s",
+            config.num_peers, config.num_helpers, config.num_channels,
+            self._engine, np.dtype(dtype).name,
+        )
+
     # ------------------------------------------------------------------
     # Construction helpers / churn callbacks
     # ------------------------------------------------------------------
@@ -303,21 +335,25 @@ class VectorizedStreamingSystem:
         return uid
 
     def _churn_join(self) -> int:
-        uid = self._create_peer()
-        self._population_changed = True
-        self._grouping = None
+        with self._ph_churn:
+            uid = self._create_peer()
+            self._population_changed = True
+            self._grouping = None
+            self._ctr_joins.inc()
         return uid
 
     def _churn_leave(self, uid: int) -> None:
-        slot = self._uid_slot.pop(int(uid), None)
-        if slot is None or not self._store.online[slot]:
-            return
-        self._bank.release(
-            int(self._store.channel[slot]), int(self._store.bank_row[slot])
-        )
-        self._store.release(slot, now=self._sim.now)
-        self._population_changed = True
-        self._grouping = None
+        with self._ph_churn:
+            slot = self._uid_slot.pop(int(uid), None)
+            if slot is None or not self._store.online[slot]:
+                return
+            self._bank.release(
+                int(self._store.channel[slot]), int(self._store.bank_row[slot])
+            )
+            self._store.release(slot, now=self._sim.now)
+            self._population_changed = True
+            self._grouping = None
+            self._ctr_leaves.inc()
 
     def _switch_once(self) -> Optional[int]:
         """One viewer channel switch; returns the replacement's uid."""
@@ -330,6 +366,7 @@ class VectorizedStreamingSystem:
         self._channel_switches += 1
         self._population_changed = True
         self._grouping = None
+        self._ctr_switches.inc()
         return uid
 
     def _set_channel_weights(self, weights: np.ndarray) -> None:
@@ -462,26 +499,34 @@ class VectorizedStreamingSystem:
         return self._grouping
 
     def _execute_round(self, _: Simulator) -> None:
+        round_t0 = self._ph_total.start()
         config = self._config
         store = self._store
         num_helpers = config.num_helpers
+        t0 = self._ph_capacity.start()
         caps = np.asarray(self._capacity_process.capacities(), dtype=float)
+        self._ph_capacity.stop(t0)
+        t0 = self._ph_grouping.start()
         (
             online, perm, offsets, rows_sorted, chan_sorted,
             demand_online, total_demand,
         ) = self._round_grouping()
+        self._ph_grouping.stop(t0)
         n = online.size
 
         # 1. One fused draw: every online peer's helper, all channels at
         # once.  Work stays in channel-sorted order for the bank and is
         # scattered back to slot (= creation) order for the aggregates,
         # so sums below run in the same order as the per-channel path.
+        t0 = self._ph_act.start()
         local = self._bank.act_all(offsets, rows_sorted)
         helper_global = np.empty(n, dtype=np.int64)
         helper_global[perm] = self._helper_table[chan_sorted, local]
         loads = np.bincount(helper_global, minlength=num_helpers)
+        self._ph_act.stop(t0)
 
         # 2./3. Shares realize; the server covers deficits.
+        t0 = self._ph_reduce.start()
         if n:
             shares = caps[helper_global] / loads[helper_global]
             deficits = np.maximum(0.0, demand_online - shares)
@@ -493,14 +538,18 @@ class VectorizedStreamingSystem:
             total_share = 0.0
             total_deficit_requested = 0.0
         granted = self._server.serve(total_deficit_requested)
+        self._ph_reduce.stop(t0)
 
         # 4. One fused observe: the banks see the raw helper shares (the
         # game utility), gathered back into channel-sorted order.
+        t0 = self._ph_observe.start()
         self._bank.observe_all(offsets, rows_sorted, local, shares[perm])
         store.rounds_participated[online] += 1
         store.cumulative_rate[online] += shares
         store.cumulative_deficit[online] += deficits
+        self._ph_observe.stop(t0)
 
+        t0 = self._ph_trace.start()
         min_deficit = max(0.0, total_demand - self._min_caps_sum)
         record = RoundRecord(
             time=self._sim.now,
@@ -524,9 +573,16 @@ class VectorizedStreamingSystem:
             # the scalar system's peer order.
             self._trace.actions.append(helper_global.copy())  # type: ignore[union-attr]
             self._trace.utilities.append(shares.copy())  # type: ignore[union-attr]
+        self._ph_trace.stop(t0)
 
+        t0 = self._ph_capacity.start()
         self._capacity_process.advance()
+        self._ph_capacity.stop(t0)
         self._round_index += 1
+        self._ctr_rounds.inc()
+        self._gauge_online.set(n)
+        self._hist_round_s.observe(self._ph_total.stop(round_t0))
+        self._pump.maybe(self._round_index)
 
     def run(self, num_rounds: int) -> SystemTrace:
         """Advance the system by ``num_rounds`` learning rounds.

@@ -25,6 +25,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
+from repro.telemetry import get_telemetry
+
 EventCallback = Callable[["Simulator"], None]
 
 # Compaction keeps amortized O(log n) scheduling: rebuilds are triggered at
@@ -81,6 +83,9 @@ class Simulator:
         self._events_processed = 0
         self._live = 0       # non-cancelled events currently in the heap
         self._dead = 0       # cancelled entries awaiting lazy removal
+        tel = get_telemetry()
+        self._ph_dispatch = tel.phase("sim.dispatch")
+        self._ctr_events = tel.counter("sim.events")
 
     @property
     def now(self) -> float:
@@ -234,7 +239,10 @@ class Simulator:
             return False
         self._now = event.time
         self._events_processed += 1
+        self._ctr_events.inc()
+        t0 = self._ph_dispatch.start()
         event.callback(self)
+        self._ph_dispatch.stop(t0)
         return True
 
     def run_until(self, end_time: float, max_events: Optional[int] = None) -> None:

@@ -16,6 +16,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.game.repeated_game import Trajectory
+from repro.telemetry import get_telemetry
 
 
 @dataclass
@@ -40,9 +41,13 @@ class SystemTrace:
     actions: Optional[List[np.ndarray]] = None     # per-round (N,) if fixed pop
     utilities: Optional[List[np.ndarray]] = None   # per-round (N,) if fixed pop
 
+    def __post_init__(self) -> None:
+        self._ctr_appends = get_telemetry().counter("trace.appends")
+
     def append(self, record: RoundRecord) -> None:
         """Add one round."""
         self.rounds.append(record)
+        self._ctr_appends.inc()
 
     # ------------------------------------------------------------------
     # Column views

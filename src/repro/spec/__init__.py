@@ -41,6 +41,7 @@ from repro.spec.model import (
     MetricsSpec,
     RunResult,
     SweepSpec,
+    TelemetrySpec,
     TopologySpec,
 )
 
@@ -64,6 +65,7 @@ __all__ = [
     "LearnerSpec",
     "ChurnSpec",
     "MetricsSpec",
+    "TelemetrySpec",
     "SweepSpec",
     "RunResult",
     "SYSTEM_BACKENDS",

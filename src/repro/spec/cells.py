@@ -30,9 +30,23 @@ def run_spec_cell(
     if overrides:
         spec = spec.with_overrides(overrides)
     start = time.perf_counter()
-    result = spec.run(seed=seed)
+    try:
+        result = spec.run(seed=seed)
+    except Exception as exc:
+        # Name the exact experiment in the worker traceback the runner
+        # ships home — a 4000-cell sweep failure is otherwise anonymous.
+        exc.add_note(
+            f"spec {spec.spec_digest()} ({spec.name!r}) seed={seed} "
+            f"overrides={overrides}"
+        )
+        raise
     elapsed = time.perf_counter() - start
     metrics = dict(result.metrics)
     metrics["elapsed_s"] = elapsed
     metrics["rounds_per_s"] = spec.rounds / elapsed
+    if result.telemetry is not None:
+        # The worker's snapshot rides back through the runner's ordinary
+        # result transport; SweepResult.merged_telemetry() aggregates the
+        # fleet (counters sum, gauges max, histograms bucket-wise).
+        metrics["telemetry"] = result.telemetry
     return metrics

@@ -24,6 +24,7 @@ third-party scenarios and backends plug in without touching core code.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field
@@ -34,6 +35,8 @@ import numpy as np
 from repro.sim.bandwidth import PAPER_BANDWIDTH_LEVELS
 from repro.sim.churn import ChurnConfig
 from repro.spec.registry import CAPACITY_BACKENDS, LEARNERS, METRICS
+from repro.telemetry import parse_sink_reference
+from repro.telemetry import session as telemetry_session
 from repro.util.rng import Seedish, as_generator, spawn
 
 #: System backends a spec can target.
@@ -302,6 +305,68 @@ class MetricsSpec:
 
 
 @dataclass(frozen=True)
+class TelemetrySpec:
+    """Instrumentation collection for a run (off by default).
+
+    ``sinks`` are ``"name[:arg]"`` references resolved through the
+    telemetry sink registry — ``"memory"``, ``"console"``,
+    ``"jsonl:PATH"`` or a plug-in registered with
+    :func:`repro.telemetry.register_sink`.  Names are validated at spec
+    construction, so a typo fails with the registered menu instead of
+    deep inside a worker.  ``flush_interval`` emits a snapshot to the
+    sinks every that many rounds (0 = final snapshot only);
+    ``sample_period`` records process gauges (RSS, GC) every that many
+    rounds (0 = off).  When ``enabled`` is false the run pays only the
+    null-object attribute calls — the zero-overhead-off contract the CI
+    latency guards hold the round loop to.
+    """
+
+    enabled: bool = False
+    sinks: Tuple[str, ...] = ()
+    flush_interval: int = 0
+    sample_period: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "sinks", tuple(str(ref) for ref in self.sinks)
+        )
+        for ref in self.sinks:
+            parse_sink_reference(ref)  # raises with the registered menu
+        if not isinstance(self.flush_interval, int) or self.flush_interval < 0:
+            raise ValueError(
+                "telemetry flush_interval must be an integer >= 0 "
+                f"(rounds between flushes; 0 = final only), got "
+                f"{self.flush_interval!r}"
+            )
+        if not isinstance(self.sample_period, int) or self.sample_period < 0:
+            raise ValueError(
+                "telemetry sample_period must be an integer >= 0 "
+                f"(rounds between resource samples; 0 = off), got "
+                f"{self.sample_period!r}"
+            )
+
+    def session(self):
+        """A :func:`repro.telemetry.session` scope matching this spec."""
+        return telemetry_session(
+            enabled=self.enabled,
+            sinks=self.sinks,
+            flush_interval=self.flush_interval,
+            sample_period=self.sample_period,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetrySpec":
+        _check_unknown_keys(cls, data)
+        data = dict(data)
+        if "sinks" in data:
+            data["sinks"] = tuple(data["sinks"])
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class SweepSpec:
     """A grid of spec overrides plus a replication count.
 
@@ -371,11 +436,16 @@ class SweepSpec:
 
 @dataclass(frozen=True)
 class RunResult:
-    """One executed spec: the trace plus the spec's evaluated metrics."""
+    """One executed spec: the trace plus the spec's evaluated metrics.
+
+    ``telemetry`` carries the run's final instrumentation snapshot when
+    the spec enabled collection (``None`` otherwise).
+    """
 
     spec: "ExperimentSpec"
     trace: Any
     metrics: Dict[str, Any]
+    telemetry: Optional[Dict[str, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -398,6 +468,7 @@ class ExperimentSpec:
     learner: LearnerSpec = field(default_factory=LearnerSpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     metrics: MetricsSpec = field(default_factory=MetricsSpec)
+    telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
     sweep_spec: Optional[SweepSpec] = None
 
     def __post_init__(self) -> None:
@@ -478,6 +549,7 @@ class ExperimentSpec:
             "learner": self.learner.to_dict(),
             "churn": self.churn.to_dict(),
             "metrics": self.metrics.to_dict(),
+            "telemetry": self.telemetry.to_dict(),
             "sweep": None if self.sweep_spec is None else self.sweep_spec.to_dict(),
         }
 
@@ -496,6 +568,7 @@ class ExperimentSpec:
             "learner": LearnerSpec,
             "churn": ChurnSpec,
             "metrics": MetricsSpec,
+            "telemetry": TelemetrySpec,
         }
         kwargs: Dict[str, Any] = {}
         for key, section_cls in sections.items():
@@ -516,6 +589,16 @@ class ExperimentSpec:
     def to_json(self, indent: int = 2) -> str:
         """The spec as JSON text (tuples serialize as lists)."""
         return json.dumps(self.to_dict(), indent=indent)
+
+    def spec_digest(self) -> str:
+        """A short stable content hash of the spec.
+
+        Sweep workers stamp it (plus the cell index) onto failure
+        reports, and profiling records carry it so a benchmark number can
+        be traced back to the exact experiment that produced it.
+        """
+        canonical = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
     @classmethod
     def from_json(cls, text: str) -> "ExperimentSpec":
@@ -747,10 +830,30 @@ class ExperimentSpec:
         return {name: METRICS.get(name)(trace) for name in self.metrics.metrics}
 
     def run(self, seed: Seedish = None) -> RunResult:
-        """Build, run ``rounds`` rounds, and evaluate the metrics."""
-        system = self.build(rng=seed)
-        trace = system.run(self.rounds)
-        return RunResult(spec=self, trace=trace, metrics=self.metrics_of(trace))
+        """Build, run ``rounds`` rounds, and evaluate the metrics.
+
+        When the spec's :class:`TelemetrySpec` is enabled, the build and
+        the round loop execute inside a telemetry session (instruments
+        bind at system construction) and the final snapshot rides back on
+        :attr:`RunResult.telemetry`; the session's sinks are flushed and
+        closed before returning.
+        """
+        if not self.telemetry.enabled:
+            system = self.build(rng=seed)
+            trace = system.run(self.rounds)
+            return RunResult(
+                spec=self, trace=trace, metrics=self.metrics_of(trace)
+            )
+        with self.telemetry.session() as tel:
+            system = self.build(rng=seed)
+            trace = system.run(self.rounds)
+            snapshot = tel.snapshot()
+        return RunResult(
+            spec=self,
+            trace=trace,
+            metrics=self.metrics_of(trace),
+            telemetry=snapshot,
+        )
 
     def sweep(
         self,

@@ -1,0 +1,119 @@
+"""``repro.telemetry`` — zero-overhead-when-off instrumentation.
+
+The observability substrate of the simulator: counters, gauges,
+fixed-bucket histograms and phase timers behind one
+:class:`~repro.telemetry.core.Telemetry` registry, pluggable sinks
+(memory / JSONL / console, see :mod:`repro.telemetry.sinks`), and
+fleet-wide snapshot merging for multi-worker sweeps.
+
+The process-wide registry starts **disabled**: every instrument the hot
+paths fetch resolves to the shared null object, whose methods are empty
+— instrumented code costs one attribute call when telemetry is off, and
+the CI ``--channels-guard`` budgets hold unchanged.  Turn collection on
+for a scope with :func:`session`::
+
+    from repro import telemetry
+
+    with telemetry.session(sinks=["jsonl:/tmp/run.jsonl"]) as tel:
+        system = spec.build()        # instruments bind at construction
+        system.run(500)
+    # session exit flushes the final snapshot and closes the sinks
+
+or declaratively through :class:`repro.spec.TelemetrySpec` /
+``repro run --telemetry`` / ``repro profile``.
+"""
+
+from contextlib import contextmanager
+
+from repro.telemetry.core import (
+    DURATION_BUCKETS_S,
+    NULL,
+    SNAPSHOT_SCHEMA,
+    Counter,
+    Gauge,
+    Histogram,
+    PhaseTimer,
+    Pump,
+    Telemetry,
+    get_telemetry,
+    merge_snapshots,
+    sample_process,
+    set_telemetry,
+    validate_snapshot,
+)
+from repro.telemetry.report import (
+    render_phase_table,
+    render_snapshot,
+    round_phase_shares,
+)
+from repro.telemetry.sinks import (
+    ConsoleSink,
+    JsonlSink,
+    MemorySink,
+    build_sink,
+    parse_sink_reference,
+    register_sink,
+    sink_names,
+)
+
+
+@contextmanager
+def session(
+    enabled: bool = True,
+    sinks=(),
+    flush_interval: int = 0,
+    sample_period: int = 0,
+):
+    """Activate a fresh :class:`Telemetry` registry for a ``with`` scope.
+
+    ``sinks`` are ``"name[:arg]"`` references resolved through the sink
+    registry (or ready sink objects, passed through).  On exit the final
+    snapshot is flushed to every sink, sinks are closed, and the
+    previously active registry (usually the disabled default) is
+    restored — so tests and CLI commands cannot leak an enabled registry
+    into unrelated code.
+
+    With ``enabled=False`` this is a transparent no-op scope: the
+    yielded registry hands out null instruments and its sinks receive
+    nothing.
+    """
+    telemetry = Telemetry(enabled=enabled)
+    telemetry.flush_interval = int(flush_interval)
+    telemetry.sample_period = int(sample_period)
+    for ref in sinks:
+        telemetry.add_sink(build_sink(ref) if isinstance(ref, str) else ref)
+    previous = set_telemetry(telemetry)
+    try:
+        yield telemetry
+    finally:
+        set_telemetry(previous)
+        telemetry.close()
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "PhaseTimer",
+    "Pump",
+    "Telemetry",
+    "NULL",
+    "SNAPSHOT_SCHEMA",
+    "DURATION_BUCKETS_S",
+    "get_telemetry",
+    "set_telemetry",
+    "session",
+    "sample_process",
+    "merge_snapshots",
+    "validate_snapshot",
+    "MemorySink",
+    "JsonlSink",
+    "ConsoleSink",
+    "register_sink",
+    "sink_names",
+    "build_sink",
+    "parse_sink_reference",
+    "render_phase_table",
+    "render_snapshot",
+    "round_phase_shares",
+]

@@ -1,0 +1,606 @@
+"""Telemetry primitives: counters, gauges, histograms, phase timers.
+
+The design goal is **zero overhead when off**.  Every instrument the
+:class:`Telemetry` registry hands out when disabled is the shared
+module-level :data:`NULL` object, whose methods are empty one-liners —
+so instrumented hot loops pay exactly one attribute call (bound-method
+lookup) per instrument touch, no branching, no allocation, and nothing
+accumulates.  Instrumented code therefore fetches its instruments once
+(at construction or import) and uses them unconditionally::
+
+    tel = get_telemetry()
+    self._ph_act = tel.phase("round.act")     # NULL when disabled
+    ...
+    with self._ph_act:                        # no-op enter/exit when off
+        local = bank.act_all(offsets, rows)
+
+Enable telemetry by installing an enabled registry as the process-wide
+active one (:func:`set_telemetry` / the :func:`session` context manager
+in :mod:`repro.telemetry`), *before* constructing the systems to be
+observed — instruments are bound at construction.
+
+Instrument semantics (and how fleet snapshots merge, see
+:func:`merge_snapshots`):
+
+* **Counter** — monotonically increasing event count; merges by sum.
+* **Gauge** — a last-written level (RSS, queue depth); merges by max.
+* **Histogram** — fixed upper-bound buckets plus an overflow bucket,
+  with sum/count/min/max; merges bucket-wise (bounds must match).
+* **PhaseTimer** — accumulated wall-clock of a named code region
+  (count/total/min/max seconds); merges like a counter over time.
+"""
+
+from __future__ import annotations
+
+import bisect
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Version tag stamped into every snapshot record (bump when the snapshot
+#: layout changes incompatibly).
+SNAPSHOT_SCHEMA = 1
+
+#: Default histogram bucket upper bounds for duration-style observations,
+#: in seconds: half-decade log spacing from 10 us to 10 s.
+DURATION_BUCKETS_S = (
+    1e-5, 3.16e-5, 1e-4, 3.16e-4, 1e-3, 3.16e-3,
+    1e-2, 3.16e-2, 1e-1, 3.16e-1, 1.0, 3.16, 10.0,
+)
+
+
+class _NullInstrument:
+    """The shared do-nothing stand-in for every instrument type.
+
+    One singleton (:data:`NULL`) implements the union of all instrument
+    surfaces, so disabled call sites never branch: ``inc``/``add``,
+    ``set``, ``observe``, context-manager enter/exit, and the
+    ``start``/``stop`` timer protocol all fall through immediately.
+    """
+
+    __slots__ = ()
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+    def add(self, value: float) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def start(self) -> float:
+        return 0.0
+
+    def stop(self, started: float) -> float:
+        return 0.0
+
+    def maybe(self, tick: int) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        return "<telemetry NULL>"
+
+
+#: The module-level null object every disabled instrument resolves to.
+NULL = _NullInstrument()
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Count ``n`` more events."""
+        self.value += n
+
+    # ``add`` aliases ``inc`` so float totals (bytes, kbit) also work.
+    def add(self, value: float) -> None:
+        """Accumulate a float quantity (bytes moved, kbit served)."""
+        self.value += value
+
+
+class Gauge:
+    """A last-written level (RSS, live peers, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = float(value)
+
+
+class Histogram:
+    """A fixed-bucket histogram with sum/count/min/max.
+
+    ``bounds`` are inclusive upper bucket bounds in ascending order; one
+    implicit overflow bucket catches everything above the last bound, so
+    ``counts`` has ``len(bounds) + 1`` entries.  Buckets are fixed at
+    construction — snapshots are therefore constant-size and two
+    histograms of the same name merge bucket-wise across workers.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "sum", "count", "min", "max")
+
+    def __init__(
+        self, name: str, bounds: Sequence[float] = DURATION_BUCKETS_S
+    ) -> None:
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(
+                f"histogram bounds must be strictly ascending, got {bounds}"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+
+class PhaseTimer:
+    """Accumulated wall-clock time of a named code region.
+
+    Usable as a context manager (``with tel.phase("round.act"): ...``)
+    or via the allocation-free ``t0 = p.start() ... p.stop(t0)`` pair
+    when the elapsed time is also needed by the caller (``stop`` returns
+    the elapsed seconds).  Not re-entrant — one region, one timer.
+    """
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s", "_entered")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = float("-inf")
+        self._entered = 0.0
+
+    def start(self) -> float:
+        """Begin one timed pass; returns the token ``stop`` consumes."""
+        return time.perf_counter()
+
+    def stop(self, started: float) -> float:
+        """End a pass begun by ``start``; returns the elapsed seconds."""
+        elapsed = time.perf_counter() - started
+        self.count += 1
+        self.total_s += elapsed
+        if elapsed < self.min_s:
+            self.min_s = elapsed
+        if elapsed > self.max_s:
+            self.max_s = elapsed
+        return elapsed
+
+    def __enter__(self) -> "PhaseTimer":
+        self._entered = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.stop(self._entered)
+        return False
+
+
+class Telemetry:
+    """The instrument registry: one namespace of named instruments.
+
+    ``enabled=False`` (the default for the process-wide registry) makes
+    every accessor return :data:`NULL` — the zero-overhead-off path.
+    Instruments are created on first access and live for the registry's
+    lifetime; :meth:`snapshot` captures all of them as one plain dict,
+    :meth:`flush` emits that snapshot to the attached sinks.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._phases: Dict[str, PhaseTimer] = {}
+        self._sinks: List = []
+        self._seq = 0
+        self._born = time.perf_counter()
+        #: Rounds (or ticks) between resource samples; 0 = off.
+        self.sample_period = 0
+        #: Rounds (or ticks) between sink flushes; 0 = final flush only.
+        self.flush_interval = 0
+
+    # ------------------------------------------------------------------
+    # Instrument accessors
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str):
+        """The named counter (:data:`NULL` when disabled)."""
+        if not self.enabled:
+            return NULL
+        try:
+            return self._counters[name]
+        except KeyError:
+            return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str):
+        """The named gauge (:data:`NULL` when disabled)."""
+        if not self.enabled:
+            return NULL
+        try:
+            return self._gauges[name]
+        except KeyError:
+            return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str, bounds: Sequence[float] = DURATION_BUCKETS_S):
+        """The named histogram (:data:`NULL` when disabled).
+
+        ``bounds`` applies on first access; later accesses return the
+        existing histogram and raise if they request different bounds
+        (silent bucket drift would make merges meaningless).
+        """
+        if not self.enabled:
+            return NULL
+        existing = self._histograms.get(name)
+        if existing is not None:
+            if tuple(float(b) for b in bounds) != existing.bounds:
+                raise ValueError(
+                    f"histogram {name!r} already exists with bounds "
+                    f"{existing.bounds}; cannot re-declare with {tuple(bounds)}"
+                )
+            return existing
+        return self._histograms.setdefault(name, Histogram(name, bounds))
+
+    def phase(self, name: str):
+        """The named phase timer (:data:`NULL` when disabled)."""
+        if not self.enabled:
+            return NULL
+        try:
+            return self._phases[name]
+        except KeyError:
+            return self._phases.setdefault(name, PhaseTimer(name))
+
+    # ------------------------------------------------------------------
+    # Sinks and snapshots
+    # ------------------------------------------------------------------
+
+    def add_sink(self, sink) -> None:
+        """Attach a sink; :meth:`flush` emits snapshots to it."""
+        self._sinks.append(sink)
+
+    @property
+    def sinks(self) -> List:
+        """The attached sinks (read-only view)."""
+        return list(self._sinks)
+
+    def snapshot(self) -> Dict:
+        """All instruments as one JSON-plain dict (see the module doc).
+
+        Disabled registries snapshot to empty sections — nothing was
+        collected, and sinks attached to a disabled registry receive
+        nothing (``flush`` is a no-op).
+        """
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "seq": self._seq,
+            "elapsed_s": time.perf_counter() - self._born,
+            "counters": {
+                name: c.value for name, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: g.value for name, g in sorted(self._gauges.items())
+            },
+            "phases": {
+                name: {
+                    "count": p.count,
+                    "total_s": p.total_s,
+                    "min_s": p.min_s if p.count else 0.0,
+                    "max_s": p.max_s if p.count else 0.0,
+                }
+                for name, p in sorted(self._phases.items())
+            },
+            "histograms": {
+                name: {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                    "min": h.min if h.count else 0.0,
+                    "max": h.max if h.count else 0.0,
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def flush(self) -> Optional[Dict]:
+        """Emit one snapshot to every sink; returns it (None when off)."""
+        if not self.enabled:
+            return None
+        snap = self.snapshot()
+        self._seq += 1
+        for sink in self._sinks:
+            sink.emit(snap)
+        return snap
+
+    def close(self) -> None:
+        """Flush a final snapshot and close every sink."""
+        if self.enabled and self._sinks:
+            self.flush()
+        for sink in self._sinks:
+            sink.close()
+        self._sinks.clear()
+
+    def reset(self) -> None:
+        """Drop all instruments and restart the sequence counter.
+
+        Existing instrument *references* held by already-constructed
+        systems keep accumulating into orphaned objects; reset between
+        runs only when the instrumented systems are rebuilt too.
+        """
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self._phases.clear()
+        self._seq = 0
+        self._born = time.perf_counter()
+
+    def pump(self):
+        """A per-run :class:`Pump` driving sampling and periodic flushes.
+
+        :data:`NULL` when disabled, so round loops call
+        ``pump.maybe(round_index)`` unconditionally.
+        """
+        if not self.enabled:
+            return NULL
+        return Pump(self)
+
+
+class Pump:
+    """Drives periodic resource sampling and sink flushing from a loop.
+
+    The instrumented round loops call :meth:`maybe` once per round with
+    their round index; the pump samples process gauges every
+    ``sample_period`` ticks and flushes the registry's sinks every
+    ``flush_interval`` ticks (0 disables either).
+    """
+
+    __slots__ = ("_tel",)
+
+    def __init__(self, telemetry: Telemetry) -> None:
+        self._tel = telemetry
+
+    def maybe(self, tick: int) -> None:
+        """Run any sampling/flushing due at ``tick`` (1-based)."""
+        tel = self._tel
+        if tel.sample_period and tick % tel.sample_period == 0:
+            sample_process(tel)
+        if tel.flush_interval and tick % tel.flush_interval == 0:
+            tel.flush()
+
+
+def sample_process(telemetry: Telemetry) -> None:
+    """Record process-level gauges: RSS, peak RSS, GC activity.
+
+    Current RSS comes from ``/proc/self/statm`` where available (Linux);
+    peak RSS from ``resource.getrusage`` everywhere.  GC is summarized
+    as total collections and collected objects across generations.
+    """
+    import gc
+
+    try:
+        import resource
+
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        import sys as _sys
+
+        if _sys.platform == "darwin":  # bytes on macOS, KiB on Linux
+            peak_mib = peak / (1024 * 1024)
+        else:
+            peak_mib = peak / 1024
+        telemetry.gauge("proc.peak_rss_mib").set(peak_mib)
+    except ImportError:  # pragma: no cover - non-POSIX
+        pass
+    try:
+        with open("/proc/self/statm", "r", encoding="ascii") as fh:
+            pages = int(fh.read().split()[1])
+        import os
+
+        telemetry.gauge("proc.rss_mib").set(
+            pages * os.sysconf("SC_PAGE_SIZE") / (1024 * 1024)
+        )
+    except (OSError, ValueError, IndexError):  # pragma: no cover - non-Linux
+        pass
+    stats = gc.get_stats()
+    telemetry.gauge("gc.collections").set(
+        float(sum(s.get("collections", 0) for s in stats))
+    )
+    telemetry.gauge("gc.collected").set(
+        float(sum(s.get("collected", 0) for s in stats))
+    )
+
+
+# ----------------------------------------------------------------------
+# Snapshot merging (fleet-wide aggregation)
+# ----------------------------------------------------------------------
+
+
+def merge_snapshots(snapshots: Iterable[Dict]) -> Optional[Dict]:
+    """Merge worker snapshots into one fleet-wide view.
+
+    Counters and phase totals sum (work done anywhere is work done);
+    gauges take the max (the question a fleet gauge answers is "how high
+    did any worker get"); histograms of the same name merge bucket-wise
+    and must agree on bounds.  Returns ``None`` for an empty input, and
+    annotates the result with ``merged_from`` (the snapshot count).
+    """
+    snapshots = [s for s in snapshots if s]
+    if not snapshots:
+        return None
+    out: Dict = {
+        "schema": SNAPSHOT_SCHEMA,
+        "merged_from": len(snapshots),
+        "elapsed_s": max(float(s.get("elapsed_s", 0.0)) for s in snapshots),
+        "counters": {},
+        "gauges": {},
+        "phases": {},
+        "histograms": {},
+    }
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():
+            out["counters"][name] = out["counters"].get(name, 0) + value
+        for name, value in snap.get("gauges", {}).items():
+            prev = out["gauges"].get(name)
+            out["gauges"][name] = (
+                value if prev is None else max(prev, value)
+            )
+        for name, phase in snap.get("phases", {}).items():
+            agg = out["phases"].get(name)
+            if agg is None:
+                out["phases"][name] = dict(phase)
+                continue
+            if phase["count"]:
+                # A count-0 side reports min/max as 0.0 placeholders;
+                # never let those poison the merged extremes.
+                agg["min_s"] = (
+                    phase["min_s"] if not agg["count"]
+                    else min(agg["min_s"], phase["min_s"])
+                )
+                agg["max_s"] = (
+                    phase["max_s"] if not agg["count"]
+                    else max(agg["max_s"], phase["max_s"])
+                )
+            agg["count"] += phase["count"]
+            agg["total_s"] += phase["total_s"]
+        for name, hist in snap.get("histograms", {}).items():
+            agg = out["histograms"].get(name)
+            if agg is None:
+                out["histograms"][name] = {
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                    "min": hist["min"],
+                    "max": hist["max"],
+                }
+                continue
+            if agg["bounds"] != list(hist["bounds"]):
+                raise ValueError(
+                    f"cannot merge histogram {name!r}: bucket bounds differ "
+                    f"({agg['bounds']} vs {list(hist['bounds'])})"
+                )
+            agg["counts"] = [
+                a + b for a, b in zip(agg["counts"], hist["counts"])
+            ]
+            agg["sum"] += hist["sum"]
+            if hist["count"]:
+                agg["min"] = (
+                    hist["min"] if not agg["count"] else min(agg["min"], hist["min"])
+                )
+                agg["max"] = (
+                    hist["max"] if not agg["count"] else max(agg["max"], hist["max"])
+                )
+            agg["count"] += hist["count"]
+    return out
+
+
+def validate_snapshot(record: Dict) -> List[str]:
+    """Validate one snapshot record's shape; returns problem strings.
+
+    The contract the :class:`~repro.telemetry.sinks.JsonlSink` golden
+    test and the CI telemetry-guard both check: an empty return value
+    means the record is well-formed.
+    """
+    problems: List[str] = []
+    if not isinstance(record, dict):
+        return [f"record is not an object: {type(record).__name__}"]
+    if record.get("schema") != SNAPSHOT_SCHEMA:
+        problems.append(
+            f"schema must be {SNAPSHOT_SCHEMA}, got {record.get('schema')!r}"
+        )
+    for key, kind in (
+        ("counters", dict), ("gauges", dict),
+        ("phases", dict), ("histograms", dict),
+    ):
+        if not isinstance(record.get(key), kind):
+            problems.append(f"missing or non-object section {key!r}")
+    if not isinstance(record.get("seq", record.get("merged_from")), int):
+        problems.append("record carries neither an int 'seq' nor 'merged_from'")
+    if problems:
+        return problems
+    for name, value in record["counters"].items():
+        if not isinstance(value, (int, float)):
+            problems.append(f"counter {name!r} is not numeric: {value!r}")
+    for name, value in record["gauges"].items():
+        if not isinstance(value, (int, float)):
+            problems.append(f"gauge {name!r} is not numeric: {value!r}")
+    for name, phase in record["phases"].items():
+        if not isinstance(phase, dict) or not {
+            "count", "total_s", "min_s", "max_s"
+        } <= set(phase):
+            problems.append(f"phase {name!r} lacks count/total_s/min_s/max_s")
+    for name, hist in record["histograms"].items():
+        if not isinstance(hist, dict) or not {
+            "bounds", "counts", "sum", "count"
+        } <= set(hist):
+            problems.append(f"histogram {name!r} lacks bounds/counts/sum/count")
+            continue
+        if len(hist["counts"]) != len(hist["bounds"]) + 1:
+            problems.append(
+                f"histogram {name!r} counts must have len(bounds)+1 entries"
+            )
+        if hist["count"] != sum(hist["counts"]):
+            problems.append(
+                f"histogram {name!r} count {hist['count']} != bucket sum "
+                f"{sum(hist['counts'])}"
+            )
+    return problems
+
+
+# ----------------------------------------------------------------------
+# The process-wide active registry
+# ----------------------------------------------------------------------
+
+_active = Telemetry(enabled=False)
+
+
+def get_telemetry() -> Telemetry:
+    """The process-wide active registry (disabled by default)."""
+    return _active
+
+
+def set_telemetry(telemetry: Telemetry) -> Telemetry:
+    """Install ``telemetry`` as the active registry; returns the previous.
+
+    Install *before* constructing the systems to observe — instruments
+    are bound at construction time.
+    """
+    global _active
+    previous = _active
+    _active = telemetry
+    return previous

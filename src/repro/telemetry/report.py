@@ -1,0 +1,126 @@
+"""Human-readable rendering of telemetry snapshots.
+
+The phase table is the headline: per named phase, call count, total
+seconds, mean milliseconds per call, and — when the snapshot contains
+the round loop's ``round.total`` envelope phase — each in-round phase's
+share of the measured round and the *coverage* (how much of the round
+the named sub-phases explain together).  The profiling acceptance bar
+for the round loop is coverage >= 90%: anything less means a hot
+unnamed region is hiding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+#: The envelope phase the vectorized round loop wraps every round in.
+ROUND_TOTAL = "round.total"
+
+#: In-round phases share this prefix; everything under it except the
+#: envelope itself tiles the round body.
+ROUND_PREFIX = "round."
+
+
+def round_phase_shares(snapshot: Dict) -> Optional[Dict[str, float]]:
+    """Per-phase share of ``round.total`` (plus ``"coverage"``).
+
+    ``None`` when the snapshot has no round envelope (e.g. a scalar-
+    backend run, which is profiled through ``sim.dispatch`` instead).
+    """
+    phases = snapshot.get("phases", {})
+    total = phases.get(ROUND_TOTAL, {}).get("total_s", 0.0)
+    if not total:
+        return None
+    shares = {
+        name: p["total_s"] / total
+        for name, p in phases.items()
+        if name.startswith(ROUND_PREFIX) and name != ROUND_TOTAL
+    }
+    shares["coverage"] = sum(shares.values())
+    return shares
+
+
+def _format_rows(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)).rstrip()
+    ]
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+        )
+    return "\n".join(lines)
+
+
+def render_phase_table(snapshot: Dict) -> str:
+    """The phase breakdown as an aligned text table.
+
+    Ordered by total time descending, with the ``round.total`` envelope
+    pinned first when present; the share column is relative to it.
+    """
+    phases = snapshot.get("phases", {})
+    if not phases:
+        return "(no phases recorded)"
+    total = phases.get(ROUND_TOTAL, {}).get("total_s", 0.0)
+    names = sorted(
+        phases,
+        key=lambda n: (n != ROUND_TOTAL, -phases[n]["total_s"]),
+    )
+    rows = []
+    for name in names:
+        p = phases[name]
+        mean_ms = (p["total_s"] / p["count"] * 1e3) if p["count"] else 0.0
+        share = (
+            f"{p['total_s'] / total:7.1%}"
+            if total and name.startswith(ROUND_PREFIX)
+            else ""
+        )
+        rows.append(
+            [
+                name,
+                str(p["count"]),
+                f"{p['total_s']:.4f}",
+                f"{mean_ms:.4f}",
+                share,
+            ]
+        )
+    table = _format_rows(
+        ["phase", "count", "total_s", "ms/call", "share"], rows
+    )
+    shares = round_phase_shares(snapshot)
+    if shares is not None:
+        table += (
+            f"\ncoverage: named round phases explain "
+            f"{shares['coverage']:.1%} of round.total"
+        )
+    return table
+
+
+def render_snapshot(snapshot: Dict) -> str:
+    """Full snapshot summary: phases, counters, gauges, histograms."""
+    parts = ["telemetry summary", render_phase_table(snapshot)]
+    counters = snapshot.get("counters", {})
+    if counters:
+        parts.append("counters:")
+        parts.extend(
+            f"  {name:30s} {value:>14}" for name, value in sorted(counters.items())
+        )
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        parts.append("gauges:")
+        parts.extend(
+            f"  {name:30s} {value:>14.3f}" for name, value in sorted(gauges.items())
+        )
+    for name, hist in sorted(snapshot.get("histograms", {}).items()):
+        if not hist["count"]:
+            continue
+        mean = hist["sum"] / hist["count"]
+        parts.append(
+            f"histogram {name}: n={hist['count']} mean={mean:.6g} "
+            f"min={hist['min']:.6g} max={hist['max']:.6g}"
+        )
+    return "\n".join(parts)

@@ -6,6 +6,7 @@ in :mod:`repro.util.rng` make it easy to derive independent, reproducible
 streams for sub-components from a single experiment seed.
 """
 
+from repro.util.logconfig import configure_logging, get_logger
 from repro.util.rng import as_generator, spawn, spawn_many
 from repro.util.validation import (
     require_in_closed_unit_interval,
@@ -17,6 +18,8 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "configure_logging",
+    "get_logger",
     "as_generator",
     "spawn",
     "spawn_many",

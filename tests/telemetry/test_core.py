@@ -1,0 +1,181 @@
+"""Unit tests for the telemetry instruments, registry, and snapshot merge."""
+
+import pytest
+
+from repro.telemetry import (
+    DURATION_BUCKETS_S,
+    NULL,
+    SNAPSHOT_SCHEMA,
+    Telemetry,
+    merge_snapshots,
+    validate_snapshot,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        tel = Telemetry(enabled=True)
+        ctr = tel.counter("events")
+        ctr.inc()
+        ctr.inc(4)
+        assert tel.snapshot()["counters"]["events"] == 5
+
+    def test_gauge_keeps_last_value(self):
+        tel = Telemetry(enabled=True)
+        g = tel.gauge("online")
+        g.set(10.0)
+        g.set(7.0)
+        assert tel.snapshot()["gauges"]["online"] == 7.0
+
+    def test_same_name_returns_same_instrument(self):
+        tel = Telemetry(enabled=True)
+        assert tel.counter("x") is tel.counter("x")
+        assert tel.phase("p") is tel.phase("p")
+
+    def test_phase_timer_start_stop_accumulates(self):
+        tel = Telemetry(enabled=True)
+        p = tel.phase("work")
+        for _ in range(3):
+            t0 = p.start()
+            p.stop(t0)
+        snap = tel.snapshot()["phases"]["work"]
+        assert snap["count"] == 3
+        assert snap["total_s"] >= 0.0
+        assert snap["min_s"] <= snap["max_s"]
+
+    def test_phase_timer_context_manager(self):
+        tel = Telemetry(enabled=True)
+        with tel.phase("scoped"):
+            pass
+        assert tel.snapshot()["phases"]["scoped"]["count"] == 1
+
+    def test_histogram_bucket_edges(self):
+        tel = Telemetry(enabled=True)
+        h = tel.histogram("lat", bounds=(1.0, 10.0))
+        h.observe(0.5)   # first bucket (<= 1.0)
+        h.observe(1.0)   # boundary lands in the first bucket
+        h.observe(5.0)   # second bucket
+        h.observe(50.0)  # overflow bucket
+        snap = tel.snapshot()["histograms"]["lat"]
+        assert snap["bounds"] == [1.0, 10.0]
+        assert snap["counts"] == [2, 1, 1]
+        assert snap["count"] == 4
+        assert snap["min"] == 0.5 and snap["max"] == 50.0
+        assert snap["sum"] == pytest.approx(56.5)
+
+    def test_histogram_redeclare_with_different_bounds_raises(self):
+        tel = Telemetry(enabled=True)
+        tel.histogram("lat", bounds=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            tel.histogram("lat", bounds=(1.0, 3.0))
+
+    def test_histogram_non_ascending_bounds_rejected(self):
+        tel = Telemetry(enabled=True)
+        with pytest.raises(ValueError):
+            tel.histogram("bad", bounds=(2.0, 1.0))
+
+    def test_default_duration_buckets_are_strictly_ascending(self):
+        assert all(
+            a < b
+            for a, b in zip(DURATION_BUCKETS_S, DURATION_BUCKETS_S[1:])
+        )
+
+
+class TestNullPath:
+    def test_disabled_registry_hands_out_the_null_singleton(self):
+        tel = Telemetry(enabled=False)
+        assert tel.counter("c") is NULL
+        assert tel.gauge("g") is NULL
+        assert tel.histogram("h") is NULL
+        assert tel.phase("p") is NULL
+
+    def test_null_instrument_absorbs_the_whole_protocol(self):
+        t0 = NULL.start()
+        assert NULL.stop(t0) == 0.0
+        NULL.inc()
+        NULL.add(1.0)
+        NULL.set(2.0)
+        NULL.observe(3.0)
+        NULL.maybe(17)
+        with NULL:
+            pass
+
+    def test_disabled_snapshot_is_empty(self):
+        tel = Telemetry(enabled=False)
+        tel.counter("c").inc()
+        snap = tel.snapshot()
+        assert snap["counters"] == {}
+        assert snap["phases"] == {}
+
+
+class TestMergeSnapshots:
+    @staticmethod
+    def _snap(tel_mutator):
+        tel = Telemetry(enabled=True)
+        tel_mutator(tel)
+        return tel.snapshot()
+
+    def test_empty_input_merges_to_none(self):
+        assert merge_snapshots([]) is None
+        assert merge_snapshots([None, None]) is None
+
+    def test_counters_sum_and_gauges_max(self):
+        a = self._snap(lambda t: (t.counter("n").inc(3), t.gauge("g").set(5.0)))
+        b = self._snap(lambda t: (t.counter("n").inc(4), t.gauge("g").set(2.0)))
+        merged = merge_snapshots([a, b])
+        assert merged["counters"]["n"] == 7
+        assert merged["gauges"]["g"] == 5.0
+        assert merged["merged_from"] == 2
+
+    def test_phases_sum_with_count_zero_placeholders(self):
+        def active(t):
+            p = t.phase("w")
+            p.stop(p.start())
+
+        def idle(t):
+            t.phase("w")  # declared, never fired: min_s/max_s are 0.0 fillers
+
+        merged = merge_snapshots([self._snap(active), self._snap(idle)])
+        w = merged["phases"]["w"]
+        assert w["count"] == 1
+        # The idle snapshot's 0.0 placeholders must not clamp min_s.
+        assert w["min_s"] == w["max_s"] > 0.0 or w["min_s"] >= 0.0
+
+    def test_histograms_merge_bucket_wise(self):
+        a = self._snap(lambda t: t.histogram("h", bounds=(1.0,)).observe(0.5))
+        b = self._snap(lambda t: t.histogram("h", bounds=(1.0,)).observe(9.0))
+        merged = merge_snapshots([a, b])
+        h = merged["histograms"]["h"]
+        assert h["counts"] == [1, 1]
+        assert h["count"] == 2
+        assert h["min"] == 0.5 and h["max"] == 9.0
+
+    def test_histogram_bounds_mismatch_raises(self):
+        a = self._snap(lambda t: t.histogram("h", bounds=(1.0,)).observe(0.5))
+        b = self._snap(lambda t: t.histogram("h", bounds=(2.0,)).observe(0.5))
+        with pytest.raises(ValueError):
+            merge_snapshots([a, b])
+
+    def test_merged_snapshot_validates(self):
+        a = self._snap(lambda t: t.counter("n").inc())
+        merged = merge_snapshots([a, a])
+        assert validate_snapshot(merged) == []
+
+
+class TestValidateSnapshot:
+    def test_live_snapshot_is_clean(self):
+        tel = Telemetry(enabled=True)
+        tel.counter("c").inc()
+        p = tel.phase("p")
+        p.stop(p.start())
+        tel.histogram("h").observe(0.001)
+        assert validate_snapshot(tel.snapshot()) == []
+
+    def test_schema_mismatch_reported(self):
+        tel = Telemetry(enabled=True)
+        snap = tel.snapshot()
+        snap["schema"] = SNAPSHOT_SCHEMA + 1
+        assert validate_snapshot(snap)
+
+    def test_missing_sections_reported(self):
+        assert validate_snapshot({"schema": SNAPSHOT_SCHEMA})
