@@ -1,0 +1,170 @@
+"""Spec-driven fault injection for sweep execution.
+
+The chaos harness the fault-tolerance tests (and the CI ``chaos-guard``
+lane) drive: a :class:`ChaosPlan` wraps a cell function so that chosen
+cells crash the worker process outright, hang forever, start slow, or
+land in a store whose payload then rots on disk.  Faults are *one-shot
+by default and coordinated across processes* through marker files in a
+plan directory — claiming a marker is an atomic ``open(..., "x")``, so
+exactly one worker attempt injects each fault no matter how many
+processes race, and the retried attempt runs clean.  That is precisely
+the shape of real infrastructure faults the supervisor is built for:
+the fault happens, the retry succeeds, and the retried cell must be
+bit-identical to a never-faulted run.
+
+The wrapped cell function stays picklable (a :func:`functools.partial`
+over a module-level function), so plans work across ``fork`` and
+``spawn`` start methods alike.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+import time
+from typing import Any, Dict, Mapping, Optional
+
+#: Injectable fault modes.
+CHAOS_MODES = ("crash", "hang", "slow_start")
+
+
+def _claim(coord_dir: str, token: str, times: int) -> bool:
+    """Atomically claim one of ``times`` injection slots for ``token``.
+
+    Returns True when this caller won a slot (and must inject); False
+    once all slots are spent — the cross-process "inject only N times"
+    primitive, safe under arbitrary worker races and retries.
+    """
+    for slot in range(times):
+        path = os.path.join(coord_dir, f"{token}.{slot}")
+        try:
+            with open(path, "x"):
+                return True
+        except FileExistsError:
+            continue
+        except OSError:
+            return False
+    return False
+
+
+def _claim_sequence(coord_dir: str) -> int:
+    """Claim the next global execution slot; returns this caller's rank."""
+    rank = 0
+    while True:
+        path = os.path.join(coord_dir, f"seq.{rank}")
+        try:
+            with open(path, "x"):
+                return rank
+        except FileExistsError:
+            rank += 1
+        except OSError:
+            return -1
+
+
+def _chaos_cell(
+    inner_fn,
+    coord_dir: str,
+    faults: Dict[str, Dict[str, Any]],
+    key_param: str,
+    crash_after: Optional[int],
+    params: Mapping[str, Any],
+    seed: int,
+):
+    """The wrapped cell: maybe inject a fault, then run the real cell."""
+    if crash_after is not None:
+        if _claim_sequence(coord_dir) == crash_after:
+            os._exit(113)
+    fault = faults.get(str(params.get(key_param)))
+    if fault is not None:
+        mode = fault["mode"]
+        times = int(fault.get("times", 1))
+        token = f"{key_param}-{params.get(key_param)}-{mode}"
+        if _claim(coord_dir, token, times):
+            if mode == "crash":
+                os._exit(113)
+            elif mode == "hang":
+                time.sleep(float(fault.get("seconds", 3600.0)))
+            elif mode == "slow_start":
+                time.sleep(float(fault.get("seconds", 1.0)))
+    return inner_fn(params, seed)
+
+
+class ChaosPlan:
+    """A declarative set of faults to inject into one sweep.
+
+    ``coord_dir`` must be a directory shared by all worker processes
+    (tests use a tmp dir); it holds the one-shot claim markers, so a
+    fresh directory means a fresh plan.  Faults target cells by the
+    value of ``key_param`` in their parameter overrides (default
+    ``"replication"``, the knob replication sweeps always carry), or
+    positionally via :meth:`crash_after`.
+    """
+
+    def __init__(self, coord_dir: str, key_param: str = "replication") -> None:
+        os.makedirs(coord_dir, exist_ok=True)
+        self.coord_dir = str(coord_dir)
+        self.key_param = key_param
+        self._faults: Dict[str, Dict[str, Any]] = {}
+        self._crash_after: Optional[int] = None
+
+    def crash_cell(self, key, times: int = 1) -> "ChaosPlan":
+        """Kill the worker (hard ``os._exit``) running the keyed cell."""
+        self._faults[str(key)] = {"mode": "crash", "times": times}
+        return self
+
+    def hang_cell(self, key, seconds: float = 3600.0, times: int = 1) -> "ChaosPlan":
+        """Freeze the keyed cell mid-run (caught by timeout/heartbeat)."""
+        self._faults[str(key)] = {
+            "mode": "hang", "seconds": seconds, "times": times,
+        }
+        return self
+
+    def slow_cell(self, key, seconds: float, times: int = 1) -> "ChaosPlan":
+        """Delay the keyed cell's start (exercises timeout tuning)."""
+        self._faults[str(key)] = {
+            "mode": "slow_start", "seconds": seconds, "times": times,
+        }
+        return self
+
+    def crash_after(self, executions: int) -> "ChaosPlan":
+        """Kill whichever worker claims the ``executions``-th cell run.
+
+        Counts every cell execution across all workers and attempts (a
+        global sequence claimed through marker files), so "crash after
+        k cells" does not depend on scheduling order.
+        """
+        self._crash_after = int(executions)
+        return self
+
+    def wrap(self, cell_fn):
+        """Wrap ``cell_fn`` with this plan; the result stays picklable."""
+        return functools.partial(
+            _chaos_cell,
+            cell_fn,
+            self.coord_dir,
+            dict(self._faults),
+            self.key_param,
+            self._crash_after,
+        )
+
+
+def corrupt_array_payload(store_root, which: int = 0) -> Optional[str]:
+    """Flip a byte in a committed store entry's array payload.
+
+    The bit-rot half of the chaos harness: returns the path corrupted
+    (or ``None`` when the store holds no array payloads), after which
+    ``ResultsStore.get``/``verify`` must detect the checksum mismatch
+    and quarantine the entry rather than serve the rotten data.
+    """
+    from repro.store.results import iter_array_payloads
+
+    payloads = list(iter_array_payloads(store_root))
+    if not payloads:
+        return None
+    path = payloads[which % len(payloads)]
+    with open(path, "r+b") as fh:
+        fh.seek(-1, os.SEEK_END)
+        last = fh.read(1)
+        fh.seek(-1, os.SEEK_END)
+        fh.write(bytes([last[0] ^ 0xFF]))
+    return str(path)

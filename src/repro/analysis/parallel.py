@@ -17,10 +17,11 @@ this runner.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import tempfile
-from typing import TYPE_CHECKING, Callable, List, Mapping, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -247,6 +248,50 @@ def resolve_shared_array(obj) -> np.ndarray:
     return np.asarray(obj)
 
 
+#: Handles this process has disowned but not yet handed to a consumer.
+#: A disowned handle has no owner anywhere until the receiving process
+#: materializes it — if this process dies in that window, nobody would
+#: ever unlink the backing.  The atexit reaper below reclaims whatever
+#: is still registered here when the process exits.
+_UNDELIVERED: Dict[int, "SharedArrayHandle"] = {}
+
+
+def _reap_undelivered() -> int:
+    """Reclaim disowned-but-undelivered shared backings; count reaped.
+
+    Registered with :mod:`atexit` so a worker that errors out (or is
+    torn down) between placing its result arrays and delivering them
+    does not orphan shared-memory segments until reboot.  Safe to call
+    any time: delivered handles are deregistered first, so this only
+    ever touches storage no other process will read.
+    """
+    reaped = 0
+    while _UNDELIVERED:
+        _, handle = _UNDELIVERED.popitem()
+        try:
+            handle.adopt()
+            handle.cleanup()
+            reaped += 1
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+    return reaped
+
+
+atexit.register(_reap_undelivered)
+
+
+def _mark_results_delivered(metrics) -> None:
+    """Deregister ``metrics``' handles from the undelivered-reaper set.
+
+    Called once the result payload has left this process (pool return /
+    queue put): from that point the consumer owns materialization and
+    cleanup, and reaping here would destroy data in flight.
+    """
+    for value in metrics.values():
+        if isinstance(value, SharedArrayHandle):
+            _UNDELIVERED.pop(id(value), None)
+
+
 def _share_result_metrics(metrics, mode: str):
     """Worker side: move large array metrics into shared placements.
 
@@ -255,7 +300,9 @@ def _share_result_metrics(metrics, mode: str):
     replaced by its disowned handle, so the result payload pickles as
     metadata only.  If a placement fails partway (shm/disk exhaustion),
     the handles already created are released before re-raising — nothing
-    disowned is left without an owner.
+    disowned is left without an owner.  Successfully placed handles are
+    registered for the atexit reaper until
+    :func:`_mark_results_delivered` confirms the handoff.
     """
     shared = {}
     try:
@@ -266,12 +313,14 @@ def _share_result_metrics(metrics, mode: str):
             ):
                 handle = share_array(value, mode=mode)
                 handle.disown()
+                _UNDELIVERED[id(handle)] = handle
                 shared[name] = handle
             else:
                 shared[name] = value
     except BaseException:
         for value in shared.values():
             if isinstance(value, SharedArrayHandle):
+                _UNDELIVERED.pop(id(value), None)
                 value.adopt()
                 value.cleanup()
         raise
@@ -348,8 +397,33 @@ def _invoke(payload):
         # Sharing stays inside the containment: a placement failure must
         # come back as data too, or pool.map would raise and strand every
         # sibling cell's disowned segments unmaterialized.
-        return _share_result_metrics(fn(params, seed), result_mode)
+        shared = _share_result_metrics(fn(params, seed), result_mode)
     except Exception:
+        return _CellFailure(traceback.format_exc(), index, params)
+    # Returning into the pool machinery is the handoff: the parent
+    # materializes from here on, so the worker's atexit reaper (which
+    # fires when the pool tears down, possibly before the parent reads)
+    # must no longer consider these segments undelivered.
+    _mark_results_delivered(shared)
+    return shared
+
+
+def _invoke_contained(payload):
+    """:func:`_invoke` with pool-equivalent error containment.
+
+    Inline (1-worker) runs skip the sharing wrapper, so ``_invoke``
+    raises instead of returning a :class:`_CellFailure`.  Containing the
+    exception here keeps the failure contract identical across worker
+    counts: every cell runs, and the caller gets one
+    :class:`~repro.analysis.supervision.SweepError` naming the first
+    failed cell.
+    """
+    import traceback
+
+    try:
+        return _invoke(payload)
+    except Exception:
+        _, params, _, _, index = payload
         return _CellFailure(traceback.format_exc(), index, params)
 
 
@@ -403,13 +477,46 @@ class ParallelRunner:
         cell_fn: CellFunction,
         parameter_sets: Sequence[Mapping[str, object]],
         rng: Seedish = None,
-    ) -> List[SweepCell]:
+        *,
+        execution=None,
+        store=None,
+        spec_digest: Optional[str] = None,
+        failures_out: Optional[list] = None,
+    ) -> List[Optional[SweepCell]]:
         """Evaluate ``cell_fn`` on every parameter set; order preserved.
 
         Seeds are derived from ``rng`` in submission order, so results are
-        independent of the worker count.
+        independent of the worker count — and of retries: a cell's seed
+        is fixed before any dispatch, so recomputing it (after a worker
+        crash, or on resume from a store) is bit-identical.
+
+        With an ``execution`` policy (an :class:`~repro.spec.ExecutionSpec`)
+        that enables supervision, or with a ``store`` attached, cells run
+        under :class:`~repro.analysis.supervision.Supervisor` — one
+        process per cell, retries with backoff, and per-cell store
+        commits.  ``store`` (a :class:`~repro.store.ResultsStore`) is
+        consulted *before* dispatch: cached cells never reach a worker.
+        Under ``on_failure="record"`` a cell that fails beyond recovery
+        yields ``None`` in the returned list and its
+        :class:`~repro.analysis.supervision.SweepFailure` is appended to
+        ``failures_out`` (when given); under the default ``"raise"`` a
+        :class:`~repro.analysis.supervision.SweepError` is raised after
+        every other cell has been materialized.
         """
         parent = as_generator(rng)
+        # Seeds are drawn for every cell up front, cache hits included —
+        # consulting the store must not shift the RNG stream of the
+        # cells that still need computing.
+        seeds = [derive_seed(parent) for _ in parameter_sets]
+        if execution is None:
+            from repro.spec.model import ExecutionSpec
+
+            execution = ExecutionSpec()
+        if store is not None or execution.supervised:
+            return self._map_cells_supervised(
+                cell_fn, parameter_sets, seeds, execution,
+                store, spec_digest, failures_out,
+            )
         pooled = self._workers > 1 and len(parameter_sets) > 1
         result_mode = (
             self._result_handoff
@@ -417,7 +524,7 @@ class ParallelRunner:
             else None
         )
         payloads = [
-            (cell_fn, dict(params), derive_seed(parent), result_mode, i)
+            (cell_fn, dict(params), seeds[i], result_mode, i)
             for i, params in enumerate(parameter_sets)
         ]
         logger.debug(
@@ -425,7 +532,7 @@ class ParallelRunner:
             len(payloads), self._workers, self._result_handoff,
         )
         if not pooled:
-            results = [_invoke(p) for p in payloads]
+            results = [_invoke_contained(p) for p in payloads]
         else:
             ctx = multiprocessing.get_context(self._mp_context)
             with ctx.Pool(min(self._workers, len(payloads))) as pool:
@@ -454,28 +561,156 @@ class ParallelRunner:
                 SweepCell(parameters=dict(params), metrics=materialized)
             )
         if failure is not None:
+            from repro.analysis.supervision import SweepError, SweepFailure
+
             logger.error("%s", failure.describe())
-            raise RuntimeError(
-                failure.describe() + ":\n" + failure.formatted_traceback
+            raise SweepError(
+                SweepFailure(
+                    cell_index=(
+                        failure.cell_index
+                        if failure.cell_index is not None
+                        else -1
+                    ),
+                    params=dict(failure.params or {}),
+                    spec_digest=spec_digest,
+                    traceback=failure.formatted_traceback,
+                )
             )
         return cells
+
+    def _map_cells_supervised(
+        self,
+        cell_fn: CellFunction,
+        parameter_sets: Sequence[Mapping[str, object]],
+        seeds: Sequence[int],
+        execution,
+        store,
+        spec_digest: Optional[str],
+        failures_out: Optional[list],
+    ) -> List[Optional[SweepCell]]:
+        """Supervised/durable fan-out behind :meth:`map_cells`."""
+        from repro.analysis.supervision import Supervisor, SweepError
+        from repro.telemetry import get_telemetry
+
+        tel = get_telemetry()
+        payloads = [
+            (cell_fn, dict(params), seeds[i], i)
+            for i, params in enumerate(parameter_sets)
+        ]
+        results: Dict[int, Mapping[str, object]] = {}
+        if store is not None:
+            from repro.store import cell_digest
+
+            hits = tel.counter("sweep.cache_hits")
+            for _, params, seed, index in payloads:
+                cached = store.get(spec_digest, cell_digest(params, seed))
+                if cached is not None:
+                    results[index] = cached
+                    hits.inc()
+            if results:
+                logger.info(
+                    "results store: %d/%d cell(s) cached for spec %s",
+                    len(results), len(payloads), spec_digest,
+                )
+        to_run = [p for p in payloads if p[3] not in results]
+        failures = {}
+        if to_run:
+            result_mode = (
+                self._result_handoff
+                if self._result_handoff != "inline"
+                else None
+            )
+            if self._workers == 1 and not execution.supervised:
+                # Store-only single-worker runs stay inline (no process
+                # per cell) but still commit after every cell.
+                self._run_inline_with_store(
+                    to_run, results, store, spec_digest, tel
+                )
+            else:
+                supervisor = Supervisor(
+                    workers=min(self._workers, len(to_run)),
+                    execution=execution,
+                    mp_context=self._mp_context,
+                    store=store,
+                    spec_digest=spec_digest,
+                    post_share_hook=getattr(self, "_post_share_hook", None),
+                )
+                run_results, failures = supervisor.run(
+                    to_run, result_mode, execution.heartbeat_interval
+                )
+                results.update(run_results)
+        cells: List[Optional[SweepCell]] = []
+        ordered_failures = []
+        for _, params, _, index in payloads:
+            if index in results:
+                cells.append(
+                    SweepCell(parameters=dict(params), metrics=results[index])
+                )
+            else:
+                cells.append(None)
+                if index in failures:
+                    ordered_failures.append(failures[index])
+        if ordered_failures:
+            if execution.on_failure == "raise":
+                raise SweepError(ordered_failures[0])
+            if failures_out is not None:
+                failures_out.extend(ordered_failures)
+        return cells
+
+    def _run_inline_with_store(
+        self, payloads, results, store, spec_digest, tel
+    ) -> None:
+        from repro.store import cell_digest
+
+        commits = tel.counter("sweep.store_commits")
+        for fn, params, seed, index in payloads:
+            metrics = dict(fn(params, seed))
+            results[index] = metrics
+            if store is None:
+                continue
+            try:
+                if store.put(
+                    spec_digest, cell_digest(params, seed), metrics,
+                    params=params, seed=seed,
+                ):
+                    commits.inc()
+            except Exception as exc:
+                logger.warning(
+                    "store commit failed for cell %d: %s", index, exc
+                )
 
     def run_sweep(
         self,
         sweep: "SweepSpec",
         cell_fn: CellFunction,
         rng: Seedish = None,
+        *,
+        execution=None,
+        store=None,
+        spec_digest: Optional[str] = None,
     ) -> SweepResult:
         """Evaluate a :class:`~repro.spec.model.SweepSpec`'s cells.
 
         Expands the sweep's grid × replications in declaration order and
         maps ``cell_fn`` over the override sets; the spec layer's
         ``ExperimentSpec.sweep`` and the grid/replication helpers below
-        all route through here.
+        all route through here.  ``execution``/``store``/``spec_digest``
+        select fault-tolerant execution (see :meth:`map_cells`); cells
+        that fail beyond recovery under ``on_failure="record"`` surface
+        on :attr:`SweepResult.failures` with ``None`` holes in the cell
+        list.
         """
-        return SweepResult(
-            cells=self.map_cells(cell_fn, sweep.parameter_sets(), rng=rng)
+        failures: list = []
+        cells = self.map_cells(
+            cell_fn,
+            sweep.parameter_sets(),
+            rng=rng,
+            execution=execution,
+            store=store,
+            spec_digest=spec_digest,
+            failures_out=failures,
         )
+        return SweepResult(cells=cells, failures=failures)
 
     def run_grid(
         self,

@@ -52,9 +52,29 @@ class SweepCell:
 
 @dataclass
 class SweepResult:
-    """All cells of a sweep plus rendering helpers."""
+    """All cells of a sweep plus rendering helpers.
 
-    cells: List[SweepCell] = field(default_factory=list)
+    Under fault-tolerant execution with ``on_failure="record"``
+    (:class:`~repro.spec.ExecutionSpec`), cells that failed beyond
+    recovery appear as ``None`` holes in :attr:`cells` at their grid
+    position, and their structured
+    :class:`~repro.analysis.supervision.SweepFailure` records land in
+    :attr:`failures`.  The helpers below treat holes explicitly:
+    :meth:`to_table` renders ``FAILED`` rows, :meth:`column` yields NaN,
+    :meth:`best` and :meth:`merged_telemetry` skip them.
+    """
+
+    cells: List[Optional[SweepCell]] = field(default_factory=list)
+    failures: List[object] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when every cell completed (no failure holes)."""
+        return not self.failures and all(c is not None for c in self.cells)
+
+    def completed_cells(self) -> List[SweepCell]:
+        """The cells that produced results, grid order preserved."""
+        return [cell for cell in self.cells if cell is not None]
 
     def to_table(self) -> str:
         """Aligned text table: one row per cell.
@@ -62,21 +82,37 @@ class SweepResult:
         Only scalar-valued metrics become columns; structured payloads
         riding in the metrics dict (array metrics, the per-worker
         ``telemetry`` snapshot) are skipped here and read through
-        :meth:`column` / :meth:`merged_telemetry` instead.
+        :meth:`column` / :meth:`merged_telemetry` instead.  Failed cells
+        render as a row of ``FAILED`` markers so holes are visible in
+        place, not silently dropped.
         """
-        if not self.cells:
+        completed = self.completed_cells()
+        if not completed:
             raise ValueError("sweep produced no cells")
-        param_names = list(self.cells[0].parameters)
+        param_names = list(completed[0].parameters)
         metric_names = [
             name
-            for name, value in self.cells[0].metrics.items()
+            for name, value in completed[0].metrics.items()
             if isinstance(value, (int, float, np.number))
         ]
-        rows = [
-            [cell.parameters[p] for p in param_names]
-            + [float(cell.metrics[m]) for m in metric_names]
-            for cell in self.cells
-        ]
+        failed_params = {
+            failure.cell_index: getattr(failure, "params", {})
+            for failure in self.failures
+            if hasattr(failure, "cell_index")
+        }
+        rows = []
+        for index, cell in enumerate(self.cells):
+            if cell is None:
+                params = failed_params.get(index, {})
+                rows.append(
+                    [params.get(p, "?") for p in param_names]
+                    + ["FAILED" for _ in metric_names]
+                )
+            else:
+                rows.append(
+                    [cell.parameters[p] for p in param_names]
+                    + [float(cell.metrics[m]) for m in metric_names]
+                )
         return render_table(param_names + metric_names, rows)
 
     def merged_telemetry(self) -> Optional[Dict]:
@@ -91,19 +127,27 @@ class SweepResult:
         from repro.telemetry import merge_snapshots
 
         return merge_snapshots(
-            cell.metrics.get("telemetry") for cell in self.cells
+            cell.metrics.get("telemetry")
+            for cell in self.cells
+            if cell is not None
         )
 
     def best(self, metric: str, maximize: bool = True) -> SweepCell:
-        """The cell optimizing ``metric``."""
-        if not self.cells:
+        """The cell optimizing ``metric`` (failure holes excluded)."""
+        completed = self.completed_cells()
+        if not completed:
             raise ValueError("sweep produced no cells")
         key = lambda cell: cell.metrics[metric]  # noqa: E731
-        return max(self.cells, key=key) if maximize else min(self.cells, key=key)
+        return max(completed, key=key) if maximize else min(completed, key=key)
 
     def column(self, name: str) -> np.ndarray:
-        """Metric values across cells, in grid order."""
-        return np.array([cell.metrics[name] for cell in self.cells])
+        """Metric values across cells, in grid order (NaN for failed cells)."""
+        return np.array(
+            [
+                float("nan") if cell is None else cell.metrics[name]
+                for cell in self.cells
+            ]
+        )
 
 
 def _learner_cell(

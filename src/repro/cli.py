@@ -8,6 +8,9 @@ Usage::
     python -m repro run --backend=vectorized --peers 100000 --workers 4
     python -m repro run --spec examples/smoke.json
     python -m repro run --peers 500 --churn-rate 2 --mean-lifetime 50 --dump-spec
+    python -m repro run --spec sweep.json --workers 8 --store results/ --max-retries 2
+    python -m repro sweep --spec sweep.json --workers 8 --store results/ --resume
+    python -m repro store ls results/
     python -m repro list
 
 ``figure`` regenerates one (or all) of the paper's figures and prints the
@@ -91,6 +94,10 @@ RUN_FLAG_SPEC_PATHS = {
     "engine": "learner.engine",
     "churn_rate": "churn.arrival_rate",
     "mean_lifetime": "churn.mean_lifetime",
+    "max_retries": "execution.max_retries",
+    "cell_timeout": "execution.cell_timeout",
+    "heartbeat_interval": "execution.heartbeat_interval",
+    "on_failure": "execution.on_failure",
 }
 
 #: The flags above are registered with ``argparse.SUPPRESS`` defaults, so
@@ -166,6 +173,49 @@ def build_parser() -> argparse.ArgumentParser:
     runp.add_argument(
         "--workers", type=int, default=1,
         help="worker processes for the replications",
+    )
+    _add_store_flags(runp)
+
+    swp = sub.add_parser(
+        "sweep",
+        help="fan a spec's sweep grid across workers and print the "
+        "per-cell metric table",
+    )
+    _add_spec_flags(swp)
+    swp.add_argument(
+        "--replications", type=int, default=argparse.SUPPRESS,
+        help="override the spec's replication count",
+    )
+    swp.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep cells",
+    )
+    _add_store_flags(swp)
+
+    storep = sub.add_parser(
+        "store",
+        help="inspect or maintain a content-addressed results store",
+    )
+    storep.add_argument(
+        "op", choices=["ls", "verify", "gc"],
+        help="ls: list committed entries; verify: full checksum sweep "
+        "(corrupt entries are quarantined); gc: reclaim torn commits, "
+        "quarantine, and (with --keep-spec) stale spec generations",
+    )
+    storep.add_argument("dir", metavar="DIR", help="store directory")
+    storep.add_argument(
+        "--keep-spec",
+        action="append",
+        default=None,
+        metavar="DIGEST",
+        help="gc only: keep entries of this spec digest (repeatable); "
+        "all other spec generations are removed",
+    )
+    storep.add_argument(
+        "--no-quarantine",
+        action="store_true",
+        help="verify only: report corrupt entries without moving them "
+        "aside",
     )
 
     prof = sub.add_parser(
@@ -282,6 +332,47 @@ def _add_spec_flags(runp: argparse.ArgumentParser) -> None:
         help="mean exponential peer lifetime (requires churn arrivals)",
     )
     runp.add_argument("--seed", type=int, default=unset)
+    runp.add_argument(
+        "--max-retries", type=int, default=unset,
+        help="re-dispatch a sweep cell up to this many times after a "
+        "worker crash, timeout, or hang (retried cells are bit-identical "
+        "to first-try; default 0)",
+    )
+    runp.add_argument(
+        "--cell-timeout", type=float, default=unset,
+        help="wall-clock budget in seconds per sweep-cell attempt "
+        "(default: unlimited)",
+    )
+    runp.add_argument(
+        "--heartbeat-interval", type=float, default=unset,
+        help="worker heartbeat period in seconds; a worker silent for "
+        "~4 intervals is presumed frozen and its cell retried "
+        "(default 0 = off)",
+    )
+    runp.add_argument(
+        "--on-failure", choices=["raise", "record"], default=unset,
+        help="when a cell fails beyond its retries: abort the sweep "
+        "('raise', the default) or complete around the hole and report "
+        "the failure ('record')",
+    )
+
+
+def _add_store_flags(runp: argparse.ArgumentParser) -> None:
+    """Register the results-store flags (``run`` and ``sweep``)."""
+    runp.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="commit every completed cell to a content-addressed results "
+        "store at DIR (created if missing); committed cells are cache "
+        "hits on later runs, so interrupted sweeps resume for free",
+    )
+    runp.add_argument(
+        "--resume",
+        action="store_true",
+        help="require --store DIR to already exist from a previous run "
+        "(guards resume jobs against a mistyped fresh path)",
+    )
 
 
 def compile_run_spec(
@@ -326,6 +417,27 @@ def compile_run_spec(
     return spec
 
 
+def _open_store(parser, args):
+    """Build the ``ResultsStore`` requested by ``--store``/``--resume``."""
+    import os
+
+    from repro.store import ResultsStore, StoreError
+
+    if args.store is None:
+        if args.resume:
+            parser.error("--resume requires --store DIR")
+        return None
+    if args.resume and not os.path.isdir(args.store):
+        parser.error(
+            f"--resume: store {args.store!r} does not exist; drop --resume "
+            "to start a fresh store there"
+        )
+    try:
+        return ResultsStore(args.store)
+    except StoreError as exc:
+        parser.error(str(exc))
+
+
 def _run_system(parser, args, out) -> None:
     from repro.analysis.sweeps import SweepCell
     from repro.spec import run_spec_cell
@@ -334,6 +446,7 @@ def _run_system(parser, args, out) -> None:
         parser.error("--replications must be >= 1")
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    store = _open_store(parser, args)
     spec = compile_run_spec(parser, args)
     if hasattr(args, "telemetry"):
         sinks = [] if args.telemetry is None else [args.telemetry]
@@ -355,7 +468,7 @@ def _run_system(parser, args, out) -> None:
             replications=args.replications,
         )
     replications = sweep.replications if sweep is not None else 1
-    if sweep is None:
+    if sweep is None and store is None:
         # No sweep, one replication: the run IS the spec — execute it
         # with the spec's own seed so `repro run --spec x.json`
         # reproduces `spec.run()` (and the golden expectations) exactly.
@@ -366,8 +479,15 @@ def _run_system(parser, args, out) -> None:
             )
         ]
     else:
+        # A store routes even single runs through the runner: that is
+        # where commit-on-complete and cache-consult live.
         runner = ParallelRunner(workers=args.workers)
-        cells = spec.sweep(runner=runner, sweep=sweep).cells
+        result = spec.sweep(runner=runner, sweep=sweep, store=store)
+        cells = [cell for cell in result.cells if cell is not None]
+        _report_failures(result, out)
+        if not cells:
+            print("error: every sweep cell failed", file=sys.stderr)
+            return 1
     topo = spec.topology
     engine = spec.resolved_engine()
     print(
@@ -400,6 +520,103 @@ def _run_system(parser, args, out) -> None:
     if merged is not None:
         print(file=out)
         print(render_snapshot(merged), file=out)
+    return 0
+
+
+def _report_failures(result, out) -> None:
+    """Print one structured line per recorded cell failure."""
+    for failure in result.failures:
+        print(f"warning: {failure.describe()}", file=out)
+
+
+def _run_sweep_cmd(parser, args, out) -> int:
+    """``repro sweep``: fan the spec's grid out, print the cell table."""
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    store = _open_store(parser, args)
+    spec = compile_run_spec(parser, args)
+    sweep = spec.sweep_spec
+    if hasattr(args, "replications"):
+        if args.replications < 1:
+            parser.error("--replications must be >= 1")
+        sweep = SweepSpec(
+            grid=sweep.grid if sweep is not None else {},
+            replications=args.replications,
+        )
+    if sweep is None or (not sweep.grid and sweep.replications <= 1):
+        parser.error(
+            "nothing to sweep: give --spec a file with a sweep section "
+            "or pass --replications N"
+        )
+    runner = ParallelRunner(workers=args.workers)
+    result = spec.sweep(runner=runner, sweep=sweep, store=store)
+    print(
+        f"sweep: spec={spec.result_digest()} cells={len(result.cells)} "
+        f"workers={args.workers}"
+        + (f" store={args.store}" if store is not None else ""),
+        file=out,
+    )
+    _report_failures(result, out)
+    if result.completed_cells():
+        print(result.to_table(), file=out)
+    else:
+        print("error: every sweep cell failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _run_store(args, out) -> int:
+    """``repro store {ls,verify,gc}``: results-store maintenance."""
+    from repro.store import ResultsStore, StoreError
+
+    try:
+        store = ResultsStore(args.dir, create=False)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.op == "ls":
+        rows = store.ls()
+        for row in rows:
+            if row["status"] == "ok":
+                print(
+                    f"{row['spec_digest']}/{row['cell_digest']}  "
+                    f"metrics={row['metrics']} arrays={row['arrays']} "
+                    f"bytes={row['bytes']} params={row['params']} "
+                    f"seed={row['seed']}",
+                    file=out,
+                )
+            else:
+                print(
+                    f"{row['spec_digest']}/{row['cell_digest']}  "
+                    f"CORRUPT: {row['detail']}",
+                    file=out,
+                )
+        print(f"{len(rows)} entr{'y' if len(rows) == 1 else 'ies'}", file=out)
+        return 0
+    if args.op == "verify":
+        report = store.verify(quarantine=not args.no_quarantine)
+        for item in report["corrupt"]:
+            print(
+                f"corrupt: {item['spec_digest']}/{item['cell_digest']}: "
+                f"{item['reason']}",
+                file=out,
+            )
+        print(
+            f"checked={report['checked']} ok={report['ok']} "
+            f"corrupt={len(report['corrupt'])} "
+            f"quarantined={report['quarantined']}",
+            file=out,
+        )
+        return 1 if report["corrupt"] else 0
+    report = store.gc(keep_specs=args.keep_spec)
+    print(
+        f"gc: tmp_removed={report['tmp_removed']} "
+        f"quarantine_removed={report['quarantine_removed']} "
+        f"entries_removed={report['entries_removed']} "
+        f"bytes_freed={report['bytes_freed']}",
+        file=out,
+    )
+    return 0
 
 
 def _run_profile(parser, args, out) -> None:
@@ -517,7 +734,23 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     if args.command == "scenario":
         _run_scenario(args, out)
         return 0
-    if args.command == "run":
-        _run_system(parser, args, out)
-        return 0
+    if args.command == "store":
+        return _run_store(args, out)
+    if args.command in ("run", "sweep"):
+        from repro.analysis.supervision import SweepError
+
+        try:
+            if args.command == "run":
+                return _run_system(parser, args, out) or 0
+            return _run_sweep_cmd(parser, args, out)
+        except SweepError as exc:
+            # One structured line (spec digest + cell index + params)
+            # instead of a worker traceback dump; the full trace stays
+            # available under --log-level debug.
+            if args.log_level == "debug":
+                import traceback
+
+                traceback.print_exc(file=sys.stderr)
+            print(f"error: {exc.failure.describe()}", file=sys.stderr)
+            return 1
     return 2  # unreachable: argparse enforces the choices

@@ -58,6 +58,9 @@ class StaticCapacities:
     def capacities(self) -> np.ndarray:
         return self._caps.copy()
 
+    def minimum_capacities(self) -> np.ndarray:
+        return self._caps.copy()
+
     def advance(self) -> None:  # noqa: D401 - trivial
         """No-op; capacities never change."""
 

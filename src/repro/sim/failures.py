@@ -79,10 +79,9 @@ class FailureInjectingProcess:
         outage, so the bound is zero everywhere; at rate zero the wrapped
         process's bound passes through.
         """
-        base = np.asarray(self._base.minimum_capacities(), dtype=float)
         if self._failure_rate > 0:
-            return np.zeros_like(base)
-        return base
+            return np.zeros(self.num_helpers, dtype=float)
+        return np.asarray(self._base.minimum_capacities(), dtype=float)
 
     def advance(self) -> None:
         """Advance the base process and the failure/recovery dynamics."""

@@ -36,6 +36,7 @@ from repro.spec.model import (
     SYSTEM_BACKENDS,
     CapacitySpec,
     ChurnSpec,
+    ExecutionSpec,
     ExperimentSpec,
     LearnerSpec,
     MetricsSpec,
@@ -66,6 +67,7 @@ __all__ = [
     "ChurnSpec",
     "MetricsSpec",
     "TelemetrySpec",
+    "ExecutionSpec",
     "SweepSpec",
     "RunResult",
     "SYSTEM_BACKENDS",

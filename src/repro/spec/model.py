@@ -366,6 +366,111 @@ class TelemetrySpec:
         return cls(**data)
 
 
+#: Failure policies an :class:`ExecutionSpec` can request.
+EXECUTION_ON_FAILURE = ("raise", "record")
+
+
+@dataclass(frozen=True)
+class ExecutionSpec:
+    """Sweep-execution fault-tolerance policy (plain fan-out by default).
+
+    Controls how :class:`~repro.analysis.parallel.ParallelRunner`
+    supervises worker processes.  All-default means the historical
+    behaviour: cells fan out unsupervised and the first failure aborts
+    the sweep.  Any non-default field (or an attached results store)
+    switches the runner to the supervised dispatcher in
+    :mod:`repro.analysis.supervision`: one worker process per cell,
+    per-attempt wall-clock limits, heartbeat liveness, and retry with
+    exponential backoff + deterministic jitter on worker death.
+
+    ``max_retries`` is the number of *extra* attempts after the first;
+    retried cells reuse the cell's derived seed, so a retry is
+    bit-identical to a first-try run.  ``cell_timeout`` (seconds) kills
+    and retries an attempt that outlives it — the only way out of a cell
+    that hangs while its heartbeat thread keeps beating.
+    ``heartbeat_interval`` (seconds; 0 = off) makes workers emit
+    liveness beats; a worker silent for ~4 intervals is presumed frozen
+    (SIGSTOP, scheduler wedge) and is killed and retried.  Retry ``k``
+    sleeps ``min(backoff_max, backoff_base * 2**(k-1)) * (1 + jitter)``
+    with jitter drawn deterministically from the cell seed.
+    ``on_failure`` decides what happens to a cell that exhausts its
+    retries: ``"raise"`` aborts the sweep with a structured
+    :class:`~repro.analysis.supervision.SweepError`; ``"record"`` lets
+    the sweep complete and ships the failure (attempt history included)
+    on :attr:`~repro.analysis.sweeps.SweepResult.failures`, with the
+    cell's row rendered as a hole in ``to_table()``.
+
+    Like every spec section this JSON round-trips; unlike the others it
+    never influences results — only whether and when they arrive — so it
+    is excluded from :meth:`ExperimentSpec.result_digest`, and changing
+    a retry knob does not invalidate a results store.
+    """
+
+    max_retries: int = 0
+    cell_timeout: Optional[float] = None
+    backoff_base: float = 0.5
+    backoff_max: float = 30.0
+    heartbeat_interval: float = 0.0
+    on_failure: str = "raise"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ValueError(
+                "execution max_retries must be an integer >= 0, got "
+                f"{self.max_retries!r}"
+            )
+        if self.cell_timeout is not None and self.cell_timeout <= 0:
+            raise ValueError(
+                "execution cell_timeout must be positive seconds or None"
+            )
+        if self.backoff_base < 0:
+            raise ValueError("execution backoff_base must be >= 0")
+        if self.backoff_max < self.backoff_base:
+            raise ValueError(
+                "execution backoff_max must be >= backoff_base "
+                f"({self.backoff_max} < {self.backoff_base})"
+            )
+        if self.heartbeat_interval < 0:
+            raise ValueError("execution heartbeat_interval must be >= 0")
+        if self.on_failure not in EXECUTION_ON_FAILURE:
+            raise ValueError(
+                f"execution on_failure must be one of {EXECUTION_ON_FAILURE}, "
+                f"got {self.on_failure!r}"
+            )
+
+    @property
+    def supervised(self) -> bool:
+        """Whether any field requests the supervised dispatcher."""
+        return (
+            self.max_retries > 0
+            or self.cell_timeout is not None
+            or self.heartbeat_interval > 0
+            or self.on_failure != "raise"
+        )
+
+    def retry_delay(self, seed: int, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), in seconds.
+
+        Deterministic in ``(seed, attempt)`` — the jitter decorrelates
+        cells without perturbing reproducibility of the schedule itself.
+        """
+        import random
+
+        if attempt < 1:
+            raise ValueError("retry attempt numbering starts at 1")
+        base = min(self.backoff_max, self.backoff_base * 2.0 ** (attempt - 1))
+        jitter = random.Random((int(seed) * 1000003) ^ attempt).random()
+        return base * (1.0 + jitter)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionSpec":
+        _check_unknown_keys(cls, data)
+        return cls(**data)
+
+
 @dataclass(frozen=True)
 class SweepSpec:
     """A grid of spec overrides plus a replication count.
@@ -469,6 +574,7 @@ class ExperimentSpec:
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     metrics: MetricsSpec = field(default_factory=MetricsSpec)
     telemetry: TelemetrySpec = field(default_factory=TelemetrySpec)
+    execution: ExecutionSpec = field(default_factory=ExecutionSpec)
     sweep_spec: Optional[SweepSpec] = None
 
     def __post_init__(self) -> None:
@@ -550,6 +656,7 @@ class ExperimentSpec:
             "churn": self.churn.to_dict(),
             "metrics": self.metrics.to_dict(),
             "telemetry": self.telemetry.to_dict(),
+            "execution": self.execution.to_dict(),
             "sweep": None if self.sweep_spec is None else self.sweep_spec.to_dict(),
         }
 
@@ -569,6 +676,7 @@ class ExperimentSpec:
             "churn": ChurnSpec,
             "metrics": MetricsSpec,
             "telemetry": TelemetrySpec,
+            "execution": ExecutionSpec,
         }
         kwargs: Dict[str, Any] = {}
         for key, section_cls in sections.items():
@@ -598,6 +706,21 @@ class ExperimentSpec:
         be traced back to the exact experiment that produced it.
         """
         canonical = json.dumps(self.to_dict(), sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+    def result_digest(self) -> str:
+        """The content hash that keys the results store.
+
+        Like :meth:`spec_digest` but over the *result-determining* fields
+        only: the ``sweep`` section (cell parameters live in the per-cell
+        digest) and the ``execution`` section (retry policy never changes
+        what a cell computes) are excluded, so widening a grid or tuning
+        timeouts keeps every already-committed cell a cache hit.
+        """
+        data = self.to_dict()
+        data.pop("sweep", None)
+        data.pop("execution", None)
+        canonical = json.dumps(data, sort_keys=True, default=str)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
     @classmethod
@@ -861,6 +984,7 @@ class ExperimentSpec:
         rng: Seedish = None,
         runner=None,
         sweep: Optional[SweepSpec] = None,
+        store=None,
     ):
         """Fan the spec's :class:`SweepSpec` across worker processes.
 
@@ -870,6 +994,14 @@ class ExperimentSpec:
         the runner's shared-memory result handoff).  ``rng`` defaults to
         the spec's ``seed``; seeds are derived per cell in grid order, so
         results are worker-count-independent.
+
+        The spec's :class:`ExecutionSpec` governs supervision (timeouts,
+        heartbeats, retry with backoff); ``store`` — a directory path or
+        a :class:`~repro.store.ResultsStore` — makes execution durable:
+        committed cells are consulted before dispatch (cache hit = no
+        worker) and every completed cell commits immediately, so an
+        interrupted sweep resumes for free.  The store key is
+        :meth:`result_digest` plus the per-cell parameter/seed digest.
 
         Workers rebuild the spec from its dict form, so specs naming
         third-party registered components need those registrations
@@ -886,7 +1018,16 @@ class ExperimentSpec:
             sweep_spec = SweepSpec()
         if runner is None:
             runner = ParallelRunner(workers=workers)
+        if store is not None and not hasattr(store, "get"):
+            from repro.store import ResultsStore
+
+            store = ResultsStore(store)
         cell_fn = functools.partial(run_spec_cell, self.to_dict())
         return runner.run_sweep(
-            sweep_spec, cell_fn, rng=self.seed if rng is None else rng
+            sweep_spec,
+            cell_fn,
+            rng=self.seed if rng is None else rng,
+            execution=self.execution,
+            store=store,
+            spec_digest=self.result_digest(),
         )

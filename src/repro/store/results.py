@@ -1,0 +1,456 @@
+"""The content-addressed results store (see the package docstring).
+
+Disk layout (all under one root, so commits are same-filesystem renames)::
+
+    root/
+      manifest.json                  {"kind": ..., "schema": 1}
+      objects/<spec_digest>/<cell_digest>/
+        entry.json                   metadata + scalars + checksums
+        arr0.npy, arr1.npy, ...      array-valued metrics
+      tmp/<token>/                   in-flight commits (never read)
+      quarantine/<entry>-<token>/    corrupt entries moved aside
+
+``entry.json`` is written last inside the temp directory and carries a
+checksum over its own canonical form plus a sha256 per array file, so
+every failure mode is detectable: a missing ``entry.json`` means a torn
+commit (the rename never happened — the directory is still in ``tmp/``
+and is garbage-collected), a checksum mismatch means corruption (the
+entry is quarantined and the cell recomputes).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import uuid
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.logconfig import get_logger
+
+logger = get_logger("store")
+
+#: Version tag of the on-disk entry/manifest layout (bump on
+#: incompatible changes; mismatched stores refuse to open).
+STORE_SCHEMA = 1
+
+_MANIFEST_NAME = "manifest.json"
+_ENTRY_NAME = "entry.json"
+_STORE_KIND = "repro-results-store"
+
+
+class StoreError(RuntimeError):
+    """A results-store precondition failure (bad root, unstorable value)."""
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _plain(value: Any) -> Any:
+    """Coerce ``value`` to a JSON-plain equivalent; raise if impossible.
+
+    The store must never silently mis-serialize a metric (a repr-string
+    round-trips to the wrong type), so anything outside the JSON model
+    plus numpy scalars is an error the caller sees at commit time.
+    """
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, Mapping):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    raise StoreError(
+        f"value of type {type(value).__name__} is not storable "
+        "(JSON scalars, lists/dicts thereof, and numpy arrays only)"
+    )
+
+
+def cell_digest(params: Mapping[str, Any], seed: int) -> str:
+    """The per-cell half of the store key.
+
+    A short stable hash of the cell's parameter overrides plus its
+    derived seed — together with the spec's
+    :meth:`~repro.spec.ExperimentSpec.result_digest` this fully
+    determines the cell's output, because all randomness flows from the
+    seed.  Parameters must be JSON-plain for the digest to be stable
+    across processes.
+    """
+    try:
+        canonical = json.dumps(
+            {"params": _plain(dict(params)), "seed": int(seed)},
+            sort_keys=True,
+        )
+    except StoreError as exc:
+        raise StoreError(
+            f"cell parameters are not digestable: {exc}"
+        ) from None
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
+def _entry_checksum(entry: Mapping[str, Any]) -> str:
+    trimmed = {k: v for k, v in entry.items() if k != "checksum"}
+    canonical = json.dumps(trimmed, sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _write_file(path: Path, data: bytes) -> None:
+    with open(path, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+class ResultsStore:
+    """Durable, checksummed storage of sweep-cell metrics.
+
+    ``root`` is created (with a manifest) when missing unless
+    ``create=False``, in which case a missing or foreign directory is a
+    :class:`StoreError` — the mode ``repro store``'s maintenance
+    commands and ``--resume`` use to refuse typo'd paths.
+    """
+
+    def __init__(self, root, create: bool = True) -> None:
+        self.root = Path(root)
+        manifest = self.root / _MANIFEST_NAME
+        if manifest.exists():
+            try:
+                with open(manifest, "r", encoding="utf-8") as fh:
+                    meta = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                raise StoreError(
+                    f"unreadable store manifest at {manifest}: {exc}"
+                ) from None
+            if meta.get("kind") != _STORE_KIND:
+                raise StoreError(
+                    f"{self.root} is not a repro results store "
+                    f"(manifest kind {meta.get('kind')!r})"
+                )
+            if meta.get("schema") != STORE_SCHEMA:
+                raise StoreError(
+                    f"store schema {meta.get('schema')!r} at {self.root} "
+                    f"does not match this version's schema {STORE_SCHEMA}"
+                )
+        elif not create:
+            raise StoreError(f"no results store at {self.root}")
+        else:
+            if self.root.exists() and any(self.root.iterdir()):
+                raise StoreError(
+                    f"refusing to initialize a store in non-empty "
+                    f"directory {self.root}"
+                )
+            for sub in ("objects", "tmp", "quarantine"):
+                (self.root / sub).mkdir(parents=True, exist_ok=True)
+            _write_file(
+                manifest,
+                (
+                    json.dumps({"kind": _STORE_KIND, "schema": STORE_SCHEMA})
+                    + "\n"
+                ).encode("utf-8"),
+            )
+        for sub in ("objects", "tmp", "quarantine"):
+            (self.root / sub).mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Keys and paths
+    # ------------------------------------------------------------------
+
+    def _entry_dir(self, spec_digest: str, cell: str) -> Path:
+        return self.root / "objects" / str(spec_digest) / str(cell)
+
+    def contains(self, spec_digest: str, cell: str) -> bool:
+        """Whether a committed entry exists (no integrity check)."""
+        return (self._entry_dir(spec_digest, cell) / _ENTRY_NAME).exists()
+
+    def entry_keys(self) -> List[Tuple[str, str]]:
+        """All committed ``(spec_digest, cell_digest)`` keys, sorted."""
+        keys = []
+        objects = self.root / "objects"
+        for spec_dir in sorted(p for p in objects.iterdir() if p.is_dir()):
+            for cell_dir in sorted(p for p in spec_dir.iterdir() if p.is_dir()):
+                keys.append((spec_dir.name, cell_dir.name))
+        return keys
+
+    def __len__(self) -> int:
+        return len(self.entry_keys())
+
+    # ------------------------------------------------------------------
+    # Commit / read
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        spec_digest: str,
+        cell: str,
+        metrics: Mapping[str, Any],
+        params: Optional[Mapping[str, Any]] = None,
+        seed: Optional[int] = None,
+    ) -> bool:
+        """Commit one cell's metrics atomically; ``False`` if already present.
+
+        Scalar and JSON-plain metric values land in ``entry.json``;
+        :class:`numpy.ndarray` values are written as ``.npy`` payloads
+        with a sha256 each.  The whole entry materializes in ``tmp/``
+        and enters ``objects/`` through a single directory rename, so a
+        crash mid-commit leaves only garbage-collectable temp files,
+        never a half-entry.
+        """
+        final = self._entry_dir(spec_digest, cell)
+        if (final / _ENTRY_NAME).exists():
+            return False
+        tmp = self.root / "tmp" / uuid.uuid4().hex
+        tmp.mkdir(parents=True)
+        try:
+            entry: Dict[str, Any] = {
+                "schema": STORE_SCHEMA,
+                "spec_digest": str(spec_digest),
+                "cell_digest": str(cell),
+                "params": None if params is None else _plain(dict(params)),
+                "seed": None if seed is None else int(seed),
+                "order": [str(name) for name in metrics],
+                "scalars": {},
+                "arrays": {},
+            }
+            for i, (name, value) in enumerate(metrics.items()):
+                if isinstance(value, np.ndarray):
+                    fname = f"arr{i}.npy"
+                    with open(tmp / fname, "wb") as fh:
+                        np.save(fh, np.ascontiguousarray(value))
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    entry["arrays"][str(name)] = {
+                        "file": fname,
+                        "dtype": str(value.dtype),
+                        "shape": list(value.shape),
+                        "sha256": _sha256_file(tmp / fname),
+                        "nbytes": int(value.nbytes),
+                    }
+                else:
+                    entry["scalars"][str(name)] = _plain(value)
+            entry["checksum"] = _entry_checksum(entry)
+            _write_file(
+                tmp / _ENTRY_NAME,
+                (json.dumps(entry, indent=1) + "\n").encode("utf-8"),
+            )
+            final.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                os.rename(tmp, final)
+            except OSError:
+                if (final / _ENTRY_NAME).exists():
+                    # Lost a commit race: someone landed the identical
+                    # (deterministic) result first.  Keep theirs.
+                    shutil.rmtree(tmp, ignore_errors=True)
+                    return False
+                raise
+        except BaseException:
+            shutil.rmtree(tmp, ignore_errors=True)
+            raise
+        return True
+
+    def get(
+        self, spec_digest: str, cell: str, verify: bool = True
+    ) -> Optional[Dict[str, Any]]:
+        """The committed metrics for a key, or ``None``.
+
+        With ``verify`` (the default) the entry checksum and every array
+        sha256 are checked; anything inconsistent — torn JSON, missing
+        payload, flipped bits — quarantines the entry and returns
+        ``None``, so a corrupt cache degrades to a recompute instead of
+        poisoning a sweep.
+        """
+        entry_dir = self._entry_dir(spec_digest, cell)
+        entry_path = entry_dir / _ENTRY_NAME
+        if not entry_path.exists():
+            return None
+        try:
+            entry = self._load_entry(entry_dir, verify=verify)
+        except StoreError as exc:
+            logger.warning(
+                "quarantining corrupt store entry %s/%s: %s",
+                spec_digest, cell, exc,
+            )
+            self._quarantine(entry_dir, str(exc))
+            return None
+        metrics: Dict[str, Any] = {}
+        for name in entry["order"]:
+            if name in entry["arrays"]:
+                meta = entry["arrays"][name]
+                metrics[name] = np.load(
+                    entry_dir / meta["file"], allow_pickle=False
+                )
+            else:
+                metrics[name] = entry["scalars"][name]
+        return metrics
+
+    def _load_entry(self, entry_dir: Path, verify: bool) -> Dict[str, Any]:
+        """Parse + integrity-check one entry; :class:`StoreError` if bad."""
+        try:
+            with open(entry_dir / _ENTRY_NAME, "r", encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise StoreError(f"unreadable entry.json: {exc}") from None
+        if not isinstance(entry, dict) or entry.get("schema") != STORE_SCHEMA:
+            raise StoreError(
+                f"entry schema {entry.get('schema')!r} != {STORE_SCHEMA}"
+                if isinstance(entry, dict)
+                else "entry.json is not an object"
+            )
+        for key in ("order", "scalars", "arrays", "checksum"):
+            if key not in entry:
+                raise StoreError(f"entry.json missing {key!r}")
+        if _entry_checksum(entry) != entry["checksum"]:
+            raise StoreError("entry checksum mismatch")
+        missing = [
+            name
+            for name in entry["order"]
+            if name not in entry["arrays"] and name not in entry["scalars"]
+        ]
+        if missing:
+            raise StoreError(f"entry order names missing values: {missing}")
+        for name, meta in entry["arrays"].items():
+            path = entry_dir / meta["file"]
+            if not path.exists():
+                raise StoreError(f"array payload {meta['file']} missing")
+            if verify and _sha256_file(path) != meta["sha256"]:
+                raise StoreError(f"array payload {meta['file']} corrupt")
+        return entry
+
+    def _quarantine(self, entry_dir: Path, reason: str) -> Path:
+        token = uuid.uuid4().hex[:8]
+        dest = (
+            self.root
+            / "quarantine"
+            / f"{entry_dir.parent.name}-{entry_dir.name}-{token}"
+        )
+        os.rename(entry_dir, dest)
+        _write_file(dest / "reason.txt", (reason + "\n").encode("utf-8"))
+        return dest
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+
+    def ls(self) -> List[Dict[str, Any]]:
+        """Summaries of every committed entry (no payload verification)."""
+        rows = []
+        for spec_digest, cell in self.entry_keys():
+            entry_dir = self._entry_dir(spec_digest, cell)
+            row: Dict[str, Any] = {
+                "spec_digest": spec_digest,
+                "cell_digest": cell,
+            }
+            try:
+                entry = self._load_entry(entry_dir, verify=False)
+            except StoreError as exc:
+                row.update(status="corrupt", detail=str(exc))
+            else:
+                row.update(
+                    status="ok",
+                    params=entry.get("params"),
+                    seed=entry.get("seed"),
+                    metrics=len(entry["order"]),
+                    arrays=len(entry["arrays"]),
+                    bytes=sum(
+                        meta["nbytes"] for meta in entry["arrays"].values()
+                    ),
+                )
+            rows.append(row)
+        return rows
+
+    def verify(self, quarantine: bool = True) -> Dict[str, Any]:
+        """Full-integrity sweep over every entry.
+
+        Returns ``{"checked", "ok", "corrupt": [...], "quarantined"}``;
+        with ``quarantine`` (the default) corrupt entries are moved
+        aside so the next sweep recomputes them.
+        """
+        corrupt: List[Dict[str, str]] = []
+        checked = 0
+        for spec_digest, cell in self.entry_keys():
+            entry_dir = self._entry_dir(spec_digest, cell)
+            checked += 1
+            try:
+                self._load_entry(entry_dir, verify=True)
+            except StoreError as exc:
+                corrupt.append(
+                    {
+                        "spec_digest": spec_digest,
+                        "cell_digest": cell,
+                        "reason": str(exc),
+                    }
+                )
+                if quarantine:
+                    self._quarantine(entry_dir, str(exc))
+        return {
+            "checked": checked,
+            "ok": checked - len(corrupt),
+            "corrupt": corrupt,
+            "quarantined": len(corrupt) if quarantine else 0,
+        }
+
+    def gc(self, keep_specs: Optional[Sequence[str]] = None) -> Dict[str, int]:
+        """Reclaim space: torn commits, quarantined entries, stale specs.
+
+        Removes everything under ``tmp/`` (interrupted commits never
+        referenced by ``objects/``) and ``quarantine/``.  With
+        ``keep_specs``, entries whose spec digest is not listed are
+        removed too — the pruning mode for retiring superseded
+        experiment versions.  Returns removal counts plus bytes freed.
+        """
+        freed = 0
+        tmp_removed = quarantine_removed = entries_removed = 0
+        for path in (self.root / "tmp").iterdir():
+            freed += _tree_bytes(path)
+            _remove_tree(path)
+            tmp_removed += 1
+        for path in (self.root / "quarantine").iterdir():
+            freed += _tree_bytes(path)
+            _remove_tree(path)
+            quarantine_removed += 1
+        if keep_specs is not None:
+            keep = {str(s) for s in keep_specs}
+            for spec_dir in list((self.root / "objects").iterdir()):
+                if spec_dir.is_dir() and spec_dir.name not in keep:
+                    entries_removed += sum(
+                        1 for p in spec_dir.iterdir() if p.is_dir()
+                    )
+                    freed += _tree_bytes(spec_dir)
+                    shutil.rmtree(spec_dir)
+        return {
+            "tmp_removed": tmp_removed,
+            "quarantine_removed": quarantine_removed,
+            "entries_removed": entries_removed,
+            "bytes_freed": freed,
+        }
+
+
+def _tree_bytes(path: Path) -> int:
+    if path.is_file():
+        return path.stat().st_size
+    return sum(p.stat().st_size for p in path.rglob("*") if p.is_file())
+
+
+def _remove_tree(path: Path) -> None:
+    if path.is_dir():
+        shutil.rmtree(path, ignore_errors=True)
+    else:
+        path.unlink(missing_ok=True)
+
+
+def iter_array_payloads(root) -> Iterator[Path]:
+    """Every committed ``.npy`` payload under a store root (test/chaos aid)."""
+    yield from sorted(Path(root).glob("objects/*/*/*.npy"))

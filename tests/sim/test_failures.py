@@ -84,6 +84,127 @@ class TestFailureInjectingProcess:
             availability(process, 0)
 
 
+class TestFailureEdgeCases:
+    """Edge-of-parameter-space behavior: certain failure, instant
+    recovery, and the all-failed regime."""
+
+    def test_certain_failure_instant_recovery_oscillates(self):
+        # rate=1.0 with mean_outage_rounds=1.0 (recovery probability 1.0)
+        # is fully deterministic: every draw satisfies both thresholds, and
+        # recoveries are applied before fresh failures, so the population
+        # alternates all-healthy / all-failed with period 2.
+        process = FailureInjectingProcess(
+            StaticCapacities([800.0] * 4), failure_rate=1.0,
+            mean_outage_rounds=1.0, rng=0,
+        )
+        for stage in range(10):
+            if stage % 2 == 0:
+                assert not process.failed.any()
+            else:
+                assert process.failed.all()
+            process.advance()
+
+    def test_certain_failure_availability_exactly_half(self):
+        process = FailureInjectingProcess(
+            StaticCapacities([800.0] * 4), failure_rate=1.0,
+            mean_outage_rounds=1.0, rng=0,
+        )
+        # Over an even number of stages the period-2 oscillation spends
+        # exactly half its helper-stages failed.
+        assert availability(process, 100) == pytest.approx(0.5)
+
+    def test_instant_recovery_analog_requires_positive_outage(self):
+        # "recovery_time = 0" has no direct encoding: mean_outage_rounds
+        # is the reciprocal of the recovery probability, so the fastest
+        # legal recovery is mean_outage_rounds=1.0 and zero must raise.
+        with pytest.raises(ValueError):
+            FailureInjectingProcess(
+                StaticCapacities([1.0]), failure_rate=0.5,
+                mean_outage_rounds=0.0,
+            )
+        process = FailureInjectingProcess(
+            StaticCapacities([800.0, 800.0]), failure_rate=0.5,
+            mean_outage_rounds=1.0, rng=3,
+        )
+        # With recovery probability 1.0 no outage survives a stage: any
+        # helper seen failed now was healthy on the previous stage.
+        previous = process.failed
+        for _ in range(50):
+            process.advance()
+            current = process.failed
+            assert not (previous & current).any()
+            previous = current
+
+    def test_recovery_from_all_failed(self):
+        process = FailureInjectingProcess(
+            StaticCapacities([800.0] * 8), failure_rate=0.0,
+            mean_outage_rounds=4.0, rng=5,
+        )
+        process._failed[:] = True  # test hook: pin every helper down
+        assert np.all(process.capacities() == 0.0)
+        # With rate 0 only recoveries happen: the outage mask shrinks
+        # monotonically, staggered by the geometric outage lengths, and
+        # the counters never record a fresh outage.
+        saw_partial = False
+        for _ in range(200):
+            before = process.failed
+            process.advance()
+            assert not (~before & process.failed).any()  # no fresh outages
+            if process.failed.any() and not process.failed.all():
+                saw_partial = True
+            if not process.failed.any():
+                break
+        assert not process.failed.any()
+        assert saw_partial  # recovery was staggered, not all-at-once
+        assert process.outages_started == 0
+        assert np.all(process.capacities() == 800.0)
+
+    def test_all_failed_blocks_fresh_outages(self):
+        # At rate 1.0 the only helpers that can start a new outage are
+        # those that recovered on an *earlier* stage; while the whole
+        # population is down, outages_started must stay flat.
+        process = FailureInjectingProcess(
+            StaticCapacities([800.0] * 8), failure_rate=1.0,
+            mean_outage_rounds=50.0, rng=5,
+        )
+        process.advance()
+        assert process.failed.all()
+        assert process.outages_started == 8
+        for _ in range(100):
+            before = process.failed
+            started_before = process.outages_started
+            process.advance()
+            if before.all():
+                assert process.outages_started == started_before
+
+    def test_availability_consistent_with_failed_stage_count(self):
+        # availability() and failed_helper_stages observe the same
+        # pre-advance mask, so they must partition helper-stages exactly.
+        num_stages, num_helpers = 137, 6
+        process = FailureInjectingProcess(
+            StaticCapacities([800.0] * num_helpers), failure_rate=0.3,
+            mean_outage_rounds=3.0, rng=9,
+        )
+        measured = availability(process, num_stages)
+        total = num_stages * num_helpers
+        assert measured == pytest.approx(
+            1.0 - process.failed_helper_stages / total
+        )
+
+    def test_minimum_capacities_consistent_with_rate(self):
+        base = StaticCapacities([800.0, 600.0])
+        risky = FailureInjectingProcess(
+            base, failure_rate=1.0, mean_outage_rounds=1.0, rng=0
+        )
+        # Any positive failure rate can zero a helper, so the worst-case
+        # floor collapses — even under instant recovery.
+        assert np.all(risky.minimum_capacities() == 0.0)
+        safe = FailureInjectingProcess(base, failure_rate=0.0, rng=0)
+        np.testing.assert_array_equal(
+            safe.minimum_capacities(), base.minimum_capacities()
+        )
+
+
 class TestLearnersUnderFailures:
     def test_population_evacuates_failed_helper(self):
         """When a helper dies, RTHS peers drain off it within a few dozen

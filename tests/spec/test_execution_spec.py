@@ -1,0 +1,86 @@
+"""Tests for the ExecutionSpec section and the result digest."""
+
+import pytest
+
+from repro.spec import ExecutionSpec, ExperimentSpec
+
+
+class TestExecutionSpecRoundtrip:
+    def test_json_roundtrip(self):
+        spec = ExperimentSpec(
+            name="x",
+            execution=ExecutionSpec(
+                max_retries=3,
+                cell_timeout=12.5,
+                backoff_base=0.25,
+                backoff_max=8.0,
+                heartbeat_interval=1.0,
+                on_failure="record",
+            ),
+        )
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored.execution == spec.execution
+        assert restored == spec
+
+    def test_default_section_roundtrips(self):
+        spec = ExperimentSpec(name="x")
+        restored = ExperimentSpec.from_json(spec.to_json())
+        assert restored.execution == ExecutionSpec()
+
+    def test_dict_form_carries_execution_section(self):
+        data = ExperimentSpec(name="x").to_dict()
+        assert "execution" in data
+        assert data["execution"]["max_retries"] == 0
+        assert data["execution"]["on_failure"] == "raise"
+
+    def test_unknown_execution_key_rejected(self):
+        data = ExperimentSpec(name="x").to_dict()
+        data["execution"]["bogus"] = 1
+        with pytest.raises(ValueError):
+            ExperimentSpec.from_dict(data)
+
+    def test_with_overrides_dotted_paths(self):
+        spec = ExperimentSpec(name="x").with_overrides(
+            {"execution.max_retries": 2, "execution.cell_timeout": 5.0}
+        )
+        assert spec.execution.max_retries == 2
+        assert spec.execution.cell_timeout == 5.0
+        # untouched sections and fields keep their defaults
+        assert spec.execution.on_failure == "raise"
+
+
+class TestResultDigest:
+    def test_stable_across_sweep_and_execution_changes(self):
+        from repro.spec import SweepSpec
+
+        base = ExperimentSpec(name="x")
+        digest = base.result_digest()
+        import dataclasses
+
+        widened = dataclasses.replace(
+            base, sweep_spec=SweepSpec(replications=9)
+        )
+        retried = base.with_overrides(
+            {"execution.max_retries": 5, "execution.cell_timeout": 1.0}
+        )
+        # Neither the grid shape nor the retry policy changes what a
+        # cell computes, so neither may invalidate a results store.
+        assert widened.result_digest() == digest
+        assert retried.result_digest() == digest
+
+    def test_sensitive_to_result_determining_fields(self):
+        base = ExperimentSpec(name="x")
+        assert (
+            base.with_overrides({"rounds": 77}).result_digest()
+            != base.result_digest()
+        )
+        assert (
+            base.with_overrides({"seed": 99}).result_digest()
+            != base.result_digest()
+        )
+
+    def test_spec_digest_still_covers_everything(self):
+        base = ExperimentSpec(name="x")
+        retried = base.with_overrides({"execution.max_retries": 5})
+        assert retried.spec_digest() != base.spec_digest()
+        assert retried.result_digest() == base.result_digest()

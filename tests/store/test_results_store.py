@@ -1,0 +1,185 @@
+"""Tests for the content-addressed results store."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.analysis.chaos import corrupt_array_payload
+from repro.store import STORE_SCHEMA, ResultsStore, StoreError, cell_digest
+from repro.store.results import iter_array_payloads
+
+SPEC = "abc123def456"
+
+
+def _metrics():
+    return {
+        "welfare": 123.5,
+        "count": 7,
+        "flag": True,
+        "trace": np.arange(4096, dtype=np.float64),
+    }
+
+
+class TestCellDigest:
+    def test_deterministic_and_order_independent(self):
+        a = cell_digest({"x": 1, "y": 2.5}, 42)
+        b = cell_digest({"y": 2.5, "x": 1}, 42)
+        assert a == b
+        assert len(a) == 16
+
+    def test_sensitive_to_params_and_seed(self):
+        base = cell_digest({"x": 1}, 42)
+        assert cell_digest({"x": 2}, 42) != base
+        assert cell_digest({"x": 1}, 43) != base
+
+    def test_numpy_scalars_normalize(self):
+        assert cell_digest({"x": np.int64(3)}, 1) == cell_digest({"x": 3}, 1)
+        assert cell_digest(
+            {"x": np.float64(0.5)}, 1
+        ) == cell_digest({"x": 0.5}, 1)
+
+
+class TestResultsStore:
+    def test_put_get_roundtrip(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        cell = cell_digest({"x": 1}, 5)
+        assert store.put(SPEC, cell, _metrics(), params={"x": 1}, seed=5)
+        got = store.get(SPEC, cell)
+        assert got is not None
+        assert got["welfare"] == 123.5
+        assert got["count"] == 7
+        assert got["flag"] is True
+        np.testing.assert_array_equal(got["trace"], _metrics()["trace"])
+        assert list(got) == list(_metrics())  # original metric order
+
+    def test_put_is_idempotent(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        cell = cell_digest({}, 1)
+        assert store.put(SPEC, cell, _metrics())
+        assert not store.put(SPEC, cell, _metrics())
+        assert len(store) == 1
+
+    def test_get_missing_returns_none(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        assert store.get(SPEC, cell_digest({}, 1)) is None
+        assert not store.contains(SPEC, cell_digest({}, 1))
+
+    def test_refuses_foreign_directory(self, tmp_path):
+        (tmp_path / "d").mkdir()
+        (tmp_path / "d" / "junk.txt").write_text("hi")
+        with pytest.raises(StoreError):
+            ResultsStore(tmp_path / "d")
+
+    def test_refuses_schema_mismatch(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        manifest = store.root / "manifest.json"
+        data = json.loads(manifest.read_text())
+        data["schema"] = STORE_SCHEMA + 1
+        manifest.write_text(json.dumps(data))
+        with pytest.raises(StoreError):
+            ResultsStore(tmp_path / "s")
+
+    def test_create_false_requires_existing(self, tmp_path):
+        with pytest.raises(StoreError):
+            ResultsStore(tmp_path / "absent", create=False)
+        ResultsStore(tmp_path / "s")
+        ResultsStore(tmp_path / "s", create=False)  # reopens fine
+
+    def test_rejects_unstorable_metric(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        with pytest.raises(StoreError):
+            store.put(SPEC, cell_digest({}, 1), {"bad": object()})
+
+    def test_ls_reports_entries(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        store.put(
+            SPEC, cell_digest({"x": 1}, 5), _metrics(),
+            params={"x": 1}, seed=5,
+        )
+        rows = store.ls()
+        assert len(rows) == 1
+        assert rows[0]["status"] == "ok"
+        assert rows[0]["params"] == {"x": 1}
+        assert rows[0]["seed"] == 5
+        assert rows[0]["arrays"] == 1
+        assert rows[0]["bytes"] == 4096 * 8
+
+
+class TestCorruptionHandling:
+    def test_bit_rot_detected_and_quarantined(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        cell = cell_digest({}, 1)
+        store.put(SPEC, cell, _metrics())
+        assert corrupt_array_payload(store.root) is not None
+        assert store.get(SPEC, cell) is None  # detected, not served
+        assert not store.contains(SPEC, cell)  # moved to quarantine
+        quarantined = list((store.root / "quarantine").iterdir())
+        assert len(quarantined) == 1
+        assert (quarantined[0] / "reason.txt").exists()
+
+    def test_verify_quarantines_corrupt_entries(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        store.put(SPEC, cell_digest({"x": 0}, 1), _metrics())
+        store.put(SPEC, cell_digest({"x": 1}, 2), _metrics())
+        corrupt_array_payload(store.root, which=0)
+        report = store.verify()
+        assert report["checked"] == 2
+        assert report["ok"] == 1
+        assert len(report["corrupt"]) == 1
+        assert report["quarantined"] == 1
+        assert len(store) == 1
+
+    def test_tampered_entry_json_detected(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        cell = cell_digest({}, 1)
+        store.put(SPEC, cell, {"welfare": 1.0})
+        entry_path = next((store.root / "objects").rglob("entry.json"))
+        entry = json.loads(entry_path.read_text())
+        entry["scalars"]["welfare"] = 999.0  # tamper without re-checksumming
+        entry_path.write_text(json.dumps(entry))
+        assert store.get(SPEC, cell) is None
+
+    def test_partial_write_never_visible(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        # Simulate a torn commit: a tmp dir that never got renamed.
+        torn = store.root / "tmp" / "deadbeef"
+        torn.mkdir()
+        (torn / "entry.json").write_text("{not json")
+        assert len(store) == 0
+        assert store.ls() == []
+
+    def test_gc_reclaims_tmp_and_quarantine(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        store.put(SPEC, cell_digest({}, 1), _metrics())
+        corrupt_array_payload(store.root)
+        store.verify()  # -> quarantine
+        torn = store.root / "tmp" / "feedface"
+        torn.mkdir()
+        (torn / "x.npy").write_bytes(b"x" * 100)
+        report = store.gc()
+        assert report["tmp_removed"] == 1
+        assert report["quarantine_removed"] == 1
+        assert report["bytes_freed"] > 0
+        assert not list((store.root / "tmp").iterdir())
+        assert not list((store.root / "quarantine").iterdir())
+
+    def test_gc_keep_specs_prunes_other_generations(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        store.put("aaaaaaaaaaaa", cell_digest({}, 1), {"m": 1.0})
+        store.put("bbbbbbbbbbbb", cell_digest({}, 1), {"m": 2.0})
+        report = store.gc(keep_specs=["aaaaaaaaaaaa"])
+        assert report["entries_removed"] == 1
+        assert store.entry_keys() == [
+            ("aaaaaaaaaaaa", cell_digest({}, 1))
+        ]
+
+    def test_iter_array_payloads_sorted(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        store.put(SPEC, cell_digest({"x": 0}, 1), _metrics())
+        store.put(SPEC, cell_digest({"x": 1}, 2), _metrics())
+        payloads = list(iter_array_payloads(store.root))
+        assert len(payloads) == 2
+        assert payloads == sorted(payloads)
+        assert all(str(p).endswith(".npy") for p in payloads)
