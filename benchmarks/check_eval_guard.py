@@ -1,0 +1,191 @@
+#!/usr/bin/env python
+"""Eval-guard: the pinned prequential matrix, both backends, pinned numbers.
+
+CI runs the CI-sized adversarial matrix ``examples/eval_matrix.json``
+(correlated failures and oscillating capacity, RTHS vs. the sticky
+fixed-overlay baseline) through the :mod:`repro.eval` harness on the
+scalar *and* the vectorized backend and asserts three layers:
+
+* **bit-identity** — the matrix run twice at ``workers=1`` and once at
+  ``workers=2`` must serialize to byte-identical JSON.  Eval cells carry
+  no wall-clock fields, so any divergence is a real determinism
+  regression (seed derivation, worker scheduling, metric reduction).
+* **pinned expectations** — per backend, the scalar metrics of every
+  cell must match ``examples/eval_expected.json`` to float tolerance.
+  Expectations are pinned *per backend*: the backends agree exactly on
+  the welfare-derived metrics but the switch-rate load-movement proxy
+  inherits their small trace differences.
+* **ordering invariants** — the paper-predicted outcomes the corpus was
+  built to exhibit: under oscillating capacity RTHS must beat sticky on
+  prequential reward, and on both adversarial cells RTHS must stall
+  less and (being adaptive) switch more than the fixed overlay.
+  Correlated-failure *reward* is deliberately not ordered: a sticky
+  overlay passively covers recovered helper domains, so its welfare is
+  competitive there even while it stalls more.
+
+The rendered matrix tables land in ``benchmarks/output/eval_guard.md``
+(uploaded as a CI artifact).  Run with ``--update`` after an intentional
+behaviour change to regenerate the expectations file (and say why in
+the commit message).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/check_eval_guard.py
+    PYTHONPATH=src python benchmarks/check_eval_guard.py --update
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+import repro.workloads  # noqa: E402,F401  (scenario registration)
+from repro.eval import EvalSpec, Evaluator  # noqa: E402
+
+SPEC_PATH = REPO / "examples" / "eval_matrix.json"
+EXPECTED_PATH = REPO / "examples" / "eval_expected.json"
+TABLE_PATH = REPO / "benchmarks" / "output" / "eval_guard.md"
+
+#: Same backend, same seed: float-reproducibility band only.
+SAME_BACKEND_RTOL = 1e-6
+BACKENDS = ("scalar", "vectorized")
+#: The cumulative scalars pinned per cell.
+PINNED_METRICS = ("reward", "regret", "stall_rate", "switch_rate")
+
+
+def run_matrix(spec: EvalSpec, workers: int = 1):
+    return Evaluator(workers=workers).run(spec)
+
+
+def cell_scalars(result) -> dict:
+    """``"scenario/learner" -> {metric: value}`` for the pinned scalars."""
+    return {
+        f"{cell.scenario}/{cell.learner}": {
+            name: float(cell.metrics[name]) for name in PINNED_METRICS
+        }
+        for cell in result.completed_cells()
+    }
+
+
+def check_orderings(backend: str, scalars: dict) -> list:
+    """The paper-predicted RTHS-vs-sticky orderings on the corpus."""
+    failures = []
+
+    def metric(scenario, learner, name):
+        return scalars[f"{scenario}/{learner}"][name]
+
+    reward_rths = metric("oscillating_capacity", "rths", "reward")
+    reward_sticky = metric("oscillating_capacity", "sticky", "reward")
+    if not reward_rths > reward_sticky:
+        failures.append(
+            f"{backend}: oscillating_capacity reward: rths {reward_rths:.4f} "
+            f"must beat sticky {reward_sticky:.4f}"
+        )
+    for scenario in ("correlated_failures", "oscillating_capacity"):
+        stall_rths = metric(scenario, "rths", "stall_rate")
+        stall_sticky = metric(scenario, "sticky", "stall_rate")
+        if not stall_rths < stall_sticky:
+            failures.append(
+                f"{backend}: {scenario} stall_rate: rths {stall_rths:.4f} "
+                f"must be below sticky {stall_sticky:.4f}"
+            )
+        switch_rths = metric(scenario, "rths", "switch_rate")
+        switch_sticky = metric(scenario, "sticky", "switch_rate")
+        if not switch_rths > switch_sticky:
+            failures.append(
+                f"{backend}: {scenario} switch_rate: rths {switch_rths:.4f} "
+                f"must exceed sticky {switch_sticky:.4f} (adaptivity)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--update", action="store_true",
+        help="regenerate examples/eval_expected.json from this run",
+    )
+    args = parser.parse_args(argv)
+
+    base = EvalSpec.load(SPEC_PATH)
+    observed: dict = {}
+    tables = [f"# eval-guard: {base.name} ({base.eval_digest()})", ""]
+    failures: list = []
+    for backend in BACKENDS:
+        spec = dataclasses.replace(base, backend=backend)
+        first = run_matrix(spec, workers=1)
+        again = run_matrix(spec, workers=1)
+        fanned = run_matrix(spec, workers=2)
+        if first.to_json() != again.to_json():
+            failures.append(
+                f"{backend}: repeated workers=1 runs are not bit-identical"
+            )
+        if first.to_json() != fanned.to_json():
+            failures.append(
+                f"{backend}: workers=1 vs workers=2 results differ "
+                "(worker-count determinism regression)"
+            )
+        if first.failures:
+            for failure in first.failures:
+                failures.append(f"{backend}: cell failed: {failure.describe()}")
+            continue
+        observed[backend] = cell_scalars(first)
+        failures.extend(check_orderings(backend, observed[backend]))
+        tables += [f"## {backend}", "", first.to_markdown(), ""]
+
+    TABLE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    TABLE_PATH.write_text("\n".join(tables))
+
+    if args.update:
+        EXPECTED_PATH.write_text(json.dumps(observed, indent=2) + "\n")
+        print(f"wrote {EXPECTED_PATH}")
+        return 0
+
+    expected = json.loads(EXPECTED_PATH.read_text())
+    for backend in BACKENDS:
+        want_cells = expected.get(backend)
+        if want_cells is None:
+            failures.append(f"{backend}: no expectations recorded")
+            continue
+        got_cells = observed.get(backend, {})
+        for cell, want in want_cells.items():
+            got = got_cells.get(cell)
+            if got is None:
+                failures.append(f"{backend}.{cell}: cell missing from run")
+                continue
+            for name, value in want.items():
+                if not math.isclose(
+                    got[name], value, rel_tol=SAME_BACKEND_RTOL, abs_tol=1e-9
+                ):
+                    failures.append(
+                        f"{backend}.{cell}.{name}: got {got[name]!r}, "
+                        f"expected {value!r} (rtol {SAME_BACKEND_RTOL})"
+                    )
+
+    for backend, cells in observed.items():
+        for cell, metrics in cells.items():
+            print(f"{backend:10s} {cell:32s} " + "  ".join(
+                f"{name}={value:.4f}" for name, value in metrics.items()
+            ))
+    print(f"table written to {TABLE_PATH}")
+    if failures:
+        print("\nFAIL:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "\nOK: pinned matrix is bit-identical across runs and worker "
+        "counts on both backends, and RTHS holds its predicted edge"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

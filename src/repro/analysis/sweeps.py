@@ -87,33 +87,50 @@ class SweepResult:
         place, not silently dropped.
         """
         completed = self.completed_cells()
-        if not completed:
-            raise ValueError("sweep produced no cells")
-        param_names = list(completed[0].parameters)
-        metric_names = [
-            name
-            for name, value in completed[0].metrics.items()
-            if isinstance(value, (int, float, np.number))
-        ]
         failed_params = {
-            failure.cell_index: getattr(failure, "params", {})
+            failure.cell_index: dict(getattr(failure, "params", None) or {})
             for failure in self.failures
-            if hasattr(failure, "cell_index")
+            if getattr(failure, "cell_index", None) is not None
         }
+        if not completed and not failed_params:
+            raise ValueError("sweep produced no cells")
+        # Parameter columns are the union over completed cells and
+        # failure records (first-seen order), so a failed cell's params
+        # render inline — including when every cell failed and there is
+        # no completed cell to take the columns from.
+        param_names: List[str] = []
+        for params in [c.parameters for c in completed] + list(
+            failed_params.values()
+        ):
+            for name in params:
+                if name not in param_names:
+                    param_names.append(name)
+        metric_names = (
+            [
+                name
+                for name, value in completed[0].metrics.items()
+                if isinstance(value, (int, float, np.number))
+            ]
+            if completed
+            else []
+        )
+        # With no completed cell there are no metric columns; a status
+        # column keeps the FAILED markers visible.
+        value_names = metric_names if completed else ["status"]
         rows = []
         for index, cell in enumerate(self.cells):
             if cell is None:
                 params = failed_params.get(index, {})
                 rows.append(
                     [params.get(p, "?") for p in param_names]
-                    + ["FAILED" for _ in metric_names]
+                    + ["FAILED" for _ in value_names]
                 )
             else:
                 rows.append(
-                    [cell.parameters[p] for p in param_names]
+                    [cell.parameters.get(p, "") for p in param_names]
                     + [float(cell.metrics[m]) for m in metric_names]
                 )
-        return render_table(param_names + metric_names, rows)
+        return render_table(param_names + value_names, rows)
 
     def merged_telemetry(self) -> Optional[Dict]:
         """The fleet-wide telemetry snapshot across all cells.

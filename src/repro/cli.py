@@ -10,7 +10,11 @@ Usage::
     python -m repro run --peers 500 --churn-rate 2 --mean-lifetime 50 --dump-spec
     python -m repro run --spec sweep.json --workers 8 --store results/ --max-retries 2
     python -m repro sweep --spec sweep.json --workers 8 --store results/ --resume
+    python -m repro eval --scenarios oscillating_capacity,flash_storm \\
+        --learners rths,sticky --window 25
+    python -m repro eval --spec examples/eval_matrix.json --format markdown
     python -m repro store ls results/
+    python -m repro store gc results/ --dry-run
     python -m repro list
 
 ``figure`` regenerates one (or all) of the paper's figures and prints the
@@ -20,7 +24,8 @@ game, vectorized population) and prints the headline metrics.  ``run``
 executes the *full streaming system* — channels, tracker, churn, origin
 server — on either the scalar (``repro.sim``) or the vectorized
 (``repro.runtime``) backend, optionally fanning replications across worker
-processes.
+processes.  ``eval`` runs a prequential learner × scenario comparison
+matrix (see :mod:`repro.eval`) and prints the per-cell metric table.
 
 ``run`` is a thin adapter over the declarative spec layer: the flags
 compile into an :class:`~repro.spec.ExperimentSpec` (printable with
@@ -192,6 +197,72 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_store_flags(swp)
 
+    evalp = sub.add_parser(
+        "eval",
+        help="run a prequential learner x scenario evaluation matrix and "
+        "print the per-cell metric table",
+    )
+    evalp.add_argument(
+        "--spec",
+        default=None,
+        metavar="PATH",
+        help="load the matrix from an EvalSpec JSON file; explicitly-set "
+        "eval flags override the file's fields",
+    )
+    unset = argparse.SUPPRESS  # see _compile_eval_spec
+    evalp.add_argument(
+        "--scenarios",
+        default=unset,
+        metavar="NAMES",
+        help="comma-separated registered scenarios "
+        f"({', '.join(SCENARIOS.names())})",
+    )
+    evalp.add_argument(
+        "--learners",
+        default=unset,
+        metavar="NAMES",
+        help="comma-separated registered learners "
+        f"({', '.join(LEARNERS.names())}; default rths,sticky)",
+    )
+    evalp.add_argument(
+        "--window", type=int, default=unset,
+        help="prequential window size in rounds (default 25)",
+    )
+    evalp.add_argument(
+        "--rounds", type=int, default=unset,
+        help="override every scenario's horizon",
+    )
+    evalp.add_argument(
+        "--backend", choices=["scalar", "vectorized"], default=unset,
+        help="override every scenario's system backend",
+    )
+    evalp.add_argument(
+        "--seed", type=int, default=unset,
+        help="root of the per-cell seed derivation (default 0)",
+    )
+    evalp.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the matrix cells",
+    )
+    evalp.add_argument(
+        "--format",
+        choices=["table", "markdown", "json"],
+        default="table",
+        help="result rendering (default: aligned text table)",
+    )
+    evalp.add_argument(
+        "--output", "-o",
+        default=None,
+        metavar="PATH",
+        help="write the rendered result to PATH instead of stdout",
+    )
+    evalp.add_argument(
+        "--dump-spec",
+        action="store_true",
+        help="print the compiled EvalSpec JSON and exit without running",
+    )
+    _add_store_flags(evalp)
+
     storep = sub.add_parser(
         "store",
         help="inspect or maintain a content-addressed results store",
@@ -216,6 +287,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="verify only: report corrupt entries without moving them "
         "aside",
+    )
+    storep.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="gc only: report what would be reclaimed without removing "
+        "anything",
     )
 
     prof = sub.add_parser(
@@ -565,6 +642,91 @@ def _run_sweep_cmd(parser, args, out) -> int:
     return 0
 
 
+#: eval-flag dest -> EvalSpec field (all SUPPRESS defaults, like the run
+#: flags: present on the namespace iff the user passed them).
+EVAL_FLAG_FIELDS = ("scenarios", "learners", "window", "rounds", "backend", "seed")
+
+
+def _compile_eval_spec(parser, args):
+    """Compile ``eval`` flags (and an optional ``--spec`` file) into an EvalSpec.
+
+    The comma-separated ``--scenarios``/``--learners`` lists become
+    tuples; every other flag overrides the corresponding field.  All
+    validation (unknown registry names, bad window) reports through
+    ``parser.error``.
+    """
+    import dataclasses
+
+    from repro.eval import EvalSpec
+
+    overrides = {
+        name: getattr(args, name)
+        for name in EVAL_FLAG_FIELDS
+        if hasattr(args, name)
+    }
+    for name in ("scenarios", "learners"):
+        if name in overrides:
+            overrides[name] = tuple(
+                item.strip()
+                for item in overrides[name].split(",")
+                if item.strip()
+            )
+    try:
+        spec = EvalSpec.load(args.spec) if args.spec is not None else EvalSpec()
+        if overrides:
+            spec = dataclasses.replace(spec, **overrides)
+    except (OSError, ValueError, KeyError) as exc:
+        parser.error(str(exc))
+    return spec
+
+
+def _run_eval(parser, args, out) -> int:
+    """``repro eval``: run the matrix, print/write the metric table."""
+    from repro.eval import Evaluator
+
+    if args.workers < 1:
+        parser.error("--workers must be >= 1")
+    store = _open_store(parser, args)
+    spec = _compile_eval_spec(parser, args)
+    if args.dump_spec:
+        print(spec.to_json(), file=out)
+        return 0
+    if not spec.scenarios or not spec.learners:
+        parser.error(
+            "nothing to evaluate: pass --scenarios (and --learners) or "
+            "give --spec a file naming them"
+        )
+    try:
+        result = Evaluator(workers=args.workers).run(spec, store=store)
+    except ValueError as exc:
+        # Fail-fast cell-build errors (scenario option typos, learners
+        # missing the pinned backend) name the offending cell.
+        parser.error(str(exc))
+    print(
+        f"eval: spec={spec.eval_digest()} cells={len(result.cells)} "
+        f"workers={args.workers}"
+        + (f" store={args.store}" if store is not None else ""),
+        file=out,
+    )
+    _report_failures(result, out)
+    if not result.completed_cells():
+        print("error: every eval cell failed", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        rendered = result.to_json()
+    elif args.format == "markdown":
+        rendered = result.to_markdown()
+    else:
+        rendered = result.to_table()
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.output}", file=out)
+    else:
+        print(rendered, file=out)
+    return 0
+
+
 def _run_store(args, out) -> int:
     """``repro store {ls,verify,gc}``: results-store maintenance."""
     from repro.store import ResultsStore, StoreError
@@ -608,9 +770,10 @@ def _run_store(args, out) -> int:
             file=out,
         )
         return 1 if report["corrupt"] else 0
-    report = store.gc(keep_specs=args.keep_spec)
+    report = store.gc(keep_specs=args.keep_spec, dry_run=args.dry_run)
+    label = "gc (dry-run): would remove" if args.dry_run else "gc:"
     print(
-        f"gc: tmp_removed={report['tmp_removed']} "
+        f"{label} tmp_removed={report['tmp_removed']} "
         f"quarantine_removed={report['quarantine_removed']} "
         f"entries_removed={report['entries_removed']} "
         f"bytes_freed={report['bytes_freed']}",
@@ -701,18 +864,62 @@ def _run_scenario(args, out) -> None:
     print(f"Jain of peer rates   : {jain_index(per_peer):10.4f}", file=out)
 
 
+def _doc_summary(obj) -> str:
+    """First docstring line of a registered factory ('' when undocumented)."""
+    doc = getattr(obj, "__doc__", None) or ""
+    return doc.strip().splitlines()[0].strip() if doc.strip() else ""
+
+
+def _factory_options(factory) -> str:
+    """The keyword options a registry factory accepts, with their defaults."""
+    import inspect
+
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):
+        return ""
+    return ", ".join(
+        f"{name}={param.default}"
+        for name, param in signature.parameters.items()
+        if param.kind not in (param.VAR_POSITIONAL, param.VAR_KEYWORD)
+        and param.default is not param.empty
+    )
+
+
 def _run_list(out) -> None:
     for name in sorted(ALL_FIGURES):
         print(f"{name}: {FIGURE_DESCRIPTIONS[name]}", file=out)
     print(file=out)
     print("registered components (repro.spec registries):", file=out)
-    print(f"  scenarios         : {', '.join(SCENARIOS.names())}", file=out)
-    print(f"  learners          : {', '.join(LEARNERS.names())}", file=out)
-    print(
-        f"  capacity backends : {', '.join(CAPACITY_BACKENDS.names())}",
-        file=out,
-    )
-    print(f"  metrics           : {', '.join(METRICS.names())}", file=out)
+    print("  scenarios:", file=out)
+    for name in SCENARIOS.names():
+        factory = SCENARIOS.get(name)
+        summary = _doc_summary(factory)
+        print(f"    {name}: {summary}" if summary else f"    {name}", file=out)
+        options = _factory_options(factory)
+        if options:
+            print(f"      options: {options}", file=out)
+    print("  learners:", file=out)
+    for name in LEARNERS.names():
+        entry = LEARNERS.get(name)
+        flags = [
+            f"min_actions={entry.min_actions}",
+            *(["sparse"] if entry.sparse else []),
+            *(["grouped"] if entry.grouped else []),
+        ]
+        line = f"    {name} [{', '.join(flags)}]"
+        if entry.description:
+            line += f": {entry.description}"
+        print(line, file=out)
+    print("  capacity backends:", file=out)
+    for name in CAPACITY_BACKENDS.names():
+        backend = CAPACITY_BACKENDS.get(name)
+        summary = _doc_summary(backend)
+        print(f"    {name}: {summary}" if summary else f"    {name}", file=out)
+        options = _factory_options(backend)
+        if options:
+            print(f"      options: {options}", file=out)
+    print(f"  metrics: {', '.join(METRICS.names())}", file=out)
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
@@ -736,12 +943,14 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
         return 0
     if args.command == "store":
         return _run_store(args, out)
-    if args.command in ("run", "sweep"):
+    if args.command in ("run", "sweep", "eval"):
         from repro.analysis.supervision import SweepError
 
         try:
             if args.command == "run":
                 return _run_system(parser, args, out) or 0
+            if args.command == "eval":
+                return _run_eval(parser, args, out)
             return _run_sweep_cmd(parser, args, out)
         except SweepError as exc:
             # One structured line (spec digest + cell index + params)

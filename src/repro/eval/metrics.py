@@ -1,0 +1,128 @@
+"""Prequential metrics over a system trace.
+
+Every simulation round is already test-then-train — peers *act* on what
+they have learned so far (test), then *observe* the realized shares
+(train) — so a recorded :class:`~repro.sim.trace.SystemTrace` **is** the
+prequential stream.  This module reduces one trace into the four rates
+the evaluator compares learners on, both cumulatively and per window:
+
+* **reward** — mean per-peer utility: ``sum(welfare) / sum(online)``.
+  Higher is better; this is the quantity the paper's welfare figures
+  plot, normalized so scenarios with churn stay comparable.
+* **regret** — per-peer *excess* origin load: ``sum(max(0, server_load -
+  min_deficit)) / sum(online)``.  The minimum bandwidth deficit is the
+  structural floor no helper-selection policy can beat (Fig. 5's bound),
+  so anything above it is load the learner failed to move onto helpers.
+  Lower is better; an omniscient allocation scores 0.
+* **stall rate** — fraction of issued demand served by nobody:
+  ``sum(max(0, demand - welfare - server_load)) / sum(demand)``.  Only
+  non-zero when the origin server's capacity is finite (the adversarial
+  corpus pins finite ``server_capacity`` for exactly this reason); with
+  an unbounded origin the server absorbs every deficit and stalls are
+  structurally zero.
+* **switch rate** — helper-connection churn per online peer per round.
+  When the trace recorded per-peer actions (``record_peers=True``, fixed
+  population) this is exact: the fraction of peers whose helper choice
+  changed since the previous round.  Otherwise it falls back to a
+  load-movement proxy, ``0.5 * sum(|loads_t - loads_{t-1}|)`` per online
+  peer — a lower bound on true switching that also counts churn-induced
+  moves; the result dict labels which source was used.
+
+All rates are ratio-of-sums (see :func:`repro.eval.windows.window_ratios`)
+and every division guards against an empty denominator, so degenerate
+windows report 0.0 instead of NaN.  Nothing here depends on wall-clock
+time — results are a pure function of the trace, which is what makes
+evaluation cells bit-reproducible and cacheable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.sim.trace import SystemTrace
+from repro.telemetry import get_telemetry
+
+from repro.eval.windows import window_lengths, window_ratios
+
+#: Scalar metric keys every prequential result carries, in report order.
+SCALAR_METRICS = ("reward", "regret", "stall_rate", "switch_rate")
+
+#: Per-window array keys every prequential result carries.
+WINDOW_METRICS = (
+    "window_reward",
+    "window_regret",
+    "window_stall_rate",
+    "window_switch_rate",
+)
+
+
+def _ratio(numerator: float, denominator: float) -> float:
+    return float(numerator / denominator) if denominator > 0 else 0.0
+
+
+def _switch_series(trace: SystemTrace) -> tuple[np.ndarray, bool]:
+    """Per-round count of helper switches, and whether it is exact.
+
+    Exact when per-peer actions were recorded (fixed population); proxy
+    from load movement otherwise.  Round 0 is defined as zero switches —
+    the first choice is not a switch.
+    """
+    if trace.actions is not None and len(trace.actions) == trace.num_rounds:
+        actions = np.stack(trace.actions)
+        switches = np.zeros(trace.num_rounds, dtype=float)
+        if trace.num_rounds > 1:
+            switches[1:] = (actions[1:] != actions[:-1]).sum(axis=1)
+        return switches, True
+    loads = trace.loads
+    moved = np.zeros(trace.num_rounds, dtype=float)
+    if trace.num_rounds > 1:
+        moved[1:] = 0.5 * np.abs(loads[1:] - loads[:-1]).sum(axis=1)
+    return moved, False
+
+
+def prequential_metrics(
+    trace: SystemTrace, window: int
+) -> Dict[str, Union[float, np.ndarray]]:
+    """Reduce one trace to cumulative + per-window prequential metrics.
+
+    Returns a flat dict: the scalars in :data:`SCALAR_METRICS`, the
+    per-window float arrays in :data:`WINDOW_METRICS` (last window
+    partial; see :mod:`repro.eval.windows`), plus bookkeeping scalars
+    (``windows``, ``window_size``, ``rounds``, ``switch_exact``,
+    ``final_window_reward``, ``final_window_regret``).  The dict is
+    JSON-plain-plus-arrays, the shape :class:`~repro.store.ResultsStore`
+    persists and :class:`~repro.analysis.parallel.ParallelRunner` hands
+    back from workers.
+    """
+    if trace.num_rounds == 0:
+        raise ValueError("trace is empty; nothing to evaluate")
+    tel = get_telemetry()
+    with tel.phase("eval.window"):
+        online = trace.online_peers.astype(float)
+        demand = trace.total_demand
+        welfare = trace.welfare
+        excess = np.maximum(0.0, trace.server_load - trace.min_deficit)
+        unserved = np.maximum(0.0, demand - welfare - trace.server_load)
+        switches, exact = _switch_series(trace)
+
+        result: Dict[str, Union[float, np.ndarray]] = {
+            "reward": _ratio(welfare.sum(), online.sum()),
+            "regret": _ratio(excess.sum(), online.sum()),
+            "stall_rate": _ratio(unserved.sum(), demand.sum()),
+            "switch_rate": _ratio(switches.sum(), online.sum()),
+            "window_reward": window_ratios(welfare, online, window),
+            "window_regret": window_ratios(excess, online, window),
+            "window_stall_rate": window_ratios(unserved, demand, window),
+            "window_switch_rate": window_ratios(switches, online, window),
+        }
+        num_windows = window_lengths(trace.num_rounds, window).size
+        result["windows"] = float(num_windows)
+        result["window_size"] = float(window)
+        result["rounds"] = float(trace.num_rounds)
+        result["switch_exact"] = float(exact)
+        result["final_window_reward"] = float(result["window_reward"][-1])
+        result["final_window_regret"] = float(result["window_regret"][-1])
+    tel.counter("eval.windows").inc(num_windows)
+    return result

@@ -24,7 +24,8 @@ from repro.sim.bandwidth import (
 from repro.sim.chunks import ChunkConfig, ChunkLevelSystem, HelperUploader
 from repro.sim.churn import ChurnConfig, ChurnProcess
 from repro.sim.engine import EventHandle, Simulator
-from repro.sim.failures import FailureInjectingProcess
+from repro.sim.adversarial import OscillatingCapacityProcess
+from repro.sim.failures import CorrelatedFailureProcess, FailureInjectingProcess
 from repro.sim.playback import PlaybackBuffer, QoEReport, playback_qoe, switch_rate
 from repro.sim.entities import Channel, Helper, Peer, StreamingServer
 from repro.sim.system import LearnerFactory, StreamingSystem, SystemConfig
@@ -61,4 +62,6 @@ __all__ = [
     "ChunkLevelSystem",
     "HelperUploader",
     "FailureInjectingProcess",
+    "CorrelatedFailureProcess",
+    "OscillatingCapacityProcess",
 ]

@@ -1,0 +1,98 @@
+"""Adversarial capacity dynamics for the evaluation corpus.
+
+The paper's environment is benignly stochastic: each helper's bandwidth
+wanders a slow Markov chain, independently of everything else.  The
+processes here are the *unkind* counterparts the prequential corpus
+evaluates learners against:
+
+* :class:`OscillatingCapacityProcess` — a deterministic square wave that
+  rotates degradation across helper cohorts.  Whichever helpers look
+  best now are exactly the ones about to be throttled, so a policy that
+  locks onto current winners (sticky) keeps paying the flip, while a
+  regret tracker re-adapts within a period.  This is the classic
+  adversarial-bandit stressor, made reproducible: no RNG, the wave is a
+  pure function of the stage counter.
+
+The correlated-outage counterpart (whole failure domains going dark at
+once) lives in :mod:`repro.sim.failures` next to the independent-outage
+process it generalizes.  Both register as capacity backends in
+:mod:`repro.spec.builtins` (``"oscillating"``, ``"correlated_failures"``)
+so specs reach them by name via ``capacity.backend`` + ``options``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.game.repeated_game import CapacityProcess
+from repro.util.validation import (
+    require_in_closed_unit_interval,
+    require_positive_int,
+)
+
+
+class OscillatingCapacityProcess:
+    """Deterministic rotating degradation over helper cohorts.
+
+    Helpers split into ``num_groups`` interleaved cohorts (helper ``j``
+    belongs to cohort ``j % num_groups``).  Time splits into blocks of
+    ``period`` stages; during block ``b`` the cohort ``b % num_groups``
+    reads its base capacity scaled by ``low_fraction`` while the others
+    pass through untouched.  The degradation therefore *rotates*: every
+    cohort is healthy for ``(num_groups - 1) * period`` stages, then
+    throttled for ``period`` — and the flip always hits the cohort that
+    has most recently looked attractive.
+
+    Base-process stochasticity (the Markov wander) is preserved; only
+    the adversarial envelope is deterministic, so two runs with the same
+    base seed see the identical wave.
+    """
+
+    def __init__(
+        self,
+        base: CapacityProcess,
+        low_fraction: float = 0.25,
+        period: int = 20,
+        num_groups: int = 2,
+    ) -> None:
+        require_in_closed_unit_interval(low_fraction, "low_fraction")
+        require_positive_int(period, "period")
+        require_positive_int(num_groups, "num_groups")
+        if num_groups > base.num_helpers:
+            raise ValueError(
+                f"num_groups={num_groups} exceeds the helper count "
+                f"({base.num_helpers}); every cohort needs a member"
+            )
+        self._base = base
+        self._low_fraction = float(low_fraction)
+        self._period = int(period)
+        self._num_groups = int(num_groups)
+        self._stage = 0
+        self._groups = np.arange(base.num_helpers) % num_groups
+
+    @property
+    def num_helpers(self) -> int:
+        """Helper count of the wrapped process."""
+        return self._base.num_helpers
+
+    @property
+    def degraded(self) -> np.ndarray:
+        """Current degradation mask (True = helper throttled this stage)."""
+        active = (self._stage // self._period) % self._num_groups
+        return self._groups == active
+
+    def capacities(self) -> np.ndarray:
+        """Base capacities with the active cohort scaled down."""
+        caps = np.asarray(self._base.capacities(), dtype=float).copy()
+        caps[self.degraded] *= self._low_fraction
+        return caps
+
+    def minimum_capacities(self) -> np.ndarray:
+        """Per-helper lower bound: every helper periodically degrades."""
+        base_min = np.asarray(self._base.minimum_capacities(), dtype=float)
+        return base_min * self._low_fraction
+
+    def advance(self) -> None:
+        """Advance the base process and the square-wave clock."""
+        self._base.advance()
+        self._stage += 1

@@ -84,6 +84,88 @@ def _failing_backend(
 register_capacity_backend("failures", _failing_backend)
 
 
+def _correlated_failures_backend(
+    num_helpers,
+    *,
+    levels,
+    stay_probability,
+    rng,
+    num_groups: int = 4,
+    group_failure_rate: float = 0.02,
+    mean_outage_rounds: float = 20.0,
+    base: str = "vectorized",
+):
+    """The paper environment with whole failure domains going dark.
+
+    Helpers split into ``num_groups`` contiguous domains failing as a
+    unit (rack/region/push-cohort locality); see
+    :class:`~repro.sim.failures.CorrelatedFailureProcess`.  All knobs
+    are reachable from a spec via ``capacity.options``.
+    """
+    from repro.sim.failures import CorrelatedFailureProcess
+    from repro.util.rng import as_generator, spawn
+
+    parent = as_generator(rng)
+    process = paper_bandwidth_process(
+        num_helpers,
+        levels=levels,
+        stay_probability=stay_probability,
+        rng=spawn(parent),
+        backend=base,
+    )
+    return CorrelatedFailureProcess(
+        process,
+        num_groups=num_groups,
+        group_failure_rate=group_failure_rate,
+        mean_outage_rounds=mean_outage_rounds,
+        rng=spawn(parent),
+    )
+
+
+register_capacity_backend("correlated_failures", _correlated_failures_backend)
+
+
+def _oscillating_backend(
+    num_helpers,
+    *,
+    levels,
+    stay_probability,
+    rng,
+    low_fraction: float = 0.25,
+    period: int = 20,
+    num_groups: int = 2,
+    base: str = "vectorized",
+):
+    """The paper environment under a rotating degradation square wave.
+
+    A deterministic adversarial envelope: cohort ``b % num_groups`` is
+    throttled to ``low_fraction`` of its base capacity during stage
+    block ``b``; see
+    :class:`~repro.sim.adversarial.OscillatingCapacityProcess`.  All
+    knobs are reachable from a spec via ``capacity.options``.
+    """
+    from repro.sim.adversarial import OscillatingCapacityProcess
+    from repro.util.rng import as_generator, spawn
+
+    parent = as_generator(rng)
+    process = paper_bandwidth_process(
+        num_helpers,
+        levels=levels,
+        stay_probability=stay_probability,
+        rng=spawn(parent),
+        backend=base,
+    )
+    return OscillatingCapacityProcess(
+        process,
+        low_fraction=low_fraction,
+        period=period,
+        num_groups=num_groups,
+    )
+
+
+register_capacity_backend("oscillating", _oscillating_backend)
+
+
 # ----------------------------------------------------------------------
 # Learner families (each drives both system backends)
 # ----------------------------------------------------------------------
@@ -127,16 +209,32 @@ def _sticky_bank(epsilon, delta, mu, u_max, dtype):
 register_learner(
     "rths", scalar=_regret_scalar(RTHSLearner), bank=_regret_bank("rths"),
     min_actions=2, sparse=True, grouped=True,
+    description=(
+        "Regret Tracking Helper Selection (the paper's Alg. 1): "
+        "decaying-memory regret matching, tracks a changing environment"
+    ),
 )
 register_learner(
     "r2hs", scalar=_regret_scalar(R2HSLearner), bank=_regret_bank("r2hs"),
     min_actions=2, sparse=True, grouped=True,
+    description=(
+        "Regret-based Reinforcement Helper Selection (Alg. 2): "
+        "time-averaged regrets, converges to the correlated-equilibrium set"
+    ),
 )
 # The baselines keep no regret state; their per-round cost is the
 # per-channel RNG call itself, so there is nothing to fuse — they run
 # (and honestly report) the per-channel engine.
-register_learner("uniform", scalar=_uniform_scalar, bank=_uniform_bank)
-register_learner("sticky", scalar=_sticky_scalar, bank=_sticky_bank)
+register_learner(
+    "uniform", scalar=_uniform_scalar, bank=_uniform_bank,
+    description="baseline: picks a helper uniformly at random every round",
+)
+register_learner(
+    "sticky", scalar=_sticky_scalar, bank=_sticky_bank,
+    description=(
+        "baseline: picks a helper once and never switches (fixed overlay)"
+    ),
+)
 
 
 # ----------------------------------------------------------------------

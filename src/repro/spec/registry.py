@@ -163,6 +163,7 @@ class LearnerEntry:
     min_actions: int = 1
     sparse: bool = False
     grouped: bool = False
+    description: str = ""
 
 
 #: The four global registries.
@@ -191,6 +192,7 @@ def register_learner(
     min_actions: int = 1,
     sparse: bool = False,
     grouped: bool = False,
+    description: str = "",
     overwrite: bool = False,
 ) -> LearnerEntry:
     """Register a learner family under ``name`` for one or both backends.
@@ -199,12 +201,13 @@ def register_learner(
     ``bank=``/``topk=`` keyword arguments (sparse top-k storage) and
     ``grouped=True`` when its factories carry a ``make_grouped`` hook
     (the fused multi-channel engine; plain factories run per-channel).
+    ``description`` is the one-line summary ``repro list`` prints.
     """
     if scalar is None and bank is None:
         raise ValueError("register_learner needs a scalar factory, a bank factory, or both")
     entry = LearnerEntry(
         scalar=scalar, bank=bank, min_actions=min_actions, sparse=sparse,
-        grouped=grouped,
+        grouped=grouped, description=description,
     )
     LEARNERS.register(name, entry, overwrite=overwrite)
     return entry

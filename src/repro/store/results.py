@@ -402,7 +402,11 @@ class ResultsStore:
             "quarantined": len(corrupt) if quarantine else 0,
         }
 
-    def gc(self, keep_specs: Optional[Sequence[str]] = None) -> Dict[str, int]:
+    def gc(
+        self,
+        keep_specs: Optional[Sequence[str]] = None,
+        dry_run: bool = False,
+    ) -> Dict[str, int]:
         """Reclaim space: torn commits, quarantined entries, stale specs.
 
         Removes everything under ``tmp/`` (interrupted commits never
@@ -410,16 +414,23 @@ class ResultsStore:
         ``keep_specs``, entries whose spec digest is not listed are
         removed too — the pruning mode for retiring superseded
         experiment versions.  Returns removal counts plus bytes freed.
+
+        With ``dry_run=True`` nothing is touched: the same counts are
+        computed and returned as a would-remove report, so a
+        ``--keep-spec`` pruning run can be previewed before committing
+        to it.
         """
         freed = 0
         tmp_removed = quarantine_removed = entries_removed = 0
         for path in (self.root / "tmp").iterdir():
             freed += _tree_bytes(path)
-            _remove_tree(path)
+            if not dry_run:
+                _remove_tree(path)
             tmp_removed += 1
         for path in (self.root / "quarantine").iterdir():
             freed += _tree_bytes(path)
-            _remove_tree(path)
+            if not dry_run:
+                _remove_tree(path)
             quarantine_removed += 1
         if keep_specs is not None:
             keep = {str(s) for s in keep_specs}
@@ -429,7 +440,8 @@ class ResultsStore:
                         1 for p in spec_dir.iterdir() if p.is_dir()
                     )
                     freed += _tree_bytes(spec_dir)
-                    shutil.rmtree(spec_dir)
+                    if not dry_run:
+                        shutil.rmtree(spec_dir)
         return {
             "tmp_removed": tmp_removed,
             "quarantine_removed": quarantine_removed,

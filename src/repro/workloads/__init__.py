@@ -6,8 +6,18 @@
 * :mod:`repro.workloads.scenarios` — the concrete experiment setups of the
   paper's Section IV (small-scale N=10/H=4, large-scale, Fig. 5 demand
   setting), each bundling population, environment and learner parameters.
+* :mod:`repro.workloads.adversarial` — the hostile corpus the prequential
+  evaluator (:mod:`repro.eval`) compares learners against: correlated
+  helper outages, oscillating capacity, flash-crowd+failure storms, and
+  diurnal popularity/capacity mixes.
 """
 
+from repro.workloads.adversarial import (
+    correlated_failures_spec,
+    diurnal_mix_spec,
+    flash_storm_spec,
+    oscillating_capacity_spec,
+)
 from repro.workloads.demand import constant_demand, heterogeneous_demand
 from repro.workloads.popularity import zipf_popularity
 from repro.workloads.scenarios import (
@@ -47,4 +57,8 @@ __all__ = [
     "make_system_config",
     "make_vectorized_system",
     "run_scenario",
+    "correlated_failures_spec",
+    "oscillating_capacity_spec",
+    "flash_storm_spec",
+    "diurnal_mix_spec",
 ]

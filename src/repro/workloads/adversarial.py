@@ -1,0 +1,281 @@
+"""The adversarial scenario corpus: workloads built to break learners.
+
+The paper evaluates helper selection under a benign environment — slow
+Markov bandwidth wander, fixed population.  The corpus here is the
+hostile complement, one registered spec factory per failure mode the
+prequential evaluator (:mod:`repro.eval`) compares learners against:
+
+* ``correlated_failures`` — whole helper domains (racks, regions) going
+  dark as a unit and recovering geometrically.
+* ``oscillating_capacity`` — a deterministic square wave rotating
+  degradation across helper cohorts, so current winners are always the
+  next victims.
+* ``flash_storm`` — a flash crowd *composed with* random helper
+  outages: heavy Poisson arrivals piling onto Zipf-hot channels while
+  helpers crash underneath them.
+* ``diurnal_mix`` — a weekday/weekend-style day cycle: channel
+  popularity drifts while helper capacity swings on a long-period wave
+  (residential helpers saturating in prime time), under steady churn.
+
+Every factory pins a **finite** origin-server budget.  With the default
+unbounded server the origin silently absorbs every deficit and the
+stall rate is structurally zero; a finite budget makes stalls — the
+viewer-facing failure — a live metric, which is the point of the
+corpus.  Budgets default to a fraction of aggregate demand so shrinking
+a scenario via options keeps the regime, not just the numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.spec import (
+    CapacitySpec,
+    ChurnSpec,
+    ExperimentSpec,
+    LearnerSpec,
+    TopologySpec,
+    register_scenario,
+)
+from repro.workloads.popularity import zipf_popularity
+
+
+def _server_budget(
+    server_capacity: Optional[float],
+    num_peers: int,
+    demand_per_peer: float,
+    fraction: float,
+) -> float:
+    """Explicit budget, or ``fraction`` of aggregate demand."""
+    if server_capacity is not None:
+        return float(server_capacity)
+    return float(fraction * num_peers * demand_per_peer)
+
+
+def correlated_failures_spec(
+    num_peers: int = 2_000,
+    num_helpers: int = 40,
+    num_channels: int = 4,
+    num_groups: int = 4,
+    group_failure_rate: float = 0.03,
+    mean_outage_rounds: float = 15.0,
+    num_stages: int = 200,
+    demand_per_peer: float = 100.0,
+    server_capacity: Optional[float] = None,
+    backend: str = "vectorized",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Correlated helper outages: failure domains go dark as a unit.
+
+    Helpers split into ``num_groups`` contiguous domains; each stage
+    every healthy domain fails whole with probability
+    ``group_failure_rate`` and stays dark for a geometric outage (mean
+    ``mean_outage_rounds`` rounds).  When a domain drops, every peer
+    attached to it loses its whole neighborhood at once and must
+    re-explore under bandit feedback — sticky overlays ride the outage
+    at zero rate while regret trackers migrate within a few rounds.
+    """
+    return ExperimentSpec(
+        name="correlated-failures",
+        backend=backend,
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=num_peers,
+            num_helpers=num_helpers,
+            num_channels=num_channels,
+            channel_bitrates=demand_per_peer,
+        ),
+        capacity=CapacitySpec(
+            backend="correlated_failures",
+            server_capacity=_server_budget(
+                server_capacity, num_peers, demand_per_peer, 0.5
+            ),
+            options={
+                "num_groups": num_groups,
+                "group_failure_rate": group_failure_rate,
+                "mean_outage_rounds": mean_outage_rounds,
+            },
+        ),
+        learner=LearnerSpec(name="rths"),
+    )
+
+
+def oscillating_capacity_spec(
+    num_peers: int = 2_000,
+    num_helpers: int = 40,
+    num_channels: int = 4,
+    low_fraction: float = 0.2,
+    period: int = 25,
+    num_groups: int = 2,
+    num_stages: int = 200,
+    demand_per_peer: float = 100.0,
+    server_capacity: Optional[float] = None,
+    backend: str = "vectorized",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Adversarial oscillating capacity: the best helpers flip every period.
+
+    A deterministic square wave throttles helper cohort ``b %
+    num_groups`` to ``low_fraction`` of its bandwidth during stage block
+    ``b`` — so whichever helpers a policy has locked onto are exactly
+    the ones about to degrade.  The classic adversarial-bandit stressor:
+    a fixed overlay pays the flip every period, a regret tracker
+    re-adapts within it.
+    """
+    return ExperimentSpec(
+        name="oscillating-capacity",
+        backend=backend,
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=num_peers,
+            num_helpers=num_helpers,
+            num_channels=num_channels,
+            channel_bitrates=demand_per_peer,
+        ),
+        capacity=CapacitySpec(
+            backend="oscillating",
+            server_capacity=_server_budget(
+                server_capacity, num_peers, demand_per_peer, 0.5
+            ),
+            options={
+                "low_fraction": low_fraction,
+                "period": period,
+                "num_groups": num_groups,
+            },
+        ),
+        learner=LearnerSpec(name="rths"),
+    )
+
+
+def flash_storm_spec(
+    num_peers: int = 2_000,
+    num_helpers: int = 40,
+    num_channels: int = 4,
+    zipf_exponent: float = 1.2,
+    arrival_rate: float = 30.0,
+    mean_lifetime: float = 50.0,
+    channel_switch_rate: float = 2.0,
+    failure_rate: float = 0.02,
+    mean_outage_rounds: float = 15.0,
+    num_stages: int = 200,
+    demand_per_peer: float = 100.0,
+    server_capacity: Optional[float] = None,
+    backend: str = "vectorized",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Flash crowd composed with helper outages: everything at once.
+
+    The ``flash_crowd`` churn storm (heavy Poisson arrivals onto
+    Zipf-hot channels, short lifetimes, viewers hopping channels) runs
+    on top of the ``failures`` capacity backend, so helpers crash and
+    recover *while* the crowd surges.  The compound stressor: load
+    concentrates on hot channels exactly when their helper blocks are
+    least reliable, and the finite origin budget turns the shortfall
+    into visible stalls.
+    """
+    return ExperimentSpec(
+        name="flash-storm",
+        backend=backend,
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=num_peers,
+            num_helpers=num_helpers,
+            num_channels=num_channels,
+            channel_bitrates=demand_per_peer,
+            channel_popularity=tuple(
+                zipf_popularity(num_channels, zipf_exponent)
+            ),
+            channel_switch_rate=channel_switch_rate,
+        ),
+        capacity=CapacitySpec(
+            backend="failures",
+            server_capacity=_server_budget(
+                server_capacity, num_peers, demand_per_peer, 0.5
+            ),
+            options={
+                "failure_rate": failure_rate,
+                "mean_outage_rounds": mean_outage_rounds,
+            },
+        ),
+        learner=LearnerSpec(name="rths"),
+        churn=ChurnSpec(
+            arrival_rate=arrival_rate,
+            mean_lifetime=mean_lifetime,
+            initial_peer_lifetimes=True,
+        ),
+    )
+
+
+def diurnal_mix_spec(
+    num_peers: int = 3_000,
+    num_helpers: int = 60,
+    num_channels: int = 10,
+    zipf_exponent: float = 1.0,
+    drift_rate: float = 0.15,
+    drift_period: float = 25.0,
+    channel_switch_rate: float = 3.0,
+    arrival_rate: float = 15.0,
+    mean_lifetime: float = 80.0,
+    capacity_low_fraction: float = 0.5,
+    capacity_period: int = 50,
+    num_stages: int = 300,
+    demand_per_peer: float = 100.0,
+    server_capacity: Optional[float] = None,
+    backend: str = "vectorized",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Weekday/weekend diurnal mix: demand *and* supply follow the clock.
+
+    Channel popularity drifts on a ``drift_period`` cycle (the evening's
+    hot channels are not the morning's) while helper capacity swings on
+    a long-period oscillation (``capacity_period`` stages per half-day —
+    residential helpers saturate in prime time), under steady churn and
+    viewer channel-hopping.  No single shock, just the compounding slow
+    nonstationarity a deployed system lives in; the regime where
+    decaying-memory regret tracking should hold a durable edge over any
+    fixed assignment.
+    """
+    return ExperimentSpec(
+        name="diurnal-mix",
+        backend=backend,
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=num_peers,
+            num_helpers=num_helpers,
+            num_channels=num_channels,
+            channel_bitrates=demand_per_peer,
+            channel_popularity=tuple(
+                zipf_popularity(num_channels, zipf_exponent)
+            ),
+            channel_switch_rate=channel_switch_rate,
+            popularity_drift_rate=drift_rate,
+            popularity_drift_period=drift_period,
+        ),
+        capacity=CapacitySpec(
+            backend="oscillating",
+            server_capacity=_server_budget(
+                server_capacity, num_peers, demand_per_peer, 0.5
+            ),
+            options={
+                "low_fraction": capacity_low_fraction,
+                "period": capacity_period,
+                "num_groups": 2,
+            },
+        ),
+        learner=LearnerSpec(name="rths"),
+        churn=ChurnSpec(
+            arrival_rate=arrival_rate,
+            mean_lifetime=mean_lifetime,
+            initial_peer_lifetimes=True,
+        ),
+    )
+
+
+register_scenario("correlated_failures", correlated_failures_spec)
+register_scenario("oscillating_capacity", oscillating_capacity_spec)
+register_scenario("flash_storm", flash_storm_spec)
+register_scenario("diurnal_mix", diurnal_mix_spec)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.analysis.sweeps import (
+    SweepCell,
     SweepResult,
     default_metrics,
     sweep_environment_speed,
@@ -115,3 +116,64 @@ class TestSweepResult:
 
     def test_default_metrics_keys(self):
         assert set(default_metrics()) == {"tail_welfare", "ce_regret", "load_jain"}
+
+
+class _Failure:
+    """Minimal stand-in for a SweepFailure record."""
+
+    def __init__(self, cell_index, params):
+        self.cell_index = cell_index
+        self.params = params
+
+    def describe(self):
+        return f"cell {self.cell_index} failed"
+
+
+class TestToTableFailureHoles:
+    def _holed(self):
+        cell = SweepCell(
+            parameters={"epsilon": 0.05, "replication": 0},
+            metrics={"tail_welfare": 1.0},
+        )
+        result = SweepResult(cells=[cell, None])
+        result.failures.append(
+            _Failure(1, {"epsilon": 0.2, "replication": 1})
+        )
+        return result
+
+    def test_failed_row_shows_its_params_inline(self):
+        table = self._holed().to_table()
+        failed_row = next(
+            line for line in table.splitlines() if "FAILED" in line
+        )
+        assert "0.2" in failed_row
+        assert "1" in failed_row
+
+    def test_failure_param_only_columns_are_included(self):
+        # The failing cell carries a param no completed cell has; it
+        # must still get a column instead of being dropped.
+        result = SweepResult(
+            cells=[SweepCell(parameters={"a": 1}, metrics={"m": 0.0}), None]
+        )
+        result.failures.append(_Failure(1, {"a": 2, "injected": "yes"}))
+        table = result.to_table()
+        assert "injected" in table
+        assert "yes" in table
+
+    def test_all_cells_failed_still_renders_params(self):
+        result = SweepResult(cells=[None, None])
+        result.failures.append(_Failure(0, {"epsilon": 0.05}))
+        result.failures.append(_Failure(1, {"epsilon": 0.2}))
+        table = result.to_table()
+        assert "epsilon" in table
+        assert "0.05" in table and "0.2" in table
+        assert table.count("FAILED") == 2
+
+    def test_failure_without_params_renders_placeholders(self):
+        result = SweepResult(
+            cells=[SweepCell(parameters={"a": 1}, metrics={"m": 0.0}), None]
+        )
+        result.failures.append(_Failure(1, {}))
+        table = result.to_table()
+        assert "?" in table
+        assert "FAILED" in table

@@ -1,0 +1,205 @@
+"""Integration tests for the EvalSpec/Evaluator prequential harness."""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.workloads  # noqa: F401  (scenario registration)
+from repro.eval import EvalCell, EvalResult, EvalSpec, Evaluator, evaluate
+from repro.eval.harness import TABLE_METRICS
+from repro.spec.model import ExecutionSpec
+
+#: CI-sized instance of one adversarial scenario: fast, deterministic.
+SMALL = {
+    "num_peers": 12,
+    "num_helpers": 4,
+    "num_channels": 2,
+    "num_stages": 20,
+}
+
+
+def small_spec(**overrides) -> EvalSpec:
+    kwargs = dict(
+        name="t",
+        scenarios=("oscillating_capacity",),
+        learners=("rths", "sticky"),
+        window=8,
+        seed=0,
+        scenario_options={"oscillating_capacity": SMALL},
+    )
+    kwargs.update(overrides)
+    return EvalSpec(**kwargs)
+
+
+class TestEvalSpec:
+    def test_json_round_trip(self):
+        spec = small_spec(rounds=15, backend="vectorized")
+        assert EvalSpec.from_json(spec.to_json()) == spec
+
+    def test_load_save_round_trip(self, tmp_path):
+        path = tmp_path / "matrix.json"
+        spec = small_spec()
+        spec.save(path)
+        assert EvalSpec.load(path) == spec
+
+    def test_unknown_scenario_raises_with_menu(self):
+        with pytest.raises(KeyError, match="registered scenario"):
+            EvalSpec(scenarios=("nope",))
+
+    def test_unknown_learner_raises_with_menu(self):
+        with pytest.raises(KeyError, match="registered learner"):
+            EvalSpec(scenarios=("small_scale",), learners=("nope",))
+
+    def test_scenario_options_for_unlisted_scenario_raise(self):
+        with pytest.raises(ValueError, match="not in"):
+            EvalSpec(
+                scenarios=("small_scale",),
+                scenario_options={"flash_crowd": {"num_peers": 5}},
+            )
+
+    def test_bad_window_raises(self):
+        with pytest.raises(ValueError):
+            small_spec(window=0)
+
+    def test_bad_backend_raises(self):
+        with pytest.raises(ValueError, match="backend"):
+            small_spec(backend="gpu")
+
+    def test_unknown_json_key_raises(self):
+        data = small_spec().to_dict()
+        data["windoww"] = 5
+        with pytest.raises(ValueError):
+            EvalSpec.from_dict(data)
+
+    def test_digest_excludes_execution(self):
+        spec = small_spec()
+        retried = dataclasses.replace(
+            spec, execution=ExecutionSpec(max_retries=3)
+        )
+        assert spec.eval_digest() == retried.eval_digest()
+
+    def test_digest_tracks_result_determining_fields(self):
+        assert small_spec().eval_digest() != small_spec(seed=1).eval_digest()
+
+    def test_parameter_sets_are_scenario_major(self):
+        spec = EvalSpec(
+            scenarios=("small_scale", "flash_crowd"), learners=("rths", "sticky")
+        )
+        pairs = [(p["scenario"], p["learner"]) for p in spec.parameter_sets()]
+        assert pairs == [
+            ("small_scale", "rths"),
+            ("small_scale", "sticky"),
+            ("flash_crowd", "rths"),
+            ("flash_crowd", "sticky"),
+        ]
+
+    def test_build_cell_spec_grafts_learner_and_pins(self):
+        spec = small_spec(rounds=9, backend="scalar")
+        cell = spec.build_cell_spec("oscillating_capacity", "sticky")
+        assert cell.learner.name == "sticky"
+        assert cell.rounds == 9
+        assert cell.backend == "scalar"
+        assert cell.topology.num_peers == SMALL["num_peers"]
+
+
+class TestEvaluator:
+    def test_runs_deterministically(self):
+        spec = small_spec()
+        first = evaluate(spec)
+        again = evaluate(spec)
+        assert first.to_json() == again.to_json()
+
+    def test_worker_count_does_not_change_results(self):
+        spec = small_spec()
+        serial = evaluate(spec, workers=1)
+        fanned = evaluate(spec, workers=2)
+        assert serial.to_json() == fanned.to_json()
+
+    def test_store_caches_cells(self, tmp_path):
+        spec = small_spec()
+        store_dir = tmp_path / "results"
+        first = evaluate(spec, store=str(store_dir))
+        from repro.store import ResultsStore
+
+        store = ResultsStore(str(store_dir))
+        entries = store.ls()
+        assert len(entries) == len(spec.parameter_sets())
+        resumed = evaluate(spec, store=store)
+        assert resumed.to_json() == first.to_json()
+
+    def test_empty_matrix_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            Evaluator().run(EvalSpec(scenarios=()))
+
+    def test_unbuildable_cell_fails_fast_naming_the_cell(self):
+        spec = small_spec(
+            scenario_options={
+                "oscillating_capacity": {**SMALL, "num_peerz": 9}
+            }
+        )
+        with pytest.raises(ValueError, match="oscillating_capacity"):
+            Evaluator().run(spec)
+
+    def test_metrics_and_lookups(self):
+        spec = small_spec()
+        result = evaluate(spec)
+        assert len(result.completed_cells()) == 2
+        cell = result.cell("oscillating_capacity", "rths")
+        assert cell is not None and cell.learner == "rths"
+        column = result.column("reward")
+        assert set(column) == {
+            ("oscillating_capacity", "rths"),
+            ("oscillating_capacity", "sticky"),
+        }
+        deltas = result.compare("reward", "rths", "sticky")
+        assert set(deltas) == {"oscillating_capacity"}
+        with pytest.raises(KeyError):
+            result.cell("flash_crowd", "rths")
+
+
+class _FakeFailure:
+    cell_index = 0
+    params = {"scenario": "oscillating_capacity", "learner": "rths"}
+
+    @staticmethod
+    def describe() -> str:
+        return "cell 0 failed: boom"
+
+
+class TestEvalResult:
+    def _holed(self) -> EvalResult:
+        spec = small_spec()
+        metrics = {name: 0.5 for name in TABLE_METRICS}
+        return EvalResult(
+            spec=spec,
+            cells=(
+                None,
+                EvalCell("oscillating_capacity", "sticky", metrics),
+            ),
+            failures=(_FakeFailure(),),
+        )
+
+    def test_failed_cells_render_in_place(self):
+        table = self._holed().to_table()
+        assert "FAILED" in table
+        assert "sticky" in table
+
+    def test_markdown_renders_pipes_and_failures(self):
+        markdown = self._holed().to_markdown()
+        assert markdown.startswith("| scenario | learner |")
+        assert "FAILED" in markdown
+
+    def test_compare_omits_scenarios_with_holes(self):
+        assert self._holed().compare("reward", "rths", "sticky") == {}
+
+    def test_to_dict_is_json_plain(self):
+        result = self._holed()
+        data = json.loads(result.to_json())
+        assert data["cells"][0] is None
+        assert data["failures"] == ["cell 0 failed: boom"]
+
+    def test_empty_result_table_raises(self):
+        result = EvalResult(spec=small_spec(), cells=())
+        with pytest.raises(ValueError):
+            result.to_table()

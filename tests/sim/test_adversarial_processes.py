@@ -1,0 +1,119 @@
+"""Tests for the adversarial capacity processes backing the eval corpus."""
+
+import numpy as np
+import pytest
+
+from repro.game.repeated_game import StaticCapacities
+from repro.sim import CorrelatedFailureProcess, OscillatingCapacityProcess
+
+
+class TestOscillatingCapacityProcess:
+    def _process(self, caps=(800.0, 800.0, 800.0, 800.0), **kwargs):
+        defaults = dict(low_fraction=0.5, period=3, num_groups=2)
+        defaults.update(kwargs)
+        return OscillatingCapacityProcess(StaticCapacities(caps), **defaults)
+
+    def test_degradation_rotates_between_cohorts(self):
+        process = self._process()
+        # Block 0: cohort 0 (helpers 0, 2) throttled.
+        assert process.degraded.tolist() == [True, False, True, False]
+        for _ in range(3):
+            process.advance()
+        # Block 1: cohort 1 (helpers 1, 3) throttled.
+        assert process.degraded.tolist() == [False, True, False, True]
+        for _ in range(3):
+            process.advance()
+        assert process.degraded.tolist() == [True, False, True, False]
+
+    def test_throttled_cohort_reads_scaled_capacity(self):
+        process = self._process()
+        caps = process.capacities()
+        assert caps.tolist() == [400.0, 800.0, 400.0, 800.0]
+
+    def test_wave_is_deterministic(self):
+        a, b = self._process(), self._process()
+        for _ in range(20):
+            assert np.array_equal(a.capacities(), b.capacities())
+            a.advance()
+            b.advance()
+
+    def test_minimum_capacities_account_for_the_wave(self):
+        process = self._process()
+        assert process.minimum_capacities().tolist() == [400.0] * 4
+
+    def test_more_groups_than_helpers_raises(self):
+        with pytest.raises(ValueError, match="num_groups"):
+            self._process(caps=(800.0,), num_groups=2)
+
+    def test_bad_low_fraction_raises(self):
+        with pytest.raises(ValueError):
+            self._process(low_fraction=1.5)
+
+
+class TestCorrelatedFailureProcess:
+    def _process(self, num_helpers=8, **kwargs):
+        defaults = dict(
+            num_groups=4, group_failure_rate=0.3, mean_outage_rounds=5.0, rng=0
+        )
+        defaults.update(kwargs)
+        return CorrelatedFailureProcess(
+            StaticCapacities([800.0] * num_helpers), **defaults
+        )
+
+    def test_domains_share_fate(self):
+        process = self._process()
+        saw_failure = False
+        for _ in range(100):
+            failed = process.failed
+            # Helpers of one domain are contiguous pairs here (8 helpers,
+            # 4 groups); each pair must agree.
+            for group in range(4):
+                assert failed[2 * group] == failed[2 * group + 1]
+            if failed.any():
+                saw_failure = True
+                caps = process.capacities()
+                assert np.all(caps[failed] == 0.0)
+                assert np.all(caps[~failed] == 800.0)
+            process.advance()
+        assert saw_failure
+
+    def test_domains_recover(self):
+        process = self._process(
+            group_failure_rate=1.0, mean_outage_rounds=2.0, rng=1
+        )
+        process.advance()
+        assert process.failed_groups.all()
+        for _ in range(200):
+            process.advance()
+            if not process.failed_groups.any():
+                return
+        pytest.fail("no full recovery within 200 stages")
+
+    def test_zero_rate_never_fails_and_keeps_base_minimum(self):
+        process = self._process(group_failure_rate=0.0)
+        for _ in range(50):
+            assert not process.failed.any()
+            process.advance()
+        assert process.outages_started == 0
+        assert process.minimum_capacities().tolist() == [800.0] * 8
+
+    def test_positive_rate_zeroes_minimum_capacities(self):
+        assert self._process().minimum_capacities().tolist() == [0.0] * 8
+
+    def test_outage_accounting(self):
+        process = self._process(rng=2)
+        for _ in range(200):
+            process.advance()
+        assert process.outages_started > 0
+        assert process.failed_helper_stages > 0
+
+    def test_same_seed_is_reproducible(self):
+        a, b = self._process(rng=7), self._process(rng=7)
+        for _ in range(100):
+            assert np.array_equal(a.failed, b.failed)
+            a.advance()
+            b.advance()
+
+    def test_more_groups_than_helpers_raises(self):
+        with pytest.raises(ValueError, match="num_groups"):
+            self._process(num_helpers=2, num_groups=4)

@@ -253,6 +253,20 @@ class TestStoreCommand:
         assert main(["store", "gc", str(store_dir)], out=out) == 0
         assert "gc: tmp_removed=0" in out.getvalue()
 
+    def test_gc_dry_run_previews_without_removing(self, tmp_path):
+        store_dir = self._populated_store(tmp_path)
+        torn = store_dir / "tmp" / "feedface"
+        torn.mkdir(parents=True)
+        (torn / "x.npy").write_bytes(b"x" * 10)
+        out = io.StringIO()
+        assert main(["store", "gc", str(store_dir), "--dry-run"], out=out) == 0
+        assert "gc (dry-run): would remove tmp_removed=1" in out.getvalue()
+        assert torn.exists()  # preview only
+        out = io.StringIO()
+        assert main(["store", "gc", str(store_dir)], out=out) == 0
+        assert "gc: tmp_removed=1" in out.getvalue()
+        assert not torn.exists()
+
     def test_missing_store_dir_exits_one(self, tmp_path, capsys):
         assert main(
             ["store", "ls", str(tmp_path / "absent")], out=io.StringIO()

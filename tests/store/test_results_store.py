@@ -165,6 +165,34 @@ class TestCorruptionHandling:
         assert not list((store.root / "tmp").iterdir())
         assert not list((store.root / "quarantine").iterdir())
 
+    def test_gc_dry_run_reports_without_removing(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        store.put(SPEC, cell_digest({}, 1), _metrics())
+        corrupt_array_payload(store.root)
+        store.verify()  # -> quarantine
+        torn = store.root / "tmp" / "feedface"
+        torn.mkdir()
+        (torn / "x.npy").write_bytes(b"x" * 100)
+        report = store.gc(dry_run=True)
+        # Same accounting as a real gc...
+        assert report["tmp_removed"] == 1
+        assert report["quarantine_removed"] == 1
+        assert report["bytes_freed"] > 0
+        # ...but nothing was touched.
+        assert list((store.root / "tmp").iterdir())
+        assert list((store.root / "quarantine").iterdir())
+        real = store.gc()
+        assert real["tmp_removed"] == report["tmp_removed"]
+        assert real["quarantine_removed"] == report["quarantine_removed"]
+
+    def test_gc_dry_run_keep_specs_leaves_entries(self, tmp_path):
+        store = ResultsStore(tmp_path / "s")
+        store.put("aaaaaaaaaaaa", cell_digest({}, 1), {"m": 1.0})
+        store.put("bbbbbbbbbbbb", cell_digest({}, 1), {"m": 2.0})
+        report = store.gc(keep_specs=["aaaaaaaaaaaa"], dry_run=True)
+        assert report["entries_removed"] == 1
+        assert len(store.entry_keys()) == 2  # both survive the preview
+
     def test_gc_keep_specs_prunes_other_generations(self, tmp_path):
         store = ResultsStore(tmp_path / "s")
         store.put("aaaaaaaaaaaa", cell_digest({}, 1), {"m": 1.0})

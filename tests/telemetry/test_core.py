@@ -156,6 +156,31 @@ class TestMergeSnapshots:
         with pytest.raises(ValueError):
             merge_snapshots([a, b])
 
+    def test_single_snapshot_merge_preserves_values(self):
+        a = self._snap(
+            lambda t: (
+                t.counter("n").inc(3),
+                t.histogram("h", bounds=(1.0,)).observe(0.5),
+            )
+        )
+        merged = merge_snapshots([a])
+        assert merged["merged_from"] == 1
+        assert merged["counters"]["n"] == 3
+        assert merged["histograms"]["h"]["counts"] == [1, 0]
+
+    def test_empty_histogram_side_does_not_poison_extremes(self):
+        active = self._snap(
+            lambda t: t.histogram("h", bounds=(1.0,)).observe(0.5)
+        )
+        idle = self._snap(
+            lambda t: t.histogram("h", bounds=(1.0,))  # declared, no samples
+        )
+        for order in ([active, idle], [idle, active]):
+            merged = merge_snapshots(order)
+            h = merged["histograms"]["h"]
+            assert h["count"] == 1
+            assert h["min"] == 0.5 and h["max"] == 0.5
+
     def test_merged_snapshot_validates(self):
         a = self._snap(lambda t: t.counter("n").inc())
         merged = merge_snapshots([a, a])

@@ -1,0 +1,85 @@
+"""Tests for the adversarial scenario corpus (spec factories + registry)."""
+
+import pytest
+
+import repro.workloads  # noqa: F401  (registration side effect)
+from repro.spec import SCENARIOS, ExperimentSpec
+from repro.workloads import (
+    correlated_failures_spec,
+    diurnal_mix_spec,
+    flash_storm_spec,
+    oscillating_capacity_spec,
+)
+
+CORPUS = {
+    "correlated_failures": correlated_failures_spec,
+    "oscillating_capacity": oscillating_capacity_spec,
+    "flash_storm": flash_storm_spec,
+    "diurnal_mix": diurnal_mix_spec,
+}
+
+SMALL = {
+    "num_peers": 12,
+    "num_helpers": 4,
+    "num_channels": 2,
+    "num_stages": 10,
+}
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_registered_under_its_name(self, name):
+        assert SCENARIOS.get(name) is CORPUS[name]
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_factory_builds_a_valid_spec(self, name):
+        spec = SCENARIOS.get(name)()
+        assert isinstance(spec, ExperimentSpec)
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_spec_round_trips_through_json(self, name):
+        spec = CORPUS[name](**SMALL)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+
+class TestCorpusContracts:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_finite_server_budget_is_pinned(self, name):
+        spec = CORPUS[name](**SMALL)
+        assert spec.capacity.server_capacity is not None
+        # Half the aggregate demand by default: stalls are a live metric.
+        demand = SMALL["num_peers"] * 100.0
+        assert spec.capacity.server_capacity == pytest.approx(0.5 * demand)
+
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_explicit_server_capacity_wins(self, name):
+        spec = CORPUS[name](**SMALL, server_capacity=123.0)
+        assert spec.capacity.server_capacity == 123.0
+
+    def test_flash_storm_composes_churn_and_failures(self):
+        spec = flash_storm_spec(**SMALL)
+        assert spec.churn.arrival_rate > 0
+        assert spec.capacity.backend == "failures"
+
+    def test_diurnal_mix_drifts_popularity_over_oscillating_capacity(self):
+        spec = diurnal_mix_spec(**SMALL)
+        assert spec.topology.popularity_drift_rate > 0
+        assert spec.capacity.backend == "oscillating"
+
+
+class TestCorpusRuns:
+    @pytest.mark.parametrize("name", sorted(CORPUS))
+    def test_short_run_vectorized(self, name):
+        result = CORPUS[name](**SMALL).run()
+        assert result.trace.num_rounds == SMALL["num_stages"]
+
+    @pytest.mark.parametrize(
+        "name", ["correlated_failures", "oscillating_capacity"]
+    )
+    def test_short_run_scalar(self, name):
+        result = CORPUS[name](**SMALL, backend="scalar").run()
+        assert result.trace.num_rounds == SMALL["num_stages"]
+
+    def test_same_seed_reproduces(self):
+        spec = correlated_failures_spec(**SMALL)
+        assert spec.run().metrics == spec.run().metrics
