@@ -338,6 +338,98 @@ def run_channels_guard(args) -> int:
     return 0
 
 
+def run_network_guard(args) -> int:
+    """CI gate: the link-effect layer must stay within the round budget.
+
+    Times the C=50 / 10k-peer fused round loop twice — raw vectorized
+    capacity process vs the same process wrapped in a *jittered*
+    :class:`~repro.network.links.LinkEffectProcess` (jitter forces the
+    per-stage RTT redraw, the wrapper's worst case) — and fails if the
+    wrapped loop costs more than ``--network-budget`` extra per round.
+    Appends a ``network_guard`` point to the trajectory.
+    """
+    from repro.network import LinkEffectProcess
+
+    channels, peers = args.guard_channels, args.guard_channel_peers
+    helpers = 2 * channels
+    rounds, blocks = max(3, args.rounds), 5
+    config = SystemConfig(
+        num_peers=peers,
+        num_helpers=helpers,
+        num_channels=channels,
+        channel_bitrates=100.0,
+    )
+
+    def process_for(label):
+        base = paper_bandwidth_process(
+            helpers, rng=args.seed, backend="vectorized"
+        )
+        if label == "baseline":
+            return base
+        return LinkEffectProcess(
+            base,
+            latency_ms=60.0,
+            jitter_ms=10.0,
+            loss_rate=0.01,
+            rng=args.seed + 1,
+        )
+
+    systems, round_s = {}, {}
+    for label in ("baseline", "networked"):
+        gc.collect()
+        systems[label] = VectorizedStreamingSystem(
+            config,
+            bank_factory("r2hs", u_max=U_MAX),
+            rng=args.seed,
+            capacity_process=process_for(label),
+        )
+        systems[label].run(1)  # warmup
+        round_s[label] = []
+    # Blocks alternate between the two loops so machine-load drift hits
+    # both alike; the per-loop figure is the fastest block.
+    for _ in range(blocks):
+        for label, system in systems.items():
+            t0 = time.perf_counter()
+            system.run(rounds)
+            round_s[label].append(time.perf_counter() - t0)
+    per_round = {
+        label: min(blocks_s) / rounds for label, blocks_s in round_s.items()
+    }
+    overhead = per_round["networked"] / per_round["baseline"] - 1.0
+    budget = float(args.network_budget)
+    print(
+        f"network guard (C={channels}, N={peers}, H={helpers}): baseline "
+        f"{per_round['baseline'] * 1e3:.3f} ms/round, networked "
+        f"{per_round['networked'] * 1e3:.3f} ms/round "
+        f"({overhead:+.1%} vs budget {budget:.0%})"
+    )
+    append_run(
+        args.output,
+        {
+            "kind": "network_guard",
+            "config": {
+                "peers": peers,
+                "channels": channels,
+                "helpers": helpers,
+                "rounds": rounds,
+                "seed": args.seed,
+                "learner": "r2hs",
+                "budget": budget,
+            },
+            "results": {"round_s": per_round, "overhead": overhead},
+        },
+    )
+    print(f"  wrote {args.output}")
+    if overhead > budget:
+        print(
+            f"FAIL: the link-effect layer adds {overhead:.1%} per round "
+            f"(> {budget:.0%})"
+        )
+        return 1
+    print("OK")
+    return 0
+
+
 def machine_context() -> dict:
     """Environment block stamped onto every run record.
 
@@ -728,7 +820,19 @@ def main(argv=None) -> int:
     parser.add_argument("--guard-channels", type=int, default=50)
     parser.add_argument(
         "--guard-channel-peers", type=int, default=10_000,
-        help="population for --channels-guard",
+        help="population for --channels-guard and --network-guard",
+    )
+    parser.add_argument(
+        "--network-guard",
+        action="store_true",
+        help="CI gate: exit non-zero if wrapping the capacity process in a "
+        "jittered link-effect layer adds more than --network-budget to the "
+        "C=--guard-channels / N=--guard-channel-peers round (appends a "
+        "network_guard point to the trajectory)",
+    )
+    parser.add_argument(
+        "--network-budget", type=float, default=0.10,
+        help="fractional per-round overhead ceiling for --network-guard",
     )
     parser.add_argument(
         "--memory-guard",
@@ -761,6 +865,8 @@ def main(argv=None) -> int:
         return run_capacity_guard(args.seed)
     if args.channels_guard:
         return run_channels_guard(args)
+    if args.network_guard:
+        return run_network_guard(args)
     if args.memory_guard:
         return run_memory_guard(args)
     if args.quick:

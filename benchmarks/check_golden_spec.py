@@ -112,6 +112,65 @@ def check_topk(spec: ExperimentSpec, observed: dict) -> list:
     return failures
 
 
+#: Legacy wrapper backends and the options their shim phase exercises
+#: (non-default so the options path is covered too).
+SHIM_CASES = {
+    "failures": {"failure_rate": 0.1, "mean_outage_rounds": 5.0},
+    "correlated_failures": {"num_groups": 2, "group_failure_rate": 0.1},
+    "oscillating": {"low_fraction": 0.3, "period": 7},
+}
+
+
+def check_transform_shims(spec: ExperimentSpec, observed: dict) -> list:
+    """Shim phase: legacy backend names must equal their transform spelling.
+
+    Self-consistent (no pinned data): the deprecated ``failures`` /
+    ``correlated_failures`` / ``oscillating`` capacity backends are
+    warn-once shims over the transform pipeline, so
+    ``capacity.backend=<name>`` and ``capacity.transforms=[{name}]``
+    must produce bit-identical runs.
+    """
+    import warnings
+
+    failures = []
+    for name, options in SHIM_CASES.items():
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            legacy = {
+                k: float(v)
+                for k, v in spec.with_overrides(
+                    {
+                        "backend": "vectorized",
+                        "capacity.backend": name,
+                        "capacity.options": dict(options),
+                    }
+                ).run().metrics.items()
+            }
+        modern_spec = ExperimentSpec.from_dict(
+            {
+                **spec.with_overrides({"backend": "vectorized"}).to_dict(),
+                "capacity": {
+                    **spec.capacity.to_dict(),
+                    "backend": "vectorized",
+                    "transforms": [{"name": name, "options": dict(options)}],
+                },
+            }
+        )
+        modern = {
+            k: float(v) for k, v in modern_spec.run().metrics.items()
+        }
+        observed[f"shim-{name}"] = modern
+        for metric, value in legacy.items():
+            got = modern.get(metric)
+            if got is None or got != value:
+                failures.append(
+                    f"shim-{name}.{metric}: legacy backend gave {value!r}, "
+                    f"transform pipeline gave {got!r} (shims must be "
+                    "bit-identical)"
+                )
+    return failures
+
+
 def check_engines(spec: ExperimentSpec, observed: dict) -> list:
     """Engine phase: per_channel must equal the fused grouped default."""
     failures = []
@@ -177,17 +236,22 @@ def main(argv=None) -> int:
 
     failures.extend(check_topk(spec, observed))
     failures.extend(check_engines(spec, observed))
+    failures.extend(check_transform_shims(spec, observed))
 
-    for label in (*BACKENDS, "topk-full", "topk-sparse", "per-channel"):
-        print(f"{label:11s}: " + "  ".join(
-            f"{k}={v:.3f}" for k, v in observed[label].items()
+    width = max(len(label) for label in observed)
+    for label, metrics in observed.items():
+        print(f"{label:{width}s}: " + "  ".join(
+            f"{k}={v:.3f}" for k, v in metrics.items()
         ))
     if failures:
         print("\nFAIL:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    print("\nOK: golden spec reproduces on both backends and the topk bank")
+    print(
+        "\nOK: golden spec reproduces on both backends, the topk bank, "
+        "and the legacy-backend shims"
+    )
     return 0
 
 

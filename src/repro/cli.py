@@ -56,6 +56,7 @@ from repro.metrics import jain_index, load_balance_report
 from repro.sim import paper_bandwidth_process
 from repro.spec import (
     CAPACITY_BACKENDS,
+    CAPACITY_TRANSFORMS,
     LEARNERS,
     METRICS,
     SCENARIOS,
@@ -919,6 +920,27 @@ def _run_list(out) -> None:
         options = _factory_options(backend)
         if options:
             print(f"      options: {options}", file=out)
+    print("  capacity transforms:", file=out)
+    for name in CAPACITY_TRANSFORMS.names():
+        entry = CAPACITY_TRANSFORMS.get(name)
+        summary = entry.description or _doc_summary(entry.factory)
+        print(f"    {name}: {summary}" if summary else f"    {name}", file=out)
+        options = _factory_options(entry.factory)
+        if options:
+            print(f"      options: {options}", file=out)
+    print("  helper classes:", file=out)
+    from repro.network.classes import HELPER_CLASSES
+
+    for name in HELPER_CLASSES.names():
+        profile = HELPER_CLASSES.get(name)
+        line = (
+            f"    {name} [scale={profile.capacity_scale}, "
+            f"latency={profile.latency_ms}ms, jitter={profile.jitter_ms}ms, "
+            f"loss={profile.loss_rate}]"
+        )
+        if profile.description:
+            line += f": {profile.description}"
+        print(line, file=out)
     print(f"  metrics: {', '.join(METRICS.names())}", file=out)
 
 

@@ -1,0 +1,43 @@
+"""Network realism: link models, region matrices, helper classes.
+
+The paper's environment is placeless — every helper is one hop away and
+an observed capacity is the helper's upload bandwidth, full stop.  This
+package adds the path between viewer and helper: per-link latency,
+jitter and loss folding into the *observed* capacity
+(:class:`~repro.network.links.LinkEffectProcess`), multi-region RTT
+matrices with contiguous helper placement
+(:class:`~repro.network.regions.RegionTopology`), and heterogeneous
+helper classes — seedbox / residential / mobile — registered as reusable
+profiles (:mod:`repro.network.classes`).
+
+Everything composes through the capacity-transform pipeline
+(``CapacitySpec.transforms`` + the ``network`` spec section; see
+:mod:`repro.spec.model`), and every effect is applied array-at-a-time so
+the vectorized round loop stays free of per-helper Python work.
+"""
+
+from repro.network.classes import (
+    HELPER_CLASSES,
+    HelperClassProfile,
+    assign_helper_classes,
+    register_helper_class,
+)
+from repro.network.links import (
+    ClampedCapacityProcess,
+    LinkEffectProcess,
+    LinkParameters,
+    compile_link_parameters,
+)
+from repro.network.regions import RegionTopology
+
+__all__ = [
+    "ClampedCapacityProcess",
+    "LinkEffectProcess",
+    "LinkParameters",
+    "compile_link_parameters",
+    "RegionTopology",
+    "HELPER_CLASSES",
+    "HelperClassProfile",
+    "assign_helper_classes",
+    "register_helper_class",
+]

@@ -1,0 +1,153 @@
+"""Heterogeneous helper classes: seedbox, residential, mobile.
+
+Helpers in a deployed swarm are not interchangeable: a hosted seedbox
+pushes symmetric fiber at single-digit RTTs, a residential uploader sits
+behind an asymmetric cable link, a mobile helper rides a lossy radio
+path.  A :class:`HelperClassProfile` captures one such archetype as four
+link parameters, and :data:`HELPER_CLASSES` keys the archetypes by name
+so specs reach them declaratively (``network.helper_classes`` maps class
+names to population fractions).
+
+Class-to-helper assignment is *deterministic* and contiguous
+(:func:`assign_helper_classes`): class names are processed in sorted
+order and each class receives a largest-remainder share of consecutive
+helper indices — the same block layout
+:class:`~repro.sim.failures.CorrelatedFailureProcess` uses for failure
+domains, so classes model rack/fleet locality and two specs writing the
+same mix in a different key order build the identical environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+import numpy as np
+
+from repro.spec.registry import Registry
+
+
+@dataclass(frozen=True)
+class HelperClassProfile:
+    """One helper archetype as link parameters.
+
+    ``capacity_scale`` multiplies the base upload bandwidth (a seedbox
+    outclasses the paper's residential-calibrated levels);
+    ``latency_ms`` / ``jitter_ms`` / ``loss_rate`` add onto the global
+    and region-derived link parameters when the class is assigned (see
+    :func:`~repro.network.links.compile_link_parameters`).
+    """
+
+    capacity_scale: float = 1.0
+    latency_ms: float = 0.0
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.capacity_scale < 0:
+            raise ValueError("helper class capacity_scale must be >= 0")
+        if self.latency_ms < 0 or self.jitter_ms < 0:
+            raise ValueError("helper class latency_ms/jitter_ms must be >= 0")
+        if not 0 <= self.loss_rate < 1:
+            raise ValueError("helper class loss_rate must lie in [0, 1)")
+
+
+#: Named helper archetypes (``network.helper_classes`` resolves here).
+HELPER_CLASSES: Registry = Registry("helper class")
+
+
+def register_helper_class(
+    name: str, profile: HelperClassProfile = None, *, overwrite: bool = False
+):
+    """Register a :class:`HelperClassProfile` under ``name``.
+
+    Usable as a decorator over a zero-argument profile factory is *not*
+    supported — profiles are plain frozen dataclasses, register them
+    directly.  Unknown names in a spec raise with the registered menu,
+    like every other registry.
+    """
+    if profile is not None and not isinstance(profile, HelperClassProfile):
+        raise TypeError(
+            f"register_helper_class expects a HelperClassProfile, "
+            f"got {type(profile).__name__}"
+        )
+    return HELPER_CLASSES.register(name, profile, overwrite=overwrite)
+
+
+register_helper_class(
+    "seedbox",
+    HelperClassProfile(
+        capacity_scale=1.5,
+        latency_ms=10.0,
+        jitter_ms=2.0,
+        loss_rate=0.001,
+        description=(
+            "hosted box on symmetric fiber: above-baseline upload, "
+            "single-digit RTT, negligible loss — the superhighway class"
+        ),
+    ),
+)
+register_helper_class(
+    "residential",
+    HelperClassProfile(
+        capacity_scale=1.0,
+        latency_ms=40.0,
+        jitter_ms=10.0,
+        loss_rate=0.01,
+        description=(
+            "cable/DSL uploader: baseline capacity, moderate last-mile "
+            "RTT and queueing jitter — the paper's implicit helper"
+        ),
+    ),
+)
+register_helper_class(
+    "mobile",
+    HelperClassProfile(
+        capacity_scale=0.6,
+        latency_ms=80.0,
+        jitter_ms=30.0,
+        loss_rate=0.03,
+        description=(
+            "cellular helper: throttled upload, high variable RTT and "
+            "radio loss — contributes when reachable, stalls when not"
+        ),
+    ),
+)
+
+
+def assign_helper_classes(
+    num_helpers: int, mix: Mapping[str, float]
+) -> Tuple[Tuple[str, ...], np.ndarray, np.ndarray]:
+    """Deterministic contiguous class assignment by largest remainder.
+
+    ``mix`` maps registered class names to non-negative weights (any
+    positive total; fractions are normalized).  Returns ``(names,
+    counts, assignment)``: the class names in sorted order, the helper
+    count each received, and the ``(num_helpers,)`` int array mapping
+    helper index to class index.  Sorted-name processing makes the
+    layout independent of the mapping's key order, and the
+    largest-remainder rounding (ties to the earlier name) hands every
+    helper to exactly one class.
+    """
+    if num_helpers < 1:
+        raise ValueError("num_helpers must be >= 1")
+    if not mix:
+        raise ValueError("helper class mix must not be empty")
+    names = tuple(sorted(mix))
+    for name in names:
+        HELPER_CLASSES.get(name)  # raises with the registered menu
+    weights = np.array([float(mix[name]) for name in names], dtype=float)
+    if np.any(weights < 0) or not np.all(np.isfinite(weights)):
+        raise ValueError("helper class fractions must be finite and >= 0")
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("helper class fractions must sum to > 0")
+    ideal = weights / total * num_helpers
+    counts = np.floor(ideal).astype(int)
+    remainder = num_helpers - int(counts.sum())
+    if remainder > 0:
+        order = np.argsort(-(ideal - counts), kind="stable")
+        counts[order[:remainder]] += 1
+    assignment = np.repeat(np.arange(len(names)), counts)
+    return names, counts, assignment

@@ -1,0 +1,111 @@
+"""Multi-region topologies: named regions and an RTT matrix.
+
+A :class:`RegionTopology` is the geographic skeleton of a deployment:
+region names plus a square round-trip-time matrix (milliseconds).
+Helpers place into regions as contiguous index blocks — the same
+``np.array_split`` layout the correlated-failure domains use — unless a
+spec pins an explicit per-helper placement, and the viewer population
+observes every helper through the RTT between the helper's region and
+the viewer's (``network.viewer_region``).
+
+The matrix may be asymmetric (routing rarely is); only the
+``helper_region -> viewer_region`` column matters for observed
+capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class RegionTopology:
+    """Named regions plus their pairwise RTT matrix (ms)."""
+
+    names: Tuple[str, ...]
+    rtt_ms: np.ndarray
+
+    def __post_init__(self) -> None:
+        names = tuple(str(name) for name in self.names)
+        if not names:
+            raise ValueError("region topology needs at least one region")
+        if len(set(names)) != len(names):
+            raise ValueError(f"region names must be unique, got {names}")
+        rtt = np.asarray(self.rtt_ms, dtype=float)
+        if rtt.shape != (len(names), len(names)):
+            raise ValueError(
+                f"latency matrix must be square over the {len(names)} "
+                f"region(s), got shape {rtt.shape}"
+            )
+        if not np.all(np.isfinite(rtt)) or np.any(rtt < 0):
+            raise ValueError("latency matrix entries must be finite and >= 0")
+        object.__setattr__(self, "names", names)
+        object.__setattr__(self, "rtt_ms", rtt)
+
+    @classmethod
+    def from_spec(
+        cls,
+        regions: Sequence[str],
+        latency_matrix: Optional[Sequence[Sequence[float]]] = None,
+    ) -> "RegionTopology":
+        """Build from spec fields; a missing matrix means zero RTT."""
+        names = tuple(regions)
+        if latency_matrix is None:
+            rtt = np.zeros((len(names), len(names)), dtype=float)
+        else:
+            rtt = np.asarray(latency_matrix, dtype=float)
+        return cls(names=names, rtt_ms=rtt)
+
+    @property
+    def num_regions(self) -> int:
+        """How many regions the topology names."""
+        return len(self.names)
+
+    def assign_helpers(
+        self, num_helpers: int, explicit: Optional[Sequence[int]] = None
+    ) -> np.ndarray:
+        """Per-helper region indices: explicit placement or contiguous blocks.
+
+        The default splits helper indices into ``num_regions`` contiguous
+        near-equal blocks (``np.array_split`` sizing), mirroring the
+        correlated-failure domain layout so region outages and region
+        placement align by construction.
+        """
+        if num_helpers < 1:
+            raise ValueError("num_helpers must be >= 1")
+        if explicit is not None:
+            assignment = np.asarray(explicit, dtype=int)
+            if assignment.shape != (num_helpers,):
+                raise ValueError(
+                    f"explicit helper_regions must have length {num_helpers}, "
+                    f"got {assignment.shape}"
+                )
+            if np.any(assignment < 0) or np.any(assignment >= self.num_regions):
+                raise ValueError(
+                    f"helper_regions entries must index the {self.num_regions} "
+                    f"region(s)"
+                )
+            return assignment
+        return np.repeat(
+            np.arange(self.num_regions),
+            [
+                len(part)
+                for part in np.array_split(
+                    np.arange(num_helpers), self.num_regions
+                )
+            ],
+        )
+
+    def helper_rtts(
+        self, assignment: np.ndarray, viewer_region: int
+    ) -> np.ndarray:
+        """RTT (ms) from each helper's region to the viewer region."""
+        if not 0 <= viewer_region < self.num_regions:
+            raise ValueError(
+                f"viewer_region {viewer_region} must index the "
+                f"{self.num_regions} region(s)"
+            )
+        return self.rtt_ms[np.asarray(assignment, dtype=int), viewer_region]

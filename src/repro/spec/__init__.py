@@ -16,13 +16,16 @@ scenario presets register from :mod:`repro.workloads.scenarios`.
 
 from repro.spec.registry import (
     CAPACITY_BACKENDS,
+    CAPACITY_TRANSFORMS,
     LEARNERS,
     METRICS,
     SCENARIOS,
     LearnerEntry,
     Registry,
+    TransformEntry,
     UnknownComponentError,
     register_capacity_backend,
+    register_capacity_transform,
     register_learner,
     register_metric,
     register_scenario,
@@ -40,22 +43,27 @@ from repro.spec.model import (
     ExperimentSpec,
     LearnerSpec,
     MetricsSpec,
+    NetworkSpec,
     RunResult,
     SweepSpec,
     TelemetrySpec,
     TopologySpec,
+    TransformSpec,
 )
 
 __all__ = [
     # registries
     "Registry",
     "LearnerEntry",
+    "TransformEntry",
     "UnknownComponentError",
     "CAPACITY_BACKENDS",
+    "CAPACITY_TRANSFORMS",
     "LEARNERS",
     "SCENARIOS",
     "METRICS",
     "register_capacity_backend",
+    "register_capacity_transform",
     "register_learner",
     "register_scenario",
     "register_metric",
@@ -63,6 +71,8 @@ __all__ = [
     "ExperimentSpec",
     "TopologySpec",
     "CapacitySpec",
+    "NetworkSpec",
+    "TransformSpec",
     "LearnerSpec",
     "ChurnSpec",
     "MetricsSpec",

@@ -9,6 +9,8 @@ layer, never the reverse).
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.core.r2hs import R2HSLearner
@@ -18,7 +20,9 @@ from repro.metrics.fairness import jain_index
 from repro.runtime.learner_bank import bank_factory as _runtime_bank_factory
 from repro.sim.bandwidth import paper_bandwidth_process
 from repro.spec.registry import (
+    CAPACITY_TRANSFORMS,
     register_capacity_backend,
+    register_capacity_transform,
     register_learner,
     register_metric,
 )
@@ -45,116 +49,82 @@ register_capacity_backend("scalar", _paper_backend("scalar"))
 register_capacity_backend("vectorized", _paper_backend("vectorized"))
 
 
-def _failing_backend(
-    num_helpers,
+# ----------------------------------------------------------------------
+# Capacity transforms (the composable pipeline stages)
+# ----------------------------------------------------------------------
+
+
+def _failures_transform(
+    process,
     *,
-    levels,
-    stay_probability,
     rng,
     failure_rate: float = 0.02,
     mean_outage_rounds: float = 20.0,
-    base: str = "vectorized",
 ):
-    """The paper environment wrapped in random helper outages.
-
-    ``failure_rate`` / ``mean_outage_rounds`` parameterize
-    :class:`~repro.sim.failures.FailureInjectingProcess` (reachable from
-    a spec via ``capacity.options``); ``base`` picks the wrapped
-    environment's backend.
-    """
+    """Random independent helper outages (capacity reads 0 until recovery)."""
     from repro.sim.failures import FailureInjectingProcess
-    from repro.util.rng import as_generator, spawn
 
-    parent = as_generator(rng)
-    process = paper_bandwidth_process(
-        num_helpers,
-        levels=levels,
-        stay_probability=stay_probability,
-        rng=spawn(parent),
-        backend=base,
-    )
     return FailureInjectingProcess(
         process,
         failure_rate,
         mean_outage_rounds=mean_outage_rounds,
-        rng=spawn(parent),
+        rng=rng,
     )
 
 
-register_capacity_backend("failures", _failing_backend)
+register_capacity_transform(
+    "failures",
+    _failures_transform,
+    description=(
+        "independent per-helper crash/recovery outages "
+        "(geometric outage length, bandit-observed zero rate)"
+    ),
+)
 
 
-def _correlated_failures_backend(
-    num_helpers,
+def _correlated_failures_transform(
+    process,
     *,
-    levels,
-    stay_probability,
     rng,
     num_groups: int = 4,
     group_failure_rate: float = 0.02,
     mean_outage_rounds: float = 20.0,
-    base: str = "vectorized",
 ):
-    """The paper environment with whole failure domains going dark.
-
-    Helpers split into ``num_groups`` contiguous domains failing as a
-    unit (rack/region/push-cohort locality); see
-    :class:`~repro.sim.failures.CorrelatedFailureProcess`.  All knobs
-    are reachable from a spec via ``capacity.options``.
-    """
+    """Whole contiguous failure domains going dark as a unit."""
     from repro.sim.failures import CorrelatedFailureProcess
-    from repro.util.rng import as_generator, spawn
 
-    parent = as_generator(rng)
-    process = paper_bandwidth_process(
-        num_helpers,
-        levels=levels,
-        stay_probability=stay_probability,
-        rng=spawn(parent),
-        backend=base,
-    )
     return CorrelatedFailureProcess(
         process,
         num_groups=num_groups,
         group_failure_rate=group_failure_rate,
         mean_outage_rounds=mean_outage_rounds,
-        rng=spawn(parent),
+        rng=rng,
     )
 
 
-register_capacity_backend("correlated_failures", _correlated_failures_backend)
+register_capacity_transform(
+    "correlated_failures",
+    _correlated_failures_transform,
+    description=(
+        "contiguous helper domains (racks/regions) failing and "
+        "recovering as a unit"
+    ),
+)
 
 
-def _oscillating_backend(
-    num_helpers,
+def _oscillating_transform(
+    process,
     *,
-    levels,
-    stay_probability,
     rng,
     low_fraction: float = 0.25,
     period: int = 20,
     num_groups: int = 2,
-    base: str = "vectorized",
 ):
-    """The paper environment under a rotating degradation square wave.
-
-    A deterministic adversarial envelope: cohort ``b % num_groups`` is
-    throttled to ``low_fraction`` of its base capacity during stage
-    block ``b``; see
-    :class:`~repro.sim.adversarial.OscillatingCapacityProcess`.  All
-    knobs are reachable from a spec via ``capacity.options``.
-    """
+    """Deterministic rotating degradation square wave over helper cohorts."""
     from repro.sim.adversarial import OscillatingCapacityProcess
-    from repro.util.rng import as_generator, spawn
 
-    parent = as_generator(rng)
-    process = paper_bandwidth_process(
-        num_helpers,
-        levels=levels,
-        stay_probability=stay_probability,
-        rng=spawn(parent),
-        backend=base,
-    )
+    # The wave is a pure function of the stage counter; the pipeline's
+    # child stream is deliberately unused.
     return OscillatingCapacityProcess(
         process,
         low_fraction=low_fraction,
@@ -163,7 +133,158 @@ def _oscillating_backend(
     )
 
 
-register_capacity_backend("oscillating", _oscillating_backend)
+register_capacity_transform(
+    "oscillating",
+    _oscillating_transform,
+    description=(
+        "adversarial square wave throttling the currently-attractive "
+        "helper cohort each period (deterministic)"
+    ),
+)
+
+
+def _link_effects_transform(
+    process,
+    *,
+    rng,
+    latency_ms=0.0,
+    jitter_ms=0.0,
+    loss_rate=0.0,
+    capacity_scale=1.0,
+    rtt_reference_ms: float = 50.0,
+):
+    """Per-link latency/jitter/loss folding into observed capacity.
+
+    Options accept scalars or per-helper lists; for region matrices and
+    helper-class mixes use the spec's ``network`` section, which
+    compiles to this same wrapper.
+    """
+    from repro.network.links import LinkEffectProcess
+
+    return LinkEffectProcess(
+        process,
+        latency_ms=latency_ms,
+        jitter_ms=jitter_ms,
+        loss_rate=loss_rate,
+        capacity_scale=capacity_scale,
+        rtt_reference_ms=rtt_reference_ms,
+        rng=rng,
+    )
+
+
+register_capacity_transform(
+    "link_effects",
+    _link_effects_transform,
+    description=(
+        "latency/jitter/loss link model scaling capacity to observed "
+        "goodput (scalar or per-helper parameters)"
+    ),
+)
+
+
+def _clamp_transform(
+    process,
+    *,
+    rng,
+    min_capacity: float = 0.0,
+    max_capacity=None,
+):
+    """Hard per-helper capacity floor/ceiling (an access-link cap)."""
+    from repro.network.links import ClampedCapacityProcess
+
+    return ClampedCapacityProcess(
+        process, min_capacity=min_capacity, max_capacity=max_capacity
+    )
+
+
+register_capacity_transform(
+    "clamp",
+    _clamp_transform,
+    description=(
+        "clip capacities into [min_capacity, max_capacity] "
+        "(deterministic; does not commute with scaling transforms)"
+    ),
+)
+
+
+# ----------------------------------------------------------------------
+# Legacy wrapper backends -> warn-once shims over the transforms.
+#
+# Each shim reproduces the retired monolithic factory's RNG layout
+# exactly — parent = as_generator(rng), base gets the first child, the
+# wrapper the second — which is also exactly the pipeline's layout for
+# ``backend=<base>, transforms=[{name}]``, so old specs stay
+# bit-identical both to their historical traces and to their modern
+# spelling (the golden-spec check pins this).
+# ----------------------------------------------------------------------
+
+_LEGACY_BACKEND_WARNED: set = set()
+
+
+def _warn_legacy_backend(name: str) -> None:
+    if name in _LEGACY_BACKEND_WARNED:
+        return
+    _LEGACY_BACKEND_WARNED.add(name)
+    warnings.warn(
+        f"capacity backend {name!r} is deprecated and will be removed in "
+        f"the next release; use capacity.transforms = "
+        f'[{{"name": {name!r}, "options": {{...}}}}] over a base backend '
+        "instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def _legacy_transform_backend(name: str, summary: str):
+    def build(
+        num_helpers,
+        *,
+        levels,
+        stay_probability,
+        rng,
+        base: str = "vectorized",
+        **options,
+    ):
+        from repro.util.rng import as_generator, spawn
+
+        _warn_legacy_backend(name)
+        parent = as_generator(rng)
+        process = paper_bandwidth_process(
+            num_helpers,
+            levels=levels,
+            stay_probability=stay_probability,
+            rng=spawn(parent),
+            backend=base,
+        )
+        entry = CAPACITY_TRANSFORMS.get(name)
+        return entry.factory(process, rng=spawn(parent), **options)
+
+    build.__doc__ = (
+        f"{summary} (deprecated: use the {name!r} capacity transform)."
+    )
+    return build
+
+
+register_capacity_backend(
+    "failures",
+    _legacy_transform_backend(
+        "failures", "The paper environment wrapped in random helper outages"
+    ),
+)
+register_capacity_backend(
+    "correlated_failures",
+    _legacy_transform_backend(
+        "correlated_failures",
+        "The paper environment with whole failure domains going dark",
+    ),
+)
+register_capacity_backend(
+    "oscillating",
+    _legacy_transform_backend(
+        "oscillating",
+        "The paper environment under a rotating degradation square wave",
+    ),
+)
 
 
 # ----------------------------------------------------------------------

@@ -34,7 +34,12 @@ import numpy as np
 
 from repro.sim.bandwidth import PAPER_BANDWIDTH_LEVELS
 from repro.sim.churn import ChurnConfig
-from repro.spec.registry import CAPACITY_BACKENDS, LEARNERS, METRICS
+from repro.spec.registry import (
+    CAPACITY_BACKENDS,
+    CAPACITY_TRANSFORMS,
+    LEARNERS,
+    METRICS,
+)
 from repro.telemetry import parse_sink_reference
 from repro.telemetry import session as telemetry_session
 from repro.util.rng import Seedish, as_generator, spawn
@@ -141,17 +146,62 @@ class TopologySpec:
 
 
 @dataclass(frozen=True)
+class TransformSpec:
+    """One stage of the capacity-transform pipeline.
+
+    ``name`` resolves through the capacity-transform registry (unknown
+    names raise with the registered menu at spec construction);
+    ``options`` carries the stage's keyword arguments through to the
+    registered factory and must stay JSON-plain for the spec to
+    round-trip.
+    """
+
+    name: str
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        CAPACITY_TRANSFORMS.get(self.name)  # raises with the menu
+        if not isinstance(self.options, Mapping) or any(
+            not isinstance(key, str) for key in self.options
+        ):
+            raise ValueError(
+                f"transform {self.name!r} options must be a mapping with "
+                "string keys"
+            )
+        object.__setattr__(self, "options", dict(self.options))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TransformSpec":
+        _check_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
 class CapacitySpec:
     """The helper-bandwidth environment and the origin server budget.
 
     ``backend`` names a registered capacity backend (``"scalar"``,
-    ``"vectorized"``, ``"failures"``, or a plug-in); ``"auto"`` follows
-    the system backend.  ``server_capacity`` is the origin server's
-    per-round upload budget (``None`` = unbounded; JSON has no ``inf``).
+    ``"vectorized"``, or a plug-in); ``"auto"`` follows the system
+    backend.  ``server_capacity`` is the origin server's per-round
+    upload budget (``None`` = unbounded; JSON has no ``inf``).
     ``options`` carries backend-specific keyword arguments through to the
-    registered factory (e.g. ``{"failure_rate": 0.05}`` for the
-    ``"failures"`` backend); it must stay JSON-plain for the spec to
+    registered factory; it must stay JSON-plain for the spec to
     round-trip.
+
+    ``transforms`` is the ordered capacity-transform pipeline: each
+    entry names a registered transform (``"failures"``,
+    ``"correlated_failures"``, ``"oscillating"``, ``"link_effects"``,
+    ``"clamp"``, or a plug-in) that wraps the process built so far, so
+    effects compose — the first transform wraps the raw backend, later
+    transforms observe everything upstream.  Each stage is handed its
+    own child RNG stream in pipeline order (deterministic transforms
+    ignore theirs), so reordering, adding or removing a stage perturbs
+    only the stages at and after the edit.  The ``network`` spec section
+    (see :class:`NetworkSpec`) applies *after* the last transform: link
+    effects fold into the capacity every other effect produced.
     """
 
     backend: str = "auto"
@@ -159,6 +209,7 @@ class CapacitySpec:
     stay_probability: float = 0.9
     server_capacity: Optional[float] = None
     options: Mapping[str, Any] = field(default_factory=dict)
+    transforms: Tuple[TransformSpec, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "levels", tuple(float(v) for v in self.levels))
@@ -177,12 +228,190 @@ class CapacitySpec:
                 "capacity options must be a mapping with string keys"
             )
         object.__setattr__(self, "options", dict(self.options))
+        transforms = tuple(
+            t if isinstance(t, TransformSpec) else TransformSpec.from_dict(t)
+            for t in self.transforms
+        )
+        object.__setattr__(self, "transforms", transforms)
 
     def to_dict(self) -> Dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "CapacitySpec":
+        _check_unknown_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """The path between viewers and helpers (all-default = no network).
+
+    The paper's environment is placeless; this section adds the link
+    layer, applied *after* the capacity-transform pipeline so path
+    effects fold into the observed capacity every other effect produced
+    (see :mod:`repro.network`).
+
+    ``regions`` names the geography and ``latency_matrix`` (ms, square
+    over the regions, possibly asymmetric) its pairwise RTTs; helpers
+    place into contiguous region blocks unless ``helper_regions`` pins
+    an explicit per-helper placement, and viewers observe every helper
+    through the RTT from its region to ``viewer_region``.
+    ``helper_classes`` maps registered helper-class names (``seedbox``,
+    ``residential``, ``mobile``, or plug-ins; see
+    :mod:`repro.network.classes`) to population fractions — assignment
+    is deterministic, contiguous and key-order-independent.
+    ``latency_ms`` / ``jitter_ms`` / ``loss_rate`` are global per-link
+    parameters added on top of region and class contributions;
+    ``rtt_reference_ms`` is the RTT below which latency costs no
+    throughput.  Links with any positive jitter redraw their RTT every
+    round from a dedicated child RNG stream.
+    """
+
+    regions: Tuple[str, ...] = ()
+    latency_matrix: Optional[Tuple[Tuple[float, ...], ...]] = None
+    helper_regions: Optional[Tuple[int, ...]] = None
+    viewer_region: int = 0
+    helper_classes: Mapping[str, float] = field(default_factory=dict)
+    latency_ms: float = 0.0
+    jitter_ms: float = 0.0
+    loss_rate: float = 0.0
+    rtt_reference_ms: float = 50.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "regions", tuple(str(name) for name in self.regions)
+        )
+        if self.latency_matrix is not None:
+            object.__setattr__(
+                self,
+                "latency_matrix",
+                tuple(tuple(float(v) for v in row) for row in self.latency_matrix),
+            )
+        object.__setattr__(
+            self, "helper_regions", _opt_tuple(self.helper_regions)
+        )
+        if not isinstance(self.helper_classes, Mapping) or any(
+            not isinstance(key, str) for key in self.helper_classes
+        ):
+            raise ValueError(
+                "network helper_classes must be a mapping with string keys"
+            )
+        object.__setattr__(
+            self,
+            "helper_classes",
+            {name: float(frac) for name, frac in self.helper_classes.items()},
+        )
+        if self.regions:
+            if len(set(self.regions)) != len(self.regions):
+                raise ValueError(
+                    f"network regions must be unique, got {self.regions}"
+                )
+            if not 0 <= self.viewer_region < len(self.regions):
+                raise ValueError(
+                    f"network viewer_region {self.viewer_region} must index "
+                    f"the {len(self.regions)} region(s)"
+                )
+        elif self.latency_matrix is not None:
+            raise ValueError("network latency_matrix requires regions")
+        elif self.helper_regions is not None:
+            raise ValueError("network helper_regions requires regions")
+        elif self.viewer_region != 0:
+            raise ValueError("network viewer_region requires regions")
+        if self.latency_matrix is not None:
+            rows = self.latency_matrix
+            if len(rows) != len(self.regions) or any(
+                len(row) != len(self.regions) for row in rows
+            ):
+                raise ValueError(
+                    "network latency_matrix must be square over the "
+                    f"{len(self.regions)} region(s)"
+                )
+            if any(v < 0 or not np.isfinite(v) for row in rows for v in row):
+                raise ValueError(
+                    "network latency_matrix entries must be finite and >= 0"
+                )
+        if self.helper_regions is not None and any(
+            not 0 <= int(r) < len(self.regions) for r in self.helper_regions
+        ):
+            raise ValueError(
+                "network helper_regions entries must index the "
+                f"{len(self.regions)} region(s)"
+            )
+        if self.helper_classes:
+            from repro.network.classes import HELPER_CLASSES
+
+            for name in self.helper_classes:
+                HELPER_CLASSES.get(name)  # raises with the menu
+            fractions = list(self.helper_classes.values())
+            if any(f < 0 or not np.isfinite(f) for f in fractions):
+                raise ValueError(
+                    "network helper_classes fractions must be finite and >= 0"
+                )
+            if sum(fractions) <= 0:
+                raise ValueError(
+                    "network helper_classes fractions must sum to > 0"
+                )
+        if self.latency_ms < 0 or self.jitter_ms < 0:
+            raise ValueError("network latency_ms/jitter_ms must be >= 0")
+        if not 0 <= self.loss_rate < 1:
+            raise ValueError("network loss_rate must lie in [0, 1)")
+        if self.rtt_reference_ms <= 0:
+            raise ValueError("network rtt_reference_ms must be positive")
+
+    @property
+    def active(self) -> bool:
+        """Whether any field requests a link layer (default = off).
+
+        An inactive section is a guaranteed no-op: the capacity pipeline
+        skips it entirely, so all-default specs stay bit-identical to
+        the pre-network layout.
+        """
+        return bool(
+            self.regions
+            or self.helper_classes
+            or self.latency_ms > 0
+            or self.jitter_ms > 0
+            or self.loss_rate > 0
+        )
+
+    def compile(self, num_helpers: int):
+        """The per-helper :class:`~repro.network.links.LinkParameters`."""
+        from repro.network.links import compile_link_parameters
+
+        return compile_link_parameters(
+            num_helpers,
+            regions=self.regions,
+            latency_matrix=self.latency_matrix,
+            helper_regions=self.helper_regions,
+            viewer_region=self.viewer_region,
+            helper_classes=self.helper_classes,
+            latency_ms=self.latency_ms,
+            jitter_ms=self.jitter_ms,
+            loss_rate=self.loss_rate,
+            rtt_reference_ms=self.rtt_reference_ms,
+        )
+
+    def apply(self, process, num_helpers: int, rng: Seedish = None):
+        """Wrap ``process`` in the compiled link layer."""
+        from repro.network.links import LinkEffectProcess
+
+        params = self.compile(num_helpers)
+        return LinkEffectProcess(
+            process,
+            latency_ms=params.latency_ms,
+            jitter_ms=params.jitter_ms,
+            loss_rate=params.loss_rate,
+            capacity_scale=params.capacity_scale,
+            rtt_reference_ms=params.rtt_reference_ms,
+            rng=rng,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NetworkSpec":
         _check_unknown_keys(cls, data)
         return cls(**data)
 
@@ -570,6 +799,7 @@ class ExperimentSpec:
     seed: int = 0
     topology: TopologySpec = field(default_factory=TopologySpec)
     capacity: CapacitySpec = field(default_factory=CapacitySpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
     learner: LearnerSpec = field(default_factory=LearnerSpec)
     churn: ChurnSpec = field(default_factory=ChurnSpec)
     metrics: MetricsSpec = field(default_factory=MetricsSpec)
@@ -627,6 +857,17 @@ class ExperimentSpec:
                     f"{[n for n in LEARNERS if LEARNERS.get(n).grouped]}; "
                     'use engine="per_channel"'
                 )
+        # Cross-section checks the sections cannot do alone: explicit
+        # helper placement must cover exactly the topology's helpers.
+        if (
+            self.network.helper_regions is not None
+            and len(self.network.helper_regions) != self.topology.num_helpers
+        ):
+            raise ValueError(
+                "network helper_regions must list one region per helper "
+                f"(got {len(self.network.helper_regions)} entries for "
+                f"num_helpers={self.topology.num_helpers})"
+            )
         # Helpers partition round-robin, so the smallest channel gets
         # floor(H/C) of them; the learner family's action set must fit.
         topo = self.topology
@@ -652,6 +893,7 @@ class ExperimentSpec:
             "seed": self.seed,
             "topology": self.topology.to_dict(),
             "capacity": self.capacity.to_dict(),
+            "network": self.network.to_dict(),
             "learner": self.learner.to_dict(),
             "churn": self.churn.to_dict(),
             "metrics": self.metrics.to_dict(),
@@ -672,6 +914,7 @@ class ExperimentSpec:
         sections = {
             "topology": TopologySpec,
             "capacity": CapacitySpec,
+            "network": NetworkSpec,
             "learner": LearnerSpec,
             "churn": ChurnSpec,
             "metrics": MetricsSpec,
@@ -862,21 +1105,49 @@ class ExperimentSpec:
         return entry.bank(**kwargs)
 
     def build_capacity_process(self, rng: Seedish = None):
-        """The spec's helper-bandwidth environment, via the registry.
+        """The spec's helper-bandwidth environment, via the registries.
 
         ``capacity.options`` pass through as extra keyword arguments only
         when non-empty, so plain factories keep the original
         four-argument contract.
+
+        With ``capacity.transforms`` and/or an active ``network``
+        section, the base process feeds the transform pipeline: the rng
+        becomes a parent stream, the backend factory receives the first
+        child, and every transform — then the network link layer —
+        receives its own child in order.  Stages therefore keep
+        *positionally* deterministic streams: editing stage ``k`` never
+        perturbs stages before it.  With neither (the historical shape)
+        the rng passes straight to the backend factory, so pre-pipeline
+        specs stay bit-identical.
         """
         factory = CAPACITY_BACKENDS.get(self.resolved_capacity_backend())
+        transforms = self.capacity.transforms
+        network_active = self.network.active
         kwargs = dict(
             levels=self.capacity.levels,
             stay_probability=self.capacity.stay_probability,
             rng=self.seed if rng is None else rng,
         )
+        if not transforms and not network_active:
+            if self.capacity.options:
+                kwargs.update(self.capacity.options)
+            return factory(self.topology.num_helpers, **kwargs)
+        parent = as_generator(kwargs["rng"])
+        kwargs["rng"] = spawn(parent)
         if self.capacity.options:
             kwargs.update(self.capacity.options)
-        return factory(self.topology.num_helpers, **kwargs)
+        process = factory(self.topology.num_helpers, **kwargs)
+        for transform in transforms:
+            entry = CAPACITY_TRANSFORMS.get(transform.name)
+            process = entry.factory(
+                process, rng=spawn(parent), **transform.options
+            )
+        if network_active:
+            process = self.network.apply(
+                process, self.topology.num_helpers, rng=spawn(parent)
+            )
+        return process
 
     def build_population(self, rng: Seedish = None):
         """A bare :class:`~repro.core.population.LearnerPopulation`.

@@ -25,11 +25,17 @@ start method (the Linux default) they are inherited automatically; under
 ``spawn``/``forkserver`` put the registrations at import time of a module
 the cell function imports.
 
-The four registries and their entry contracts:
+The registries and their entry contracts:
 
 * **capacity backends** — ``factory(num_helpers, *, levels,
   stay_probability, rng) -> CapacityProcess`` (anything implementing
   ``capacities()`` / ``advance()`` / ``minimum_capacities()``).
+* **capacity transforms** — a :class:`TransformEntry` whose
+  ``factory(process, *, rng, **options) -> CapacityProcess`` wraps an
+  already-built process with one composable effect (outages, waves,
+  link loss).  An :class:`~repro.spec.model.ExperimentSpec` applies its
+  ``capacity.transforms`` list in order, handing each stage its own
+  child RNG stream.
 * **learners** — a :class:`LearnerEntry` bundling a scalar
   learner-factory builder and a vectorized bank-factory builder, so one
   registered name drives both backends.
@@ -166,8 +172,27 @@ class LearnerEntry:
     description: str = ""
 
 
-#: The four global registries.
+@dataclass(frozen=True)
+class TransformEntry:
+    """One capacity transform: a wrapping factory plus its summary.
+
+    ``factory(process, *, rng, **options)`` receives the process built
+    so far (the raw backend, or the previous transform's output) and
+    returns it wrapped with one effect.  ``rng`` is a child generator
+    spawned for this pipeline stage; purely deterministic transforms
+    simply ignore it (the stream is spawned either way, so adding or
+    removing RNG consumption inside one transform never perturbs its
+    siblings).  ``description`` is the one-line summary ``repro list``
+    prints (falls back to the factory docstring).
+    """
+
+    factory: Callable
+    description: str = ""
+
+
+#: The global registries.
 CAPACITY_BACKENDS: Registry = Registry("capacity backend")
+CAPACITY_TRANSFORMS: Registry = Registry("capacity transform")
 LEARNERS: Registry = Registry("learner")
 SCENARIOS: Registry = Registry("scenario")
 METRICS: Registry = Registry("metric")
@@ -182,6 +207,34 @@ def register_capacity_backend(name: str, factory=None, *, overwrite: bool = Fals
     ``minimum_capacities()``.  Usable as a decorator.
     """
     return CAPACITY_BACKENDS.register(name, factory, overwrite=overwrite)
+
+
+def register_capacity_transform(
+    name: str, factory=None, *, description: str = "", overwrite: bool = False
+):
+    """Register a capacity transform under ``name``.
+
+    ``factory(process, *, rng, **options)`` must return the given
+    process wrapped with one effect (it may also return a replacement
+    implementing the same
+    :class:`~repro.game.repeated_game.CapacityProcess` protocol plus
+    ``minimum_capacities()``).  Specs reach it through the ordered
+    ``capacity.transforms`` list; unknown option names fail inside the
+    factory, unknown transform *names* fail at spec construction with
+    the registered menu.  Usable as a decorator.
+    """
+
+    def _add(fn):
+        CAPACITY_TRANSFORMS.register(
+            name,
+            TransformEntry(factory=fn, description=description),
+            overwrite=overwrite,
+        )
+        return fn
+
+    if factory is None:
+        return _add
+    return _add(factory)
 
 
 def register_learner(

@@ -10,6 +10,10 @@
   evaluator (:mod:`repro.eval`) compares learners against: correlated
   helper outages, oscillating capacity, flash-crowd+failure storms, and
   diurnal popularity/capacity mixes.
+* :mod:`repro.workloads.geo` — the geo-distributed corpus entries:
+  cross-region flash crowds, regional outages and asymmetric access-link
+  mixes, driving the :mod:`repro.network` layer through the spec's
+  ``network`` section.
 """
 
 from repro.workloads.adversarial import (
@@ -17,6 +21,11 @@ from repro.workloads.adversarial import (
     diurnal_mix_spec,
     flash_storm_spec,
     oscillating_capacity_spec,
+)
+from repro.workloads.geo import (
+    asymmetric_uplinks_spec,
+    cross_region_flash_crowd_spec,
+    regional_outage_spec,
 )
 from repro.workloads.demand import constant_demand, heterogeneous_demand
 from repro.workloads.popularity import zipf_popularity
@@ -61,4 +70,7 @@ __all__ = [
     "oscillating_capacity_spec",
     "flash_storm_spec",
     "diurnal_mix_spec",
+    "cross_region_flash_crowd_spec",
+    "regional_outage_spec",
+    "asymmetric_uplinks_spec",
 ]

@@ -35,6 +35,7 @@ from repro.spec import (
     ExperimentSpec,
     LearnerSpec,
     TopologySpec,
+    TransformSpec,
     register_scenario,
 )
 from repro.workloads.popularity import zipf_popularity
@@ -87,15 +88,20 @@ def correlated_failures_spec(
             channel_bitrates=demand_per_peer,
         ),
         capacity=CapacitySpec(
-            backend="correlated_failures",
+            backend="vectorized",
             server_capacity=_server_budget(
                 server_capacity, num_peers, demand_per_peer, 0.5
             ),
-            options={
-                "num_groups": num_groups,
-                "group_failure_rate": group_failure_rate,
-                "mean_outage_rounds": mean_outage_rounds,
-            },
+            transforms=(
+                TransformSpec(
+                    name="correlated_failures",
+                    options={
+                        "num_groups": num_groups,
+                        "group_failure_rate": group_failure_rate,
+                        "mean_outage_rounds": mean_outage_rounds,
+                    },
+                ),
+            ),
         ),
         learner=LearnerSpec(name="rths"),
     )
@@ -135,15 +141,20 @@ def oscillating_capacity_spec(
             channel_bitrates=demand_per_peer,
         ),
         capacity=CapacitySpec(
-            backend="oscillating",
+            backend="vectorized",
             server_capacity=_server_budget(
                 server_capacity, num_peers, demand_per_peer, 0.5
             ),
-            options={
-                "low_fraction": low_fraction,
-                "period": period,
-                "num_groups": num_groups,
-            },
+            transforms=(
+                TransformSpec(
+                    name="oscillating",
+                    options={
+                        "low_fraction": low_fraction,
+                        "period": period,
+                        "num_groups": num_groups,
+                    },
+                ),
+            ),
         ),
         learner=LearnerSpec(name="rths"),
     )
@@ -169,7 +180,7 @@ def flash_storm_spec(
 
     The ``flash_crowd`` churn storm (heavy Poisson arrivals onto
     Zipf-hot channels, short lifetimes, viewers hopping channels) runs
-    on top of the ``failures`` capacity backend, so helpers crash and
+    on top of the ``failures`` capacity transform, so helpers crash and
     recover *while* the crowd surges.  The compound stressor: load
     concentrates on hot channels exactly when their helper blocks are
     least reliable, and the finite origin budget turns the shortfall
@@ -191,14 +202,19 @@ def flash_storm_spec(
             channel_switch_rate=channel_switch_rate,
         ),
         capacity=CapacitySpec(
-            backend="failures",
+            backend="vectorized",
             server_capacity=_server_budget(
                 server_capacity, num_peers, demand_per_peer, 0.5
             ),
-            options={
-                "failure_rate": failure_rate,
-                "mean_outage_rounds": mean_outage_rounds,
-            },
+            transforms=(
+                TransformSpec(
+                    name="failures",
+                    options={
+                        "failure_rate": failure_rate,
+                        "mean_outage_rounds": mean_outage_rounds,
+                    },
+                ),
+            ),
         ),
         learner=LearnerSpec(name="rths"),
         churn=ChurnSpec(
@@ -256,15 +272,20 @@ def diurnal_mix_spec(
             popularity_drift_period=drift_period,
         ),
         capacity=CapacitySpec(
-            backend="oscillating",
+            backend="vectorized",
             server_capacity=_server_budget(
                 server_capacity, num_peers, demand_per_peer, 0.5
             ),
-            options={
-                "low_fraction": capacity_low_fraction,
-                "period": capacity_period,
-                "num_groups": 2,
-            },
+            transforms=(
+                TransformSpec(
+                    name="oscillating",
+                    options={
+                        "low_fraction": capacity_low_fraction,
+                        "period": capacity_period,
+                        "num_groups": 2,
+                    },
+                ),
+            ),
         ),
         learner=LearnerSpec(name="rths"),
         churn=ChurnSpec(

@@ -1,0 +1,237 @@
+"""Geo-distributed scenarios: the corpus entries with a network layer.
+
+The adversarial corpus (:mod:`repro.workloads.adversarial`) stresses
+learners with *capacity* dynamics; the scenarios here add the missing
+axis — *where* helpers sit.  Each registers a spec whose ``network``
+section compiles region RTT matrices and helper-class mixes into the
+link-effect wrapper (:mod:`repro.network`), so distance, jitter and
+loss fold into the capacity every learner observes:
+
+* ``cross_region_flash_crowd`` — a flash crowd served across three
+  continents: helpers split into contiguous region blocks, viewers sit
+  in one region, and far helpers look slower than their raw bandwidth.
+* ``regional_outage`` — whole *regions* going dark: the
+  ``correlated_failures`` transform with failure domains aligned to
+  the region blocks, so an outage reads as a continent dropping off
+  the map while cross-region RTTs keep the survivors unequal.
+* ``asymmetric_uplinks`` — a realistic access-link mix (seedbox /
+  residential / mobile helper classes) where nominal capacity levels
+  hide very different observed goodput.
+
+Every factory pins the same finite origin budget as the rest of the
+corpus (half of aggregate demand by default) and a ``vectorized``
+capacity base, so scalar/vectorized eval cells share the environment
+realization.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.spec import (
+    CapacitySpec,
+    ChurnSpec,
+    ExperimentSpec,
+    LearnerSpec,
+    NetworkSpec,
+    TopologySpec,
+    TransformSpec,
+    register_scenario,
+)
+from repro.workloads.adversarial import _server_budget
+from repro.workloads.popularity import zipf_popularity
+
+# Three-continent RTT matrix (ms, viewer-side): intra-region access
+# latency on the diagonal, transit RTTs off it.  Deliberately spread so
+# the latency factor (rtt_ref / rtt) separates the regions: local
+# helpers are untaxed, transatlantic ones lose ~40%, trans-Pacific ones
+# most of their throughput.
+GEO_REGIONS = ("us-east", "eu-west", "ap-south")
+GEO_LATENCY_MATRIX = (
+    (15.0, 85.0, 220.0),
+    (85.0, 15.0, 150.0),
+    (220.0, 150.0, 15.0),
+)
+
+
+def cross_region_flash_crowd_spec(
+    num_peers: int = 2_000,
+    num_helpers: int = 42,
+    num_channels: int = 4,
+    zipf_exponent: float = 1.2,
+    arrival_rate: float = 30.0,
+    mean_lifetime: float = 50.0,
+    channel_switch_rate: float = 2.0,
+    jitter_ms: float = 8.0,
+    loss_rate: float = 0.005,
+    num_stages: int = 200,
+    demand_per_peer: float = 100.0,
+    server_capacity: Optional[float] = None,
+    backend: str = "vectorized",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """A flash crowd served by helpers spread across three regions.
+
+    The ``flash_crowd`` churn storm (heavy Poisson arrivals onto
+    Zipf-hot channels, short lifetimes, channel-hopping) hits a helper
+    pool split into contiguous region blocks behind the three-continent
+    RTT matrix, with global jitter and a small loss floor.  Viewers sit
+    in ``us-east``: the nearest third of the pool serves at full rate
+    while the trans-Pacific third is latency-taxed to a fraction of its
+    nominal bandwidth — so the *observed* capacity ranking the bandits
+    learn is dominated by geography, not the Markov levels.
+    """
+    return ExperimentSpec(
+        name="cross-region-flash-crowd",
+        backend=backend,
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=num_peers,
+            num_helpers=num_helpers,
+            num_channels=num_channels,
+            channel_bitrates=demand_per_peer,
+            channel_popularity=tuple(
+                zipf_popularity(num_channels, zipf_exponent)
+            ),
+            channel_switch_rate=channel_switch_rate,
+        ),
+        capacity=CapacitySpec(
+            backend="vectorized",
+            server_capacity=_server_budget(
+                server_capacity, num_peers, demand_per_peer, 0.5
+            ),
+        ),
+        network=NetworkSpec(
+            regions=GEO_REGIONS,
+            latency_matrix=GEO_LATENCY_MATRIX,
+            viewer_region=0,
+            jitter_ms=jitter_ms,
+            loss_rate=loss_rate,
+        ),
+        learner=LearnerSpec(name="rths"),
+        churn=ChurnSpec(
+            arrival_rate=arrival_rate,
+            mean_lifetime=mean_lifetime,
+            initial_peer_lifetimes=True,
+        ),
+    )
+
+
+def regional_outage_spec(
+    num_peers: int = 2_000,
+    num_helpers: int = 42,
+    num_channels: int = 4,
+    region_failure_rate: float = 0.03,
+    mean_outage_rounds: float = 15.0,
+    num_stages: int = 200,
+    demand_per_peer: float = 100.0,
+    server_capacity: Optional[float] = None,
+    backend: str = "vectorized",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """Whole regions going dark under a cross-region RTT matrix.
+
+    The ``correlated_failures`` transform runs with one failure domain
+    per region — both use the same contiguous block split, so a domain
+    outage *is* a region outage.  When ``eu-west`` drops, every
+    surviving helper is either local or trans-Pacific: recovery is not
+    a reshuffle among equals but a forced trade between a dark
+    continent and a latency-taxed one, which is exactly where sticky
+    overlays bleed and regret trackers migrate.
+    """
+    return ExperimentSpec(
+        name="regional-outage",
+        backend=backend,
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=num_peers,
+            num_helpers=num_helpers,
+            num_channels=num_channels,
+            channel_bitrates=demand_per_peer,
+        ),
+        capacity=CapacitySpec(
+            backend="vectorized",
+            server_capacity=_server_budget(
+                server_capacity, num_peers, demand_per_peer, 0.5
+            ),
+            transforms=(
+                TransformSpec(
+                    name="correlated_failures",
+                    options={
+                        # One domain per region: CorrelatedFailureProcess
+                        # and RegionTopology split helpers into the same
+                        # contiguous blocks, so domains align to regions
+                        # by construction.
+                        "num_groups": len(GEO_REGIONS),
+                        "group_failure_rate": region_failure_rate,
+                        "mean_outage_rounds": mean_outage_rounds,
+                    },
+                ),
+            ),
+        ),
+        network=NetworkSpec(
+            regions=GEO_REGIONS,
+            latency_matrix=GEO_LATENCY_MATRIX,
+            viewer_region=0,
+        ),
+        learner=LearnerSpec(name="rths"),
+    )
+
+
+def asymmetric_uplinks_spec(
+    num_peers: int = 2_000,
+    num_helpers: int = 40,
+    num_channels: int = 4,
+    seedbox_fraction: float = 0.15,
+    residential_fraction: float = 0.60,
+    mobile_fraction: float = 0.25,
+    num_stages: int = 200,
+    demand_per_peer: float = 100.0,
+    server_capacity: Optional[float] = None,
+    backend: str = "vectorized",
+    seed: int = 0,
+) -> ExperimentSpec:
+    """A realistic access-link mix: seedbox / residential / mobile.
+
+    Helpers draw the same Markov bandwidth levels but observe them
+    through very different last miles — a seedbox minority (scaled up,
+    near-lossless), a residential majority, and a mobile tail whose
+    jitter and loss erase most of its nominal capacity.  Nominal and
+    observed rankings disagree persistently, so a policy that learns
+    from observed goodput (what the bandit feedback actually is)
+    concentrates on the thin seedbox tier while naive uniform spreading
+    wastes picks on mobile uplinks.
+    """
+    return ExperimentSpec(
+        name="asymmetric-uplinks",
+        backend=backend,
+        rounds=num_stages,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=num_peers,
+            num_helpers=num_helpers,
+            num_channels=num_channels,
+            channel_bitrates=demand_per_peer,
+        ),
+        capacity=CapacitySpec(
+            backend="vectorized",
+            server_capacity=_server_budget(
+                server_capacity, num_peers, demand_per_peer, 0.5
+            ),
+        ),
+        network=NetworkSpec(
+            helper_classes={
+                "seedbox": seedbox_fraction,
+                "residential": residential_fraction,
+                "mobile": mobile_fraction,
+            },
+        ),
+        learner=LearnerSpec(name="rths"),
+    )
+
+
+register_scenario("cross_region_flash_crowd", cross_region_flash_crowd_spec)
+register_scenario("regional_outage", regional_outage_spec)
+register_scenario("asymmetric_uplinks", asymmetric_uplinks_spec)

@@ -35,6 +35,7 @@ from repro.spec import (
     LearnerSpec,
     MetricsSpec,
     TopologySpec,
+    TransformSpec,
     register_scenario,
 )
 from repro.util.rng import Seedish, as_generator, spawn
@@ -503,7 +504,7 @@ def helper_failures_spec(
     (mean ``mean_outage_rounds``) — the
     :class:`~repro.sim.failures.FailureInjectingProcess` wrapped around
     the paper environment via the registered ``"failures"`` capacity
-    backend.  Peers discover outages only through a zero rate (bandit
+    transform.  Peers discover outages only through a zero rate (bandit
     feedback), while Poisson churn keeps the population itself moving —
     the churn-heavy adaptation workload the fused multi-channel engine
     is exercised under.
@@ -520,11 +521,16 @@ def helper_failures_spec(
             channel_bitrates=demand_per_peer,
         ),
         capacity=CapacitySpec(
-            backend="failures",
-            options={
-                "failure_rate": failure_rate,
-                "mean_outage_rounds": mean_outage_rounds,
-            },
+            backend="vectorized",
+            transforms=(
+                TransformSpec(
+                    name="failures",
+                    options={
+                        "failure_rate": failure_rate,
+                        "mean_outage_rounds": mean_outage_rounds,
+                    },
+                ),
+            ),
         ),
         learner=LearnerSpec(name="r2hs"),
         churn=ChurnSpec(

@@ -1,0 +1,102 @@
+"""Helper classes: registry, profile validation, deterministic assignment."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    HELPER_CLASSES,
+    HelperClassProfile,
+    assign_helper_classes,
+    register_helper_class,
+)
+from repro.spec import UnknownComponentError
+
+
+class TestRegistry:
+    def test_builtin_archetypes_registered(self):
+        for name in ("seedbox", "residential", "mobile"):
+            assert name in HELPER_CLASSES
+            assert isinstance(HELPER_CLASSES.get(name), HelperClassProfile)
+
+    def test_register_rejects_non_profiles(self):
+        with pytest.raises(TypeError, match="HelperClassProfile"):
+            register_helper_class("bogus", {"capacity_scale": 2.0})
+
+    def test_register_and_unregister_plugin_class(self):
+        register_helper_class(
+            "datacenter", HelperClassProfile(capacity_scale=3.0)
+        )
+        try:
+            assert HELPER_CLASSES.get("datacenter").capacity_scale == 3.0
+        finally:
+            HELPER_CLASSES.unregister("datacenter")
+
+    def test_unknown_class_raises_with_menu(self):
+        with pytest.raises(UnknownComponentError) as exc:
+            assign_helper_classes(4, {"carrier_pigeon": 1.0})
+        message = str(exc.value)
+        assert "carrier_pigeon" in message
+        assert "seedbox" in message  # the registered menu is printed
+
+
+class TestProfileValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"capacity_scale": -1.0},
+            {"latency_ms": -1.0},
+            {"jitter_ms": -1.0},
+            {"loss_rate": 1.0},
+            {"loss_rate": -0.1},
+        ],
+    )
+    def test_invalid_profiles_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            HelperClassProfile(**kwargs)
+
+
+class TestAssignment:
+    def test_counts_cover_every_helper(self):
+        names, counts, assignment = assign_helper_classes(
+            10, {"seedbox": 0.15, "residential": 0.6, "mobile": 0.25}
+        )
+        assert int(counts.sum()) == 10
+        assert assignment.shape == (10,)
+        assert names == ("mobile", "residential", "seedbox")
+
+    def test_largest_remainder_rounding(self):
+        # 10 helpers at 15/60/25 percent: floors 1/6/2 leave one helper,
+        # which the largest remainder (0.5 for both seedbox and mobile,
+        # stable tie to the earlier sorted name: mobile) picks up.
+        names, counts, _ = assign_helper_classes(
+            10, {"seedbox": 0.15, "residential": 0.6, "mobile": 0.25}
+        )
+        assert dict(zip(names, counts.tolist())) == {
+            "mobile": 3, "residential": 6, "seedbox": 1,
+        }
+
+    def test_key_order_does_not_matter(self):
+        a = assign_helper_classes(13, {"seedbox": 1.0, "mobile": 2.0})
+        b = assign_helper_classes(13, {"mobile": 2.0, "seedbox": 1.0})
+        assert a[0] == b[0]
+        assert np.array_equal(a[1], b[1])
+        assert np.array_equal(a[2], b[2])
+
+    def test_assignment_is_contiguous_blocks(self):
+        _, _, assignment = assign_helper_classes(
+            9, {"seedbox": 1.0, "residential": 1.0, "mobile": 1.0}
+        )
+        assert np.all(np.diff(assignment) >= 0)  # sorted = contiguous
+
+    def test_weights_need_not_be_normalized(self):
+        normalized = assign_helper_classes(8, {"seedbox": 0.5, "mobile": 0.5})
+        raw = assign_helper_classes(8, {"seedbox": 7.0, "mobile": 7.0})
+        assert np.array_equal(normalized[1], raw[1])
+
+    @pytest.mark.parametrize(
+        "mix",
+        [{}, {"seedbox": -1.0}, {"seedbox": 0.0}, {"seedbox": float("nan")}],
+    )
+    def test_invalid_mixes_raise(self, mix):
+        with pytest.raises(ValueError):
+            assign_helper_classes(4, mix)

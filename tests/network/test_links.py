@@ -1,0 +1,226 @@
+"""Link-effect wrapper: factor math, RNG discipline, parameter compilation."""
+
+import numpy as np
+import pytest
+
+from repro.network import (
+    ClampedCapacityProcess,
+    LinkEffectProcess,
+    compile_link_parameters,
+)
+
+
+class ConstantProcess:
+    """A stub capacity process: fixed capacities, counts advances."""
+
+    def __init__(self, capacities):
+        self._caps = np.asarray(capacities, dtype=float)
+        self.advances = 0
+
+    @property
+    def num_helpers(self):
+        return self._caps.size
+
+    def capacities(self):
+        return self._caps.copy()
+
+    def minimum_capacities(self):
+        return self._caps.copy()
+
+    def advance(self):
+        self.advances += 1
+
+
+class TestLinkEffectProcess:
+    def test_all_defaults_are_identity(self):
+        base = ConstantProcess([100.0, 200.0, 300.0])
+        link = LinkEffectProcess(base)
+        assert np.array_equal(link.capacities(), base.capacities())
+        assert np.array_equal(
+            link.minimum_capacities(), base.minimum_capacities()
+        )
+
+    def test_latency_below_reference_costs_nothing(self):
+        base = ConstantProcess([100.0, 100.0])
+        link = LinkEffectProcess(
+            base, latency_ms=[10.0, 49.0], rtt_reference_ms=50.0
+        )
+        assert np.allclose(link.capacities(), [100.0, 100.0])
+
+    def test_latency_beyond_reference_scales_inversely(self):
+        base = ConstantProcess([100.0, 100.0])
+        link = LinkEffectProcess(
+            base, latency_ms=[100.0, 200.0], rtt_reference_ms=50.0
+        )
+        assert np.allclose(link.capacities(), [50.0, 25.0])
+
+    def test_loss_and_scale_multiply(self):
+        base = ConstantProcess([100.0])
+        link = LinkEffectProcess(base, loss_rate=0.1, capacity_scale=1.5)
+        assert np.allclose(link.capacities(), [100.0 * 1.5 * 0.9])
+
+    def test_advance_propagates_to_base(self):
+        base = ConstantProcess([100.0])
+        link = LinkEffectProcess(base)
+        link.advance()
+        link.advance()
+        assert base.advances == 2
+
+    def test_jitter_free_configuration_consumes_no_randomness(self):
+        rng = np.random.default_rng(7)
+        before = rng.bit_generator.state
+        link = LinkEffectProcess(
+            ConstantProcess([100.0]), latency_ms=80.0, loss_rate=0.05, rng=rng
+        )
+        for _ in range(5):
+            link.advance()
+        assert rng.bit_generator.state == before
+
+    def test_jitter_redraws_rtt_every_stage(self):
+        link = LinkEffectProcess(
+            ConstantProcess([100.0, 100.0]),
+            latency_ms=60.0,
+            jitter_ms=[0.0, 40.0],
+            rng=3,
+        )
+        seen = set()
+        for _ in range(10):
+            link.advance()
+            rtt = link.rtt_ms
+            assert rtt[0] == 60.0  # jitter-free helper keeps its latency
+            assert rtt[1] >= 60.0  # |normal| noise only adds
+            seen.add(float(rtt[1]))
+        assert len(seen) > 1
+
+    def test_jitter_draws_are_reproducible_by_seed(self):
+        def run(seed):
+            # Latency sits above the reference so the jitter draw always
+            # moves the factor (at rtt < ref the factor saturates at 1).
+            link = LinkEffectProcess(
+                ConstantProcess([100.0] * 4),
+                latency_ms=80.0,
+                jitter_ms=20.0,
+                rng=seed,
+            )
+            out = []
+            for _ in range(6):
+                link.advance()
+                out.append(link.capacities())
+            return np.stack(out)
+
+        assert np.array_equal(run(11), run(11))
+        assert not np.array_equal(run(11), run(12))
+
+    def test_minimum_capacities_zeroed_only_where_jittered(self):
+        link = LinkEffectProcess(
+            ConstantProcess([100.0, 100.0]),
+            latency_ms=100.0,
+            jitter_ms=[0.0, 5.0],
+            rtt_reference_ms=50.0,
+            rng=0,
+        )
+        assert np.allclose(link.minimum_capacities(), [50.0, 0.0])
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_rate": 1.0},
+            {"loss_rate": -0.1},
+            {"latency_ms": -1.0},
+            {"jitter_ms": -1.0},
+            {"capacity_scale": -0.5},
+            {"rtt_reference_ms": 0.0},
+            {"latency_ms": [1.0, 2.0, 3.0]},  # wrong length for H=2
+        ],
+    )
+    def test_invalid_parameters_raise(self, kwargs):
+        with pytest.raises(ValueError):
+            LinkEffectProcess(ConstantProcess([100.0, 100.0]), **kwargs)
+
+
+class TestClampedCapacityProcess:
+    def test_clips_capacities_and_bounds(self):
+        base = ConstantProcess([10.0, 150.0, 400.0])
+        clamp = ClampedCapacityProcess(
+            base, min_capacity=50.0, max_capacity=200.0
+        )
+        assert np.allclose(clamp.capacities(), [50.0, 150.0, 200.0])
+        assert np.allclose(clamp.minimum_capacities(), [50.0, 150.0, 200.0])
+
+    def test_validates_bounds(self):
+        with pytest.raises(ValueError):
+            ClampedCapacityProcess(ConstantProcess([1.0]), min_capacity=-1.0)
+        with pytest.raises(ValueError):
+            ClampedCapacityProcess(
+                ConstantProcess([1.0]), min_capacity=10.0, max_capacity=5.0
+            )
+
+    def test_does_not_commute_with_scaling(self):
+        base = ConstantProcess([100.0])
+        cap_then_scale = LinkEffectProcess(
+            ClampedCapacityProcess(base, max_capacity=80.0),
+            capacity_scale=0.5,
+        )
+        scale_then_cap = ClampedCapacityProcess(
+            LinkEffectProcess(base, capacity_scale=0.5), max_capacity=80.0
+        )
+        assert cap_then_scale.capacities()[0] == 40.0
+        assert scale_then_cap.capacities()[0] == 50.0
+
+
+class TestCompileLinkParameters:
+    def test_globals_only(self):
+        params = compile_link_parameters(
+            3, latency_ms=20.0, jitter_ms=5.0, loss_rate=0.02
+        )
+        assert np.allclose(params.latency_ms, 20.0)
+        assert np.allclose(params.jitter_ms, 5.0)
+        assert np.allclose(params.loss_rate, 0.02)
+        assert np.allclose(params.capacity_scale, 1.0)
+        assert params.helper_regions is None
+        assert params.helper_class_names is None
+
+    def test_region_rtts_add_to_global_latency(self):
+        params = compile_link_parameters(
+            4,
+            regions=("near", "far"),
+            latency_matrix=((0.0, 100.0), (100.0, 0.0)),
+            viewer_region=0,
+            latency_ms=10.0,
+        )
+        # Contiguous blocks: helpers 0-1 near (RTT 0), 2-3 far (RTT 100).
+        assert np.allclose(params.latency_ms, [10.0, 10.0, 110.0, 110.0])
+        assert np.array_equal(params.helper_regions, [0, 0, 1, 1])
+
+    def test_class_profiles_fold_in(self):
+        params = compile_link_parameters(
+            2,
+            helper_classes={"seedbox": 1.0, "mobile": 1.0},
+            loss_rate=0.1,
+            latency_ms=5.0,
+        )
+        # Sorted names: mobile first, then seedbox.
+        assert params.helper_class_names == ("mobile", "seedbox")
+        assert np.allclose(params.latency_ms, [85.0, 15.0])
+        assert np.allclose(params.capacity_scale, [0.6, 1.5])
+        # Loss composes as independent drops: 1 - (1-a)(1-b).
+        assert np.allclose(
+            params.loss_rate,
+            [1 - 0.9 * (1 - 0.03), 1 - 0.9 * (1 - 0.001)],
+        )
+
+    def test_compiled_parameters_drive_link_effect_process(self):
+        params = compile_link_parameters(
+            2, helper_classes={"seedbox": 1.0, "mobile": 1.0}
+        )
+        link = LinkEffectProcess(
+            ConstantProcess([100.0, 100.0]),
+            latency_ms=params.latency_ms,
+            jitter_ms=params.jitter_ms,
+            loss_rate=params.loss_rate,
+            capacity_scale=params.capacity_scale,
+            rtt_reference_ms=params.rtt_reference_ms,
+            rng=0,
+        )
+        caps = link.capacities()
+        assert caps[1] > caps[0]  # the seedbox outruns the mobile helper

@@ -1,0 +1,95 @@
+"""Region topologies: matrix validation, contiguous placement, RTT lookup."""
+
+import numpy as np
+import pytest
+
+from repro.network import RegionTopology
+
+
+def triangle():
+    return RegionTopology(
+        names=("a", "b", "c"),
+        rtt_ms=np.array(
+            [[0.0, 50.0, 200.0], [60.0, 0.0, 100.0], [210.0, 110.0, 0.0]]
+        ),
+    )
+
+
+class TestConstruction:
+    def test_from_spec_without_matrix_is_zero_rtt(self):
+        topo = RegionTopology.from_spec(("x", "y"))
+        assert topo.num_regions == 2
+        assert np.array_equal(topo.rtt_ms, np.zeros((2, 2)))
+
+    def test_rejects_non_square_matrix(self):
+        with pytest.raises(ValueError, match="square"):
+            RegionTopology(names=("a", "b"), rtt_ms=np.zeros((2, 3)))
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError, match="finite"):
+            RegionTopology(names=("a",), rtt_ms=np.array([[-1.0]]))
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            RegionTopology(names=("a", "a"), rtt_ms=np.zeros((2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RegionTopology(names=(), rtt_ms=np.zeros((0, 0)))
+
+
+class TestAssignment:
+    def test_default_is_contiguous_array_split_blocks(self):
+        topo = triangle()
+        # 7 helpers over 3 regions: array_split sizes 3, 2, 2.
+        assert np.array_equal(
+            topo.assign_helpers(7), [0, 0, 0, 1, 1, 2, 2]
+        )
+
+    def test_matches_correlated_failure_domain_layout(self):
+        # Region blocks and failure domains must align by construction.
+        from repro.sim.failures import CorrelatedFailureProcess
+
+        class Stub:
+            num_helpers = 10
+
+            def capacities(self):
+                return np.ones(10)
+
+            def minimum_capacities(self):
+                return np.ones(10)
+
+            def advance(self):
+                pass
+
+        topo = triangle()
+        process = CorrelatedFailureProcess(
+            Stub(), num_groups=3, group_failure_rate=0.0, rng=0
+        )
+        assert np.array_equal(topo.assign_helpers(10), process._groups)
+
+    def test_explicit_assignment_wins(self):
+        topo = triangle()
+        assert np.array_equal(
+            topo.assign_helpers(4, explicit=[2, 0, 2, 1]), [2, 0, 2, 1]
+        )
+
+    def test_explicit_assignment_validated(self):
+        topo = triangle()
+        with pytest.raises(ValueError, match="length"):
+            topo.assign_helpers(4, explicit=[0, 1])
+        with pytest.raises(ValueError, match="index"):
+            topo.assign_helpers(2, explicit=[0, 3])
+
+
+class TestRttLookup:
+    def test_uses_helper_to_viewer_column(self):
+        topo = triangle()
+        rtts = topo.helper_rtts(np.array([0, 1, 2]), viewer_region=0)
+        # Asymmetric matrix: helper_region -> viewer_region direction.
+        assert np.array_equal(rtts, [0.0, 60.0, 210.0])
+
+    def test_viewer_region_validated(self):
+        topo = triangle()
+        with pytest.raises(ValueError, match="viewer_region"):
+            topo.helper_rtts(np.array([0]), viewer_region=3)

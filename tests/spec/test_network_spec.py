@@ -1,0 +1,189 @@
+"""The spec's network section: validation, round-trips, backend equivalence."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.spec import (
+    CapacitySpec,
+    ExperimentSpec,
+    NetworkSpec,
+    TopologySpec,
+    UnknownComponentError,
+)
+
+MATRIX = ((10.0, 90.0), (90.0, 10.0))
+
+
+def networked_spec(network, *, backend="vectorized", num_helpers=6, seed=0):
+    return ExperimentSpec(
+        name="network-test",
+        backend=backend,
+        rounds=5,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=20, num_helpers=num_helpers, channel_bitrates=100.0
+        ),
+        capacity=CapacitySpec(backend="vectorized"),
+        network=network,
+    )
+
+
+class TestValidation:
+    def test_all_defaults_are_inactive(self):
+        assert not NetworkSpec().active
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"regions": ("a", "b")},
+            {"helper_classes": {"seedbox": 1.0}},
+            {"latency_ms": 100.0},
+            {"jitter_ms": 5.0},
+            {"loss_rate": 0.01},
+        ],
+    )
+    def test_any_effect_activates(self, kwargs):
+        assert NetworkSpec(**kwargs).active
+
+    def test_matrix_requires_regions(self):
+        with pytest.raises(ValueError, match="requires regions"):
+            NetworkSpec(latency_matrix=MATRIX)
+
+    def test_matrix_must_be_square_over_regions(self):
+        with pytest.raises(ValueError, match="square"):
+            NetworkSpec(regions=("a", "b", "c"), latency_matrix=MATRIX)
+
+    def test_viewer_region_must_index_regions(self):
+        with pytest.raises(ValueError, match="viewer_region"):
+            NetworkSpec(regions=("a", "b"), viewer_region=2)
+
+    def test_unknown_helper_class_raises_with_menu(self):
+        with pytest.raises(UnknownComponentError) as exc:
+            NetworkSpec(helper_classes={"dialup": 1.0})
+        assert "dialup" in str(exc.value)
+        assert "residential" in str(exc.value)
+
+    def test_loss_rate_range(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(loss_rate=1.0)
+
+    def test_helper_regions_must_cover_topology(self):
+        network = NetworkSpec(regions=("a", "b"), helper_regions=(0, 1, 0))
+        with pytest.raises(ValueError, match="one region per helper"):
+            networked_spec(network, num_helpers=6)
+
+
+class TestRoundTrip:
+    def full_network(self):
+        return NetworkSpec(
+            regions=("us", "eu"),
+            latency_matrix=MATRIX,
+            helper_regions=(0, 0, 0, 1, 1, 1),
+            viewer_region=1,
+            helper_classes={"seedbox": 0.25, "residential": 0.75},
+            latency_ms=5.0,
+            jitter_ms=2.0,
+            loss_rate=0.001,
+            rtt_reference_ms=40.0,
+        )
+
+    def test_network_section_round_trips_through_json(self):
+        spec = networked_spec(self.full_network())
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.network == spec.network
+
+    def test_dump_spec_round_trips_transforms_and_network(self, tmp_path):
+        spec = networked_spec(self.full_network())
+        spec = ExperimentSpec.from_dict(
+            {
+                **spec.to_dict(),
+                "capacity": {
+                    **spec.capacity.to_dict(),
+                    "transforms": (
+                        {"name": "failures", "options": {"failure_rate": 0.1}},
+                    ),
+                },
+            }
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        out = io.StringIO()
+        code = main(["run", "--spec", str(path), "--dump-spec"], out=out)
+        assert code == 0
+        dumped = ExperimentSpec.from_json(out.getvalue())
+        assert dumped == spec
+        # Bit-identical sections in the serialized form, not just equal
+        # dataclasses after parsing.
+        printed = json.loads(out.getvalue())
+        original = json.loads(spec.to_json())
+        assert printed["network"] == original["network"]
+        assert (
+            printed["capacity"]["transforms"]
+            == original["capacity"]["transforms"]
+        )
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize(
+        "network",
+        [
+            NetworkSpec(regions=("a", "b"), latency_matrix=MATRIX),
+            NetworkSpec(helper_classes={"seedbox": 0.5, "mobile": 0.5}),
+            NetworkSpec(latency_ms=120.0, jitter_ms=15.0, loss_rate=0.02),
+        ],
+    )
+    def test_link_effects_identical_across_system_backends(self, network):
+        # The capacity backend is pinned, so the scalar and vectorized
+        # *system* backends must observe the identical networked
+        # environment — jitter draws included.
+        a = networked_spec(network, backend="scalar").build_capacity_process()
+        b = networked_spec(
+            network, backend="vectorized"
+        ).build_capacity_process()
+        for _ in range(15):
+            assert np.array_equal(a.capacities(), b.capacities())
+            a.advance()
+            b.advance()
+
+    def test_network_applies_after_transforms(self):
+        # A clamp floor of 400 then 50% loss: the network halves the
+        # floored values, so capacities land at >= 200 with some below
+        # 400.  Were the network applied before the clamp, the floor
+        # would win and every capacity would read >= 400.
+        spec = networked_spec(NetworkSpec(loss_rate=0.5))
+        spec = ExperimentSpec.from_dict(
+            {
+                **spec.to_dict(),
+                "capacity": {
+                    **spec.capacity.to_dict(),
+                    "transforms": (
+                        {"name": "clamp", "options": {"min_capacity": 400.0}},
+                    ),
+                },
+            }
+        )
+        process = spec.build_capacity_process()
+        stages = []
+        for _ in range(10):
+            stages.append(np.asarray(process.capacities()).copy())
+            process.advance()
+        caps = np.concatenate(stages)
+        assert np.all(caps >= 200.0)
+        assert np.any(caps < 400.0)
+
+    def test_networked_spec_runs_end_to_end(self):
+        spec = networked_spec(
+            NetworkSpec(
+                regions=("a", "b"),
+                latency_matrix=MATRIX,
+                jitter_ms=5.0,
+                loss_rate=0.01,
+            )
+        )
+        result = spec.run()
+        assert result.trace.num_rounds == 5

@@ -1,0 +1,208 @@
+"""The capacity-transform pipeline: ordering, RNG streams, legacy shims."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.spec import (
+    CAPACITY_TRANSFORMS,
+    CapacitySpec,
+    ExperimentSpec,
+    TopologySpec,
+    TransformSpec,
+    UnknownComponentError,
+    register_capacity_transform,
+)
+
+
+def base_spec(transforms=(), *, backend="vectorized", seed=0, **capacity):
+    return ExperimentSpec(
+        name="pipeline-test",
+        backend="vectorized",
+        rounds=5,
+        seed=seed,
+        topology=TopologySpec(
+            num_peers=20, num_helpers=6, channel_bitrates=100.0
+        ),
+        capacity=CapacitySpec(
+            backend=backend, transforms=transforms, **capacity
+        ),
+    )
+
+
+def capacity_trace(spec, stages=30):
+    process = spec.build_capacity_process()
+    out = []
+    for _ in range(stages):
+        out.append(np.asarray(process.capacities(), dtype=float).copy())
+        process.advance()
+    return np.stack(out)
+
+
+class TestTransformSpec:
+    def test_unknown_transform_raises_with_menu(self):
+        with pytest.raises(UnknownComponentError) as exc:
+            TransformSpec(name="wormhole")
+        message = str(exc.value)
+        assert "wormhole" in message
+        assert "failures" in message and "link_effects" in message
+
+    def test_options_must_be_string_keyed(self):
+        with pytest.raises(ValueError, match="string keys"):
+            TransformSpec(name="clamp", options={1: 2})
+
+    def test_round_trips_through_the_spec_json(self):
+        spec = base_spec(
+            transforms=(
+                TransformSpec(name="failures", options={"failure_rate": 0.1}),
+                TransformSpec(name="clamp", options={"max_capacity": 500.0}),
+            )
+        )
+        clone = ExperimentSpec.from_json(spec.to_json())
+        assert clone == spec
+        assert clone.capacity.transforms == spec.capacity.transforms
+
+    def test_dict_entries_coerce_to_transform_specs(self):
+        spec = base_spec(
+            transforms=({"name": "failures", "options": {"failure_rate": 0.1}},)
+        )
+        assert isinstance(spec.capacity.transforms[0], TransformSpec)
+
+
+class TestPipelineComposition:
+    def test_order_matters_where_it_should(self):
+        # clamp-then-scale caps at 300 before halving; scale-then-clamp
+        # halves first, so high levels pass the cap untouched.
+        scale = TransformSpec(
+            name="link_effects", options={"capacity_scale": 0.5}
+        )
+        clamp = TransformSpec(name="clamp", options={"max_capacity": 300.0})
+        a = capacity_trace(base_spec(transforms=(clamp, scale)))
+        b = capacity_trace(base_spec(transforms=(scale, clamp)))
+        assert a.shape == b.shape
+        assert not np.array_equal(a, b)
+        assert np.all(a <= 150.0 + 1e-9)  # cap applied pre-scale
+        assert np.max(b) > 150.0
+
+    def test_deterministic_transforms_commute_when_independent(self):
+        # Pure scalings commute: the pipeline itself adds no coupling.
+        half = TransformSpec(
+            name="link_effects", options={"capacity_scale": 0.5}
+        )
+        tenth = TransformSpec(
+            name="link_effects", options={"capacity_scale": 0.1}
+        )
+        a = capacity_trace(base_spec(transforms=(half, tenth)))
+        b = capacity_trace(base_spec(transforms=(tenth, half)))
+        assert np.allclose(a, b)
+
+    def test_child_streams_are_positional(self):
+        # Appending a deterministic stage after a stochastic one leaves
+        # the stochastic stage's child stream (and the base's) intact.
+        failures = TransformSpec(
+            name="failures", options={"failure_rate": 0.2}
+        )
+        clamp = TransformSpec(name="clamp", options={"min_capacity": 0.0})
+        alone = capacity_trace(base_spec(transforms=(failures,)))
+        appended = capacity_trace(base_spec(transforms=(failures, clamp)))
+        assert np.array_equal(alone, appended)
+
+    def test_pipeline_is_reproducible_by_seed(self):
+        failures = TransformSpec(name="failures", options={"failure_rate": 0.2})
+        assert np.array_equal(
+            capacity_trace(base_spec((failures,), seed=5)),
+            capacity_trace(base_spec((failures,), seed=5)),
+        )
+        assert not np.array_equal(
+            capacity_trace(base_spec((failures,), seed=5)),
+            capacity_trace(base_spec((failures,), seed=6)),
+        )
+
+    def test_plain_spec_stays_on_the_legacy_rng_path(self):
+        # No transforms, no network: the backend receives the seed
+        # directly (pre-pipeline specs stay bit-identical).
+        from repro.sim.bandwidth import paper_bandwidth_process
+
+        spec = base_spec(seed=9)
+        process = spec.build_capacity_process()
+        direct = paper_bandwidth_process(
+            6, levels=spec.capacity.levels,
+            stay_probability=spec.capacity.stay_probability,
+            rng=9, backend="vectorized",
+        )
+        for _ in range(20):
+            assert np.array_equal(process.capacities(), direct.capacities())
+            process.advance()
+            direct.advance()
+
+    def test_custom_transform_registers_and_runs(self):
+        def doubler(process, *, rng):
+            class Doubled:
+                num_helpers = process.num_helpers
+
+                def capacities(self):
+                    return 2.0 * np.asarray(process.capacities())
+
+                def minimum_capacities(self):
+                    return 2.0 * np.asarray(process.minimum_capacities())
+
+                def advance(self):
+                    process.advance()
+
+            return Doubled()
+
+        register_capacity_transform("doubler", doubler, description="x2")
+        try:
+            plain = capacity_trace(base_spec())
+            doubled = capacity_trace(
+                base_spec(transforms=(TransformSpec(name="doubler"),))
+            )
+        finally:
+            CAPACITY_TRANSFORMS.unregister("doubler")
+        # The pipeline path re-seeds via child streams, so compare
+        # internal consistency only: doubling is exact per stage.
+        assert np.allclose(doubled, 2.0 * capacity_trace(
+            base_spec(transforms=(TransformSpec(
+                name="link_effects", options={"capacity_scale": 1.0}
+            ),))
+        ))
+        assert plain.shape == doubled.shape
+
+
+class TestLegacyBackendShims:
+    @pytest.mark.parametrize(
+        "legacy, options",
+        [
+            ("failures", {"failure_rate": 0.1, "mean_outage_rounds": 5.0}),
+            (
+                "correlated_failures",
+                {"num_groups": 3, "group_failure_rate": 0.1},
+            ),
+            ("oscillating", {"low_fraction": 0.3, "period": 7}),
+        ],
+    )
+    def test_legacy_backend_is_bit_identical_to_transform(self, legacy, options):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            old = capacity_trace(
+                base_spec(backend=legacy, options=options, seed=3)
+            )
+        new = capacity_trace(
+            base_spec(
+                transforms=(TransformSpec(name=legacy, options=options),),
+                seed=3,
+            )
+        )
+        assert np.array_equal(old, new)
+
+    def test_legacy_backend_warns_deprecation(self):
+        from repro.spec import builtins as spec_builtins
+
+        spec_builtins._LEGACY_BACKEND_WARNED.discard("failures")
+        with pytest.warns(DeprecationWarning, match="deprecated"):
+            base_spec(backend="failures").build_capacity_process()
+        # Warn-once: a second build stays silent.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            base_spec(backend="failures").build_capacity_process()

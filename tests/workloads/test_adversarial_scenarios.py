@@ -59,12 +59,12 @@ class TestCorpusContracts:
     def test_flash_storm_composes_churn_and_failures(self):
         spec = flash_storm_spec(**SMALL)
         assert spec.churn.arrival_rate > 0
-        assert spec.capacity.backend == "failures"
+        assert [t.name for t in spec.capacity.transforms] == ["failures"]
 
     def test_diurnal_mix_drifts_popularity_over_oscillating_capacity(self):
         spec = diurnal_mix_spec(**SMALL)
         assert spec.topology.popularity_drift_rate > 0
-        assert spec.capacity.backend == "oscillating"
+        assert [t.name for t in spec.capacity.transforms] == ["oscillating"]
 
 
 class TestCorpusRuns:

@@ -23,7 +23,7 @@ class TestHelperFailuresScenario:
         assert "helper_failures" in SCENARIOS
         spec = small(SCENARIOS.get("helper_failures"))
         assert isinstance(spec, ExperimentSpec)
-        assert spec.capacity.backend == "failures"
+        assert [t.name for t in spec.capacity.transforms] == ["failures"]
         assert spec.churn.arrival_rate > 0
         assert spec.resolved_engine() == "grouped"
 
@@ -41,9 +41,9 @@ class TestHelperFailuresScenario:
 
     def test_failure_parameters_flow_through_options(self):
         spec = small(helper_failures_spec, failure_rate=0.77)
-        assert spec.capacity.options["failure_rate"] == 0.77
+        assert spec.capacity.transforms[0].options["failure_rate"] == 0.77
         clone = ExperimentSpec.from_json(spec.to_json())
-        assert clone.capacity.options["failure_rate"] == 0.77
+        assert clone.capacity.transforms[0].options["failure_rate"] == 0.77
 
 
 class TestPopularityDriftScenario:

@@ -1,0 +1,107 @@
+"""The geo corpus: registration, geography wiring, churn-proof assignment."""
+
+import numpy as np
+import pytest
+
+from repro.spec import SCENARIOS, ExperimentSpec
+from repro.workloads.geo import (
+    GEO_LATENCY_MATRIX,
+    GEO_REGIONS,
+    asymmetric_uplinks_spec,
+    cross_region_flash_crowd_spec,
+    regional_outage_spec,
+)
+
+GEO_CORPUS = {
+    "cross_region_flash_crowd": cross_region_flash_crowd_spec,
+    "regional_outage": regional_outage_spec,
+    "asymmetric_uplinks": asymmetric_uplinks_spec,
+}
+SMALL = dict(num_peers=60, num_helpers=9, num_channels=2, num_stages=25)
+
+
+class TestRegistration:
+    @pytest.mark.parametrize("name", sorted(GEO_CORPUS))
+    def test_registered_under_its_corpus_name(self, name):
+        assert SCENARIOS.get(name) is GEO_CORPUS[name]
+
+    @pytest.mark.parametrize("name", sorted(GEO_CORPUS))
+    def test_spec_round_trips_through_json(self, name):
+        spec = GEO_CORPUS[name](**SMALL)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    @pytest.mark.parametrize("name", sorted(GEO_CORPUS))
+    def test_finite_server_budget_is_pinned(self, name):
+        spec = GEO_CORPUS[name](**SMALL)
+        demand = SMALL["num_peers"] * 100.0
+        assert spec.capacity.server_capacity == pytest.approx(0.5 * demand)
+
+    @pytest.mark.parametrize("name", sorted(GEO_CORPUS))
+    def test_capacity_base_is_pinned_vectorized(self, name):
+        # Scalar and vectorized eval cells must share the environment.
+        for backend in ("scalar", "vectorized"):
+            assert (
+                GEO_CORPUS[name](**SMALL, backend=backend).capacity.backend
+                == "vectorized"
+            )
+
+
+class TestGeographyWiring:
+    def test_cross_region_taxes_far_helpers(self):
+        spec = cross_region_flash_crowd_spec(**SMALL)
+        params = spec.network.compile(SMALL["num_helpers"])
+        # Contiguous thirds: us-east, eu-west, ap-south; viewers in
+        # us-east observe RTTs from column 0 of the matrix.
+        assert np.array_equal(params.helper_regions, [0, 0, 0, 1, 1, 1, 2, 2, 2])
+        expected = np.array(GEO_LATENCY_MATRIX)[params.helper_regions, 0]
+        assert np.allclose(params.latency_ms, expected)
+
+    def test_regional_outage_domains_align_with_regions(self):
+        spec = regional_outage_spec(**SMALL)
+        transform = spec.capacity.transforms[0]
+        assert transform.name == "correlated_failures"
+        assert transform.options["num_groups"] == len(GEO_REGIONS)
+        # The failure domains and the region blocks use the same
+        # contiguous split, so a domain outage is a region outage.
+        from repro.sim.failures import CorrelatedFailureProcess
+
+        process = spec.build_capacity_process()
+        inner = process
+        while not isinstance(inner, CorrelatedFailureProcess):
+            inner = inner._base
+        params = spec.network.compile(SMALL["num_helpers"])
+        assert np.array_equal(inner._groups, params.helper_regions)
+
+    def test_asymmetric_uplinks_mixes_the_three_classes(self):
+        spec = asymmetric_uplinks_spec(num_helpers=20, **{
+            k: v for k, v in SMALL.items() if k != "num_helpers"
+        })
+        params = spec.network.compile(20)
+        counts = {
+            name: params.helper_class_names.count(name)
+            for name in ("seedbox", "residential", "mobile")
+        }
+        assert counts == {"seedbox": 3, "residential": 12, "mobile": 5}
+        # Seedboxes outrun mobiles on the compiled scale.
+        scales = np.asarray(params.capacity_scale)
+        assert scales.max() == 1.5 and scales.min() == 0.6
+
+
+class TestRuns:
+    @pytest.mark.parametrize("name", sorted(GEO_CORPUS))
+    @pytest.mark.parametrize("backend", ["scalar", "vectorized"])
+    def test_short_run_on_both_backends(self, name, backend):
+        result = GEO_CORPUS[name](**SMALL, backend=backend).run()
+        assert result.trace.num_rounds == SMALL["num_stages"]
+
+    def test_class_assignment_is_stable_under_churn(self):
+        # Helper-class identity is positional: churn changes which
+        # peers are online, never which class a helper index carries.
+        spec = cross_region_flash_crowd_spec(**SMALL)
+        assert spec.churn.arrival_rate > 0
+        a = spec.build_capacity_process()
+        b = spec.build_capacity_process()
+        for _ in range(10):
+            assert np.array_equal(a.capacities(), b.capacities())
+            a.advance()
+            b.advance()
