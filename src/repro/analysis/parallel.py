@@ -102,19 +102,28 @@ class SharedArrayHandle:
         )
         self._owner = False  # unpickled copies must never unlink
 
-    def load(self) -> np.ndarray:
+    def load(self, writable: bool = False) -> np.ndarray:
         """Materialize the array (zero-copy for shm/file placements).
 
-        The result is marked read-only in every mode: the backing is
-        shared across cells (and, for shm, across processes), so an
-        in-place mutation would corrupt every other consumer silently.
+        By default the result is marked read-only in every mode: the
+        backing is shared across cells (and, for shm, across processes),
+        so an in-place mutation would corrupt every other consumer
+        silently.  ``writable=True`` opts into a mutable view for
+        deliberate cross-process exchange buffers (the sharded runtime's
+        per-round row/action/utility lanes); it requires a shared
+        backing, so ``"inline"`` handles reject it.
         """
         if self._mode == "inline":
+            if writable:
+                raise ValueError(
+                    "inline handles have no shared backing to write to; "
+                    "use mode='shm' or 'file'"
+                )
             view = self._array.view()
             view.flags.writeable = False
             return view
         if self._mode == "file":
-            return np.load(self._path, mmap_mode="r")
+            return np.load(self._path, mmap_mode="r+" if writable else "r")
         if self._attached is None:
             from multiprocessing import shared_memory
 
@@ -134,7 +143,7 @@ class SharedArrayHandle:
         view = np.ndarray(
             self._shape, dtype=np.dtype(self._dtype), buffer=self._attached.buf
         )
-        view.flags.writeable = False
+        view.flags.writeable = bool(writable)
         return view
 
     def close(self) -> None:

@@ -98,6 +98,7 @@ RUN_FLAG_SPEC_PATHS = {
     "bank": "learner.bank",
     "topk": "learner.topk",
     "engine": "learner.engine",
+    "shards": "learner.shards",
     "churn_rate": "churn.arrival_rate",
     "mean_lifetime": "churn.mean_lifetime",
     "max_retries": "execution.max_retries",
@@ -385,6 +386,15 @@ def _add_spec_flags(runp: argparse.ArgumentParser) -> None:
         "all channels per round ('grouped', bit-identical to "
         "'per_channel' and faster from C >= 20) or private per-channel "
         "banks; default auto (grouped for the regret families)",
+    )
+    runp.add_argument(
+        "--shards",
+        type=int,
+        default=unset,
+        help="partition the learner banks across N worker processes "
+        "(vectorized grouped engine, N <= channels); traces are "
+        "bit-identical to --shards 1, so this is a pure speed knob "
+        "on multi-core hosts (default 1)",
     )
     runp.add_argument("--peers", type=int, default=unset)
     runp.add_argument("--helpers", type=int, default=unset)

@@ -70,6 +70,98 @@ _SCALE_FLOOR32 = 1e-12
 # DRAM (measurably faster from ~50k touched elements per pass up).
 _OBSERVE_BLOCK = 4096
 
+# Elements (rows × action-set width) a single observe pass targets.  For
+# narrow action sets the fixed row block would leave passes tiny and
+# dispatch-bound (at H = 2 a 4096-row pass moves only 64 KiB), so blocks
+# widen to keep per-pass temporaries at the same ~2 MiB cache budget the
+# 4096-row block was sized for at H = 64.
+_OBSERVE_TARGET_ELEMS = _OBSERVE_BLOCK * 64
+
+
+def _observe_block_rows(width: int) -> int:
+    """Rows per observe pass for the given action-set width.
+
+    Blocking is bit-identity-safe: every op in the stage update is
+    per-row (slots never repeat within a call), so results do not depend
+    on where block boundaries fall.
+    """
+    return max(_OBSERVE_BLOCK, _OBSERVE_TARGET_ELEMS // max(int(width), 1))
+
+
+class _Scratch:
+    """Grow-on-demand reusable buffers, keyed by name.
+
+    The stage update and the action sampler are dispatch- and
+    allocation-bound at small action-set widths; routing their
+    temporaries through one of these per-population pools removes the
+    fresh ``(k, H)`` allocations each call without changing any
+    arithmetic.  Buffers only ever grow, and a view of the first ``k``
+    rows is handed back, so callers see exactly-sized arrays.
+    """
+
+    __slots__ = ("_bufs",)
+
+    def __init__(self) -> None:
+        self._bufs: Dict[str, np.ndarray] = {}
+
+    def vec(self, name: str, count: int, dtype) -> np.ndarray:
+        buf = self._bufs.get(name)
+        if buf is None or buf.shape[0] < count or buf.dtype != dtype:
+            cap = count if buf is None else max(count, buf.shape[0])
+            buf = np.empty(cap, dtype=dtype)
+            self._bufs[name] = buf
+        return buf[:count]
+
+    def rows(self, name: str, count: int, width: int, dtype) -> np.ndarray:
+        buf = self._bufs.get(name)
+        if (
+            buf is None
+            or buf.shape[0] < count
+            or buf.shape[1] != width
+            or buf.dtype != dtype
+        ):
+            cap = count if buf is None else max(count, buf.shape[0])
+            buf = np.empty((cap, width), dtype=dtype)
+            self._bufs[name] = buf
+        return buf[:count]
+
+    def arange(self, count: int) -> np.ndarray:
+        buf = self._bufs.get("arange")
+        if buf is None or buf.shape[0] < count:
+            buf = np.arange(count, dtype=np.intp)
+            self._bufs["arange"] = buf
+        return buf[:count]
+
+
+class _EpsTable:
+    """Dense stage → step-size lookup, grown on demand.
+
+    Stage counters are 1-based and only ever advance by one per observe,
+    so a flat table indexed by stage is both exact and amortized O(1) to
+    maintain — it replaces the old per-unique-value ``np.unique`` +
+    boolean-mask loop (O(k log k) per block plus a Python loop) with one
+    fancy gather.  Index 0 is a NaN sentinel (no stage 0 is ever looked
+    up after the pre-increment in the stage update).
+    """
+
+    __slots__ = ("_schedule", "_table")
+
+    def __init__(self, schedule: StepSchedule) -> None:
+        self._schedule = schedule
+        self._table = np.full(1, np.nan)
+
+    def __call__(self, stages: np.ndarray) -> np.ndarray:
+        table = self._table
+        top = int(stages.max(initial=1))
+        if top >= table.shape[0]:
+            size = max(top + 1, 2 * table.shape[0])
+            grown = np.empty(size)
+            grown[: table.shape[0]] = table
+            for n in range(table.shape[0], size):
+                grown[n] = float(self._schedule(n))
+            self._table = table = grown
+        return table[stages]
+
 
 class LearnerPopulation:
     """``N`` regret-tracking learners advanced in lock-step with numpy ops.
@@ -119,7 +211,7 @@ class LearnerPopulation:
         self._constant_eps: Optional[float] = getattr(
             self._schedule, "constant_value", None
         )
-        self._eps_cache: Dict[int, float] = {}
+        self._eps_table = _EpsTable(self._schedule)
         self._mu = require_positive(
             mu if mu is not None else default_mu(num_helpers), "mu"
         )
@@ -142,6 +234,19 @@ class LearnerPopulation:
         self._stages = np.zeros(self._n, dtype=np.int64)
         self._peer_index = np.arange(self._n)
         self._last_played_regrets = np.zeros((self._n, self._h), dtype=self._dtype)
+        # Maintained strategy CDF: row i always holds cumsum(_probs[i]).
+        # The action sampler gathers it instead of re-running cumsum over
+        # rows that have not changed since the last observe; every writer
+        # of _probs refreshes the matching rows (same sequential cumsum
+        # arithmetic, so act results stay bit-identical).
+        self._cdf = np.cumsum(self._probs, axis=1)
+        self._uniform_cdf = np.cumsum(
+            np.full(self._h, 1.0 / self._h, dtype=self._dtype)
+        )
+        # Flat offsets of column j within one (H, H) block (see the q
+        # gather in _observe_block).
+        self._col_offsets = np.arange(self._h, dtype=np.intp) * self._h
+        self._scratch = _Scratch()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -240,6 +345,9 @@ class LearnerPopulation:
                 np.zeros((capacity - old, self._h), dtype=self._dtype),
             ]
         )
+        self._cdf = np.concatenate(
+            [self._cdf, np.tile(self._uniform_cdf, (capacity - old, 1))]
+        )
         self._n = int(capacity)
         self._peer_index = np.arange(self._n)
 
@@ -249,6 +357,7 @@ class LearnerPopulation:
         self._s[slots] = 0.0
         self._scale[slots] = 1.0
         self._probs[slots] = 1.0 / self._h
+        self._cdf[slots] = self._uniform_cdf
         self._stages[slots] = 0
         self._last_played_regrets[slots] = 0.0
 
@@ -266,15 +375,19 @@ class LearnerPopulation:
         arithmetic is identical either way.
         """
         slots = np.asarray(slots, dtype=np.intp)
-        cdf = self._probs[slots]
-        np.cumsum(cdf, axis=1, out=cdf)
+        k = slots.shape[0]
+        ws = self._scratch
+        cdf = ws.rows("act_cdf", k, self._h, self._dtype)
+        np.take(self._cdf, slots, axis=0, out=cdf)
         if draws is None:
-            draws = self._rng.random(slots.shape[0])
+            draws = self._rng.random(k)
         else:
             draws = np.asarray(draws, dtype=float)
-            if draws.shape != (slots.shape[0],):
+            if draws.shape != (k,):
                 raise ValueError("draws must supply one uniform per slot")
-        actions = (cdf < draws[:, None]).sum(axis=1)
+        below = ws.rows("act_below", k, self._h, np.bool_)
+        np.less(cdf, draws[:, None], out=below)
+        actions = below.sum(axis=1)
         return np.minimum(actions, self._h - 1)
 
     def observe_slots(
@@ -298,9 +411,10 @@ class LearnerPopulation:
             return
         if actions.min(initial=0) < 0 or actions.max(initial=0) >= self._h:
             raise ValueError("actions out of range")
-        if k > _OBSERVE_BLOCK:
-            for start in range(0, k, _OBSERVE_BLOCK):
-                stop = start + _OBSERVE_BLOCK
+        block = _observe_block_rows(self._h)
+        if k > block:
+            for start in range(0, k, block):
+                stop = start + block
                 self._observe_block(
                     slots[start:stop], actions[start:stop], utilities[start:stop]
                 )
@@ -311,43 +425,73 @@ class LearnerPopulation:
         self, slots: np.ndarray, actions: np.ndarray, utilities: np.ndarray
     ) -> None:
         k = slots.shape[0]
+        h = self._h
+        ws = self._scratch
         self._stages[slots] += 1
         eps = self._eps_for(self._stages[slots])
-        normalized = utilities / self._u_max
+        normalized = np.divide(
+            utilities, self._u_max, out=ws.vec("norm", k, np.float64)
+        )
 
         # Eq. (3-5), batched with lazy decay: the (1 - eps) forgetting
         # factor accumulates in `scale`, the rank-one column update lands
         # in the stored tensor pre-divided by it.  In the transposed
         # storage, column a_i of S is the contiguous row _s[i, a_i, :].
-        # (Ops below fuse into existing buffers where possible — at scale
-        # the round cost is memory traffic, not flops.)
+        # (Every temporary below lives in a reused scratch buffer — at
+        # scale the round cost is memory traffic and numpy dispatch, not
+        # flops.)
         decay = 1.0 - eps
-        wiped = decay < self._scale_floor
-        if np.any(wiped):
-            # eps ≈ 1 (e.g. harmonic_step at stage 1) erases all history:
-            # the recursion degenerates to S = eps * increment.  Reset the
-            # affected slots instead of zeroing `scale`, which the weight
-            # below divides by.
-            wiped_slots = slots if np.ndim(wiped) == 0 else slots[wiped]
-            self._s[wiped_slots] = 0.0
-            self._scale[wiped_slots] = 1.0
-            decay = np.where(wiped, 1.0, decay)
-        self._scale[slots] *= decay
-        scale = self._scale[slots]
-        row_index = np.arange(k)
-        gathered = self._probs[slots]
+        if np.ndim(decay) == 0:
+            if decay < self._scale_floor:
+                # eps ≈ 1 (e.g. harmonic_step at stage 1) erases all
+                # history: the recursion degenerates to S = eps *
+                # increment.  Reset the affected slots instead of zeroing
+                # `scale`, which the weight below divides by.
+                self._s[slots] = 0.0
+                self._scale[slots] = 1.0
+                decay = 1.0
+        else:
+            wiped = decay < self._scale_floor
+            if wiped.any():
+                self._s[slots[wiped]] = 0.0
+                self._scale[slots[wiped]] = 1.0
+                decay = np.where(wiped, 1.0, decay)
+        scale = ws.vec("scale", k, np.float64)
+        np.take(self._scale, slots, out=scale)
+        scale *= decay
+        self._scale[slots] = scale
+        row_index = ws.arange(k)
+        gathered = ws.rows("gathered", k, h, self._dtype)
+        np.take(self._probs, slots, axis=0, out=gathered)
         played_prob = gathered[row_index, actions]
-        weight = eps * normalized / played_prob / scale
+        weight = ws.vec("weight", k, np.float64)
+        np.multiply(normalized, eps, out=weight)
+        np.divide(weight, played_prob, out=weight)
+        np.divide(weight, scale, out=weight)
         np.multiply(gathered, weight[:, None], out=gathered)
         # Single-axis fancy indexing on a flat row view takes numpy's fast
         # path (~25% cheaper than the equivalent 3-axis form).
-        flat_rows = self._s.reshape(self._n * self._h, self._h)
-        flat_rows[slots * self._h + actions] += gathered
+        flat_rows = self._s.reshape(self._n * h, h)
+        row_idx = ws.vec("row_idx", k, np.intp)
+        np.multiply(slots, h, out=row_idx)
+        row_idx += actions
+        acc = ws.rows("acc", k, h, self._dtype)
+        np.take(flat_rows, row_idx, axis=0, out=acc)
+        acc += gathered
+        flat_rows[row_idx] = acc
 
         # Regret rows for the played actions (Eq. 3-6, row j = a_i);
-        # S(a_i, k) over k is the strided column _s[i, :, a_i].
-        q = self._s[slots, :, actions]
-        diag = self._s[slots, actions, actions]
+        # S(a_i, k) over k is the strided column _s[i, :, a_i], gathered
+        # through precomputed flat offsets (cheaper than the mixed
+        # advanced-index form and free of its fresh result allocation).
+        q_idx = ws.rows("q_idx", k, h, np.intp)
+        base = ws.vec("q_base", k, np.intp)
+        np.multiply(slots, h * h, out=base)
+        base += actions
+        np.add(base[:, None], self._col_offsets, out=q_idx)
+        q = ws.rows("q", k, h, self._dtype)
+        np.take(self._s.reshape(-1), q_idx, out=q)
+        diag = q[row_index, actions]
         q -= diag[:, None]
         q *= scale[:, None]
         np.maximum(q, 0.0, out=q)
@@ -356,17 +500,22 @@ class LearnerPopulation:
 
         # Probability update (Algorithm 2), fused in place:
         # min(q/mu, cap)*(1-delta) + delta/H.
-        cap = 1.0 / (self._h - 1)
+        cap = 1.0 / (h - 1)
         np.multiply(q, (1.0 - self._delta) / self._mu, out=q)
         np.minimum(q, (1.0 - self._delta) * cap, out=q)
         q += self._delta / self._h
         q[row_index, actions] = 0.0
         q[row_index, actions] = 1.0 - q.sum(axis=1)
         self._probs[slots] = q
+        # Refresh the maintained CDF rows while q is cache-hot (q is not
+        # needed after this point, so the cumsum lands in place).
+        np.cumsum(q, axis=1, out=q)
+        self._cdf[slots] = q
 
         # Fold nearly-underflowed scales back into the stored tensors.
-        tiny = scale < self._scale_floor
-        if np.any(tiny):
+        tiny = ws.vec("tiny", k, np.bool_)
+        np.less(scale, self._scale_floor, out=tiny)
+        if tiny.any():
             idx = slots[tiny]
             self._s[idx] *= self._scale[idx][:, None, None]
             self._scale[idx] = 1.0
@@ -375,15 +524,7 @@ class LearnerPopulation:
         """Step sizes for the given (1-based) stage indices."""
         if self._constant_eps is not None:
             return self._constant_eps
-        out = np.empty(stages.shape)
-        for value in np.unique(stages):
-            n = int(value)
-            eps = self._eps_cache.get(n)
-            if eps is None:
-                eps = float(self._schedule(n))
-                self._eps_cache[n] = eps
-            out[stages == value] = eps
-        return out
+        return self._eps_table(stages)
 
     # ------------------------------------------------------------------
     # Whole-population dynamics (classic API)

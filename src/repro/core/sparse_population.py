@@ -48,7 +48,7 @@ controlled approximation at large ``H``.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 
@@ -57,10 +57,17 @@ from repro.core.schedules import StepSchedule, constant_step
 from repro.util.rng import Seedish, as_generator
 from repro.util.validation import require_positive, require_positive_int
 
-# Lazy-decay renorm floors and the observe chunk size are shared with the
-# dense kernel: the two recursions must renormalize at the same points to
-# stay bit-identical at k >= H, so there is exactly one source of truth.
-from repro.core.population import _OBSERVE_BLOCK, _SCALE_FLOOR, _SCALE_FLOOR32
+# Lazy-decay renorm floors, the observe blocking rule and the scratch /
+# step-table machinery are shared with the dense kernel: the two
+# recursions must renormalize and block at the same points to stay
+# bit-identical at k >= H, so there is exactly one source of truth.
+from repro.core.population import (
+    _SCALE_FLOOR,
+    _SCALE_FLOOR32,
+    _EpsTable,
+    _Scratch,
+    _observe_block_rows,
+)
 
 #: Decay of the bank-wide play-popularity EWMA driving re-selection.
 _PLAY_EWMA_DECAY = 0.05
@@ -138,7 +145,7 @@ class TopKPopulation:
         self._constant_eps: Optional[float] = getattr(
             self._schedule, "constant_value", None
         )
-        self._eps_cache: Dict[int, float] = {}
+        self._eps_table = _EpsTable(self._schedule)
         self._mu = require_positive(
             mu if mu is not None else default_mu(num_helpers), "mu"
         )
@@ -172,6 +179,12 @@ class TopKPopulation:
         self._stages = np.zeros(n, dtype=np.int64)
         self._peer_index = np.arange(n)
         self._last_played_regrets = np.zeros((n, kk), dtype=self._dtype)
+        # Maintained tracked-arm CDF (see LearnerPopulation): row i always
+        # holds cumsum(_probs[i]); refreshed by every writer of _probs.
+        self._cdf = np.cumsum(self._probs, axis=1)
+        self._uniform_cdf = np.cumsum(np.full(kk, 1.0 / self._h, dtype=self._dtype))
+        self._col_offsets = np.arange(kk, dtype=np.intp) * kk
+        self._scratch = _Scratch()
         # Aggregated tail bucket: regret mass discarded by evictions
         # (absolute units) — an upper bound on the per-peer approximation.
         self._tail_regret = np.zeros(n)
@@ -310,6 +323,9 @@ class TopKPopulation:
                 np.zeros((extra, kk), dtype=self._dtype),
             ]
         )
+        self._cdf = np.concatenate(
+            [self._cdf, np.tile(self._uniform_cdf, (extra, 1))]
+        )
         self._tail_regret = np.concatenate([self._tail_regret, np.zeros(extra)])
         self._slot_group = np.concatenate(
             [self._slot_group, np.zeros(extra, dtype=np.int32)]
@@ -342,6 +358,7 @@ class TopKPopulation:
         self._s[slots] = 0.0
         self._scale[slots] = 1.0
         self._probs[slots] = 1.0 / self._h
+        self._cdf[slots] = self._uniform_cdf
         self._tail_prob[slots] = self._tail_count / self._h
         self._stages[slots] = 0
         self._last_played_regrets[slots] = 0.0
@@ -362,15 +379,19 @@ class TopKPopulation:
         :meth:`~repro.core.population.LearnerPopulation.act_slots`).
         """
         slots = np.asarray(slots, dtype=np.intp)
-        cdf = self._probs[slots]
-        np.cumsum(cdf, axis=1, out=cdf)
+        count = slots.shape[0]
+        ws = self._scratch
+        cdf = ws.rows("act_cdf", count, self._k, self._dtype)
+        np.take(self._cdf, slots, axis=0, out=cdf)
         if draws is None:
-            draws = self._rng.random(slots.shape[0])
+            draws = self._rng.random(count)
         else:
             draws = np.asarray(draws, dtype=float)
-            if draws.shape != (slots.shape[0],):
+            if draws.shape != (count,):
                 raise ValueError("draws must supply one uniform per slot")
-        local = (cdf < draws[:, None]).sum(axis=1)
+        below = ws.rows("act_below", count, self._k, np.bool_)
+        np.less(cdf, draws[:, None], out=below)
+        local = below.sum(axis=1)
         if self._tail_count == 0:
             local = np.minimum(local, self._k - 1)
             return self._ids[slots, local].astype(np.int64)
@@ -433,9 +454,10 @@ class TopKPopulation:
                 np.add.at(
                     self._play_ewma, (groups, actions), _PLAY_EWMA_DECAY
                 )
-        if count > _OBSERVE_BLOCK:
-            for start in range(0, count, _OBSERVE_BLOCK):
-                stop = start + _OBSERVE_BLOCK
+        block = _observe_block_rows(self._k)
+        if count > block:
+            for start in range(0, count, block):
+                stop = start + block
                 self._observe_block(
                     slots[start:stop], actions[start:stop], utilities[start:stop]
                 )
@@ -459,6 +481,7 @@ class TopKPopulation:
         block = np.take_along_axis(block, order[:, :, None], axis=1)
         block = np.take_along_axis(block, order[:, None, :], axis=2)
         self._s[slots] = block
+        self._cdf[slots] = np.cumsum(self._probs[slots], axis=1)
 
     def _promote(self, slots: np.ndarray, arms: np.ndarray) -> None:
         """Swap ``arms`` (untracked, just played) into ``slots``' tracked
@@ -537,43 +560,71 @@ class TopKPopulation:
         self, slots: np.ndarray, actions: np.ndarray, utilities: np.ndarray
     ) -> None:
         count = slots.shape[0]
+        kk = self._k
+        ws = self._scratch
         self._stages[slots] += 1
         eps = self._eps_for(self._stages[slots])
-        normalized = utilities / self._u_max
+        normalized = np.divide(
+            utilities, self._u_max, out=ws.vec("norm", count, np.float64)
+        )
 
         # Lazy decay, mirrored operation-for-operation from the dense
         # kernel (bit-identical at k >= H).
         decay = 1.0 - eps
-        wiped = decay < self._scale_floor
-        if np.any(wiped):
-            wiped_slots = slots if np.ndim(wiped) == 0 else slots[wiped]
-            self._s[wiped_slots] = 0.0
-            self._scale[wiped_slots] = 1.0
-            decay = np.where(wiped, 1.0, decay)
-        self._scale[slots] *= decay
-        scale = self._scale[slots]
-        row_index = np.arange(count)
+        if np.ndim(decay) == 0:
+            if decay < self._scale_floor:
+                self._s[slots] = 0.0
+                self._scale[slots] = 1.0
+                decay = 1.0
+        else:
+            wiped = decay < self._scale_floor
+            if wiped.any():
+                self._s[slots[wiped]] = 0.0
+                self._scale[slots[wiped]] = 1.0
+                decay = np.where(wiped, 1.0, decay)
+        scale = ws.vec("scale", count, np.float64)
+        np.take(self._scale, slots, out=scale)
+        scale *= decay
+        self._scale[slots] = scale
+        row_index = ws.arange(count)
 
         # Promote untracked plays so the played column exists in the block.
         loc = self._locate(slots, actions)
-        loc_c = np.minimum(loc, self._k - 1)
+        loc_c = np.minimum(loc, kk - 1)
         is_tracked = self._ids[slots, loc_c] == actions
         untracked = np.flatnonzero(~is_tracked)
         if untracked.size:
             self._promote(slots[untracked], actions[untracked])
             loc[untracked] = self._locate(slots[untracked], actions[untracked])
-        np.minimum(loc, self._k - 1, out=loc)
+        np.minimum(loc, kk - 1, out=loc)
 
-        gathered = self._probs[slots]
+        gathered = ws.rows("gathered", count, kk, self._dtype)
+        np.take(self._probs, slots, axis=0, out=gathered)
         played_prob = gathered[row_index, loc]
-        weight = eps * normalized / played_prob / scale
+        weight = ws.vec("weight", count, np.float64)
+        np.multiply(normalized, eps, out=weight)
+        np.divide(weight, played_prob, out=weight)
+        np.divide(weight, scale, out=weight)
         np.multiply(gathered, weight[:, None], out=gathered)
-        flat_rows = self._s.reshape(self._n * self._k, self._k)
-        flat_rows[slots * self._k + loc] += gathered
+        flat_rows = self._s.reshape(self._n * kk, kk)
+        row_idx = ws.vec("row_idx", count, np.intp)
+        np.multiply(slots, kk, out=row_idx)
+        row_idx += loc
+        acc = ws.rows("acc", count, kk, self._dtype)
+        np.take(flat_rows, row_idx, axis=0, out=acc)
+        acc += gathered
+        flat_rows[row_idx] = acc
 
-        # Tracked regret row of the played action (Eq. 3-6, row j = a_i).
-        q = self._s[slots, :, loc]
-        diag = self._s[slots, loc, loc]
+        # Tracked regret row of the played action (Eq. 3-6, row j = a_i),
+        # gathered through precomputed flat offsets as in the dense kernel.
+        q_idx = ws.rows("q_idx", count, kk, np.intp)
+        base = ws.vec("q_base", count, np.intp)
+        np.multiply(slots, kk * kk, out=base)
+        base += loc
+        np.add(base[:, None], self._col_offsets, out=q_idx)
+        q = ws.rows("q", count, kk, self._dtype)
+        np.take(self._s.reshape(-1), q_idx, out=q)
+        diag = q[row_index, loc]
         q -= diag[:, None]
         q *= scale[:, None]
         np.maximum(q, 0.0, out=q)
@@ -595,10 +646,14 @@ class TopKPopulation:
         self._probs[slots] = q
         if self._tail_count:
             self._tail_prob[slots] = self._tail_mass
+        # Refresh the maintained CDF rows while q is cache-hot.
+        np.cumsum(q, axis=1, out=q)
+        self._cdf[slots] = q
 
         # Fold nearly-underflowed scales back into the stored blocks.
-        tiny = scale < self._scale_floor
-        if np.any(tiny):
+        tiny = ws.vec("tiny", count, np.bool_)
+        np.less(scale, self._scale_floor, out=tiny)
+        if tiny.any():
             idx = slots[tiny]
             self._s[idx] *= self._scale[idx][:, None, None]
             self._scale[idx] = 1.0
@@ -612,15 +667,7 @@ class TopKPopulation:
         """Step sizes for the given (1-based) stage indices."""
         if self._constant_eps is not None:
             return self._constant_eps
-        out = np.empty(stages.shape)
-        for value in np.unique(stages):
-            n = int(value)
-            eps = self._eps_cache.get(n)
-            if eps is None:
-                eps = float(self._schedule(n))
-                self._eps_cache[n] = eps
-            out[stages == value] = eps
-        return out
+        return self._eps_table(stages)
 
     # ------------------------------------------------------------------
     # Whole-population API (tests / bare repeated-game use)

@@ -20,7 +20,11 @@ on dense arrays:
 * :mod:`repro.runtime.system` — :class:`VectorizedStreamingSystem`, whose
   learning round is a handful of numpy ops (one fused learner draw,
   ``np.bincount`` loads, masked deficit accounting, one fused learner
-  update — pick the dispatch with ``engine=``).
+  update — pick the dispatch with ``engine=``);
+* :mod:`repro.runtime.sharded` — :class:`ShardedSystem`, the same facade
+  with the learner banks channel-partitioned across worker processes
+  (shared-memory exchange lanes, heartbeat/replay shard-death
+  containment), traces bit-identical to the single-process engine.
 
 Pick a backend per experiment: the scalar system for per-peer
 introspection and plug-in scalar learners, the vectorized runtime for
@@ -46,6 +50,7 @@ from repro.runtime.learner_bank import (
     bank_factory,
 )
 from repro.runtime.peer_store import PeerStore
+from repro.runtime.sharded import ShardedGroupedBank, ShardedSystem
 from repro.runtime.system import ENGINES, VectorizedStreamingSystem
 
 __all__ = [
@@ -66,4 +71,6 @@ __all__ = [
     "bank_factory",
     "ENGINES",
     "VectorizedStreamingSystem",
+    "ShardedGroupedBank",
+    "ShardedSystem",
 ]

@@ -55,7 +55,7 @@ from repro.sim.system import (
     install_popularity_drift,
     normalized_channel_weights,
 )
-from repro.sim.trace import RoundRecord, SystemTrace
+from repro.sim.trace import SystemTrace
 from repro.sim.tracker import Tracker
 from repro.telemetry import get_telemetry
 from repro.util.logconfig import get_logger
@@ -133,6 +133,13 @@ class VectorizedStreamingSystem:
         # Memoized round grouping (see _round_grouping): valid until the
         # population changes.
         self._grouping = None
+        # Deferred per-peer accumulators, aligned with the grouping's
+        # `online` array (see _flush_accumulators): churn-free stretches
+        # pay three contiguous adds per round instead of three
+        # fancy-index read-modify-writes over the store columns.
+        self._acc_rounds = 0
+        self._acc_rate: Optional[np.ndarray] = None
+        self._acc_deficit: Optional[np.ndarray] = None
 
         if capacity_process is None:
             capacity_process = paper_bandwidth_process(
@@ -336,6 +343,7 @@ class VectorizedStreamingSystem:
 
     def _churn_join(self) -> int:
         with self._ph_churn:
+            self._flush_accumulators()
             uid = self._create_peer()
             self._population_changed = True
             self._grouping = None
@@ -347,6 +355,7 @@ class VectorizedStreamingSystem:
             slot = self._uid_slot.pop(int(uid), None)
             if slot is None or not self._store.online[slot]:
                 return
+            self._flush_accumulators()
             self._bank.release(
                 int(self._store.channel[slot]), int(self._store.bank_row[slot])
             )
@@ -361,6 +370,7 @@ class VectorizedStreamingSystem:
         if not online.size:
             return None
         slot = online[int(self._switch_rng.integers(online.size))]
+        self._flush_accumulators()
         self._churn_leave(int(self._store.uid[slot]))
         uid = self._create_peer()
         self._channel_switches += 1
@@ -388,7 +398,13 @@ class VectorizedStreamingSystem:
 
     @property
     def store(self) -> PeerStore:
-        """The struct-of-arrays peer table."""
+        """The struct-of-arrays peer table.
+
+        Accessing it flushes the round loop's deferred per-peer
+        accumulators, so the cumulative columns are always current from
+        the caller's point of view.
+        """
+        self._flush_accumulators()
         return self._store
 
     @property
@@ -453,10 +469,10 @@ class VectorizedStreamingSystem:
         automatically, updating the store's channel index incrementally).
         Call this after mutating the grouping-defining store columns
         directly — ``channel``, ``demand``, ``online`` or ``bank_row`` —
-        so the next round observes the edit; the accumulator columns
-        (``cumulative_rate`` etc.) are not cached and need no
-        invalidation.
+        so the next round observes the edit (the deferred per-peer
+        accumulators are flushed into the store first).
         """
+        self._flush_accumulators()
         self._grouping = None
         self._store.invalidate_channel_index()
 
@@ -468,15 +484,17 @@ class VectorizedStreamingSystem:
         """The channel-sorted round grouping, memoized until churn.
 
         Returns ``(online, perm, offsets, rows_sorted, chan_sorted,
-        demand_online, total_demand)``: ``online`` the ascending online
-        slots, ``perm`` the positions inside ``online`` of the
-        channel-sorted slots (``online[perm]`` is sorted by ``(channel,
-        slot)``), ``offsets`` the per-channel segment table, and
+        demand_online, total_demand, min_deficit)``: ``online`` the
+        ascending online slots, ``perm`` the positions inside ``online``
+        of the channel-sorted slots (``online[perm]`` is sorted by
+        ``(channel, slot)``), ``offsets`` the per-channel segment table,
         ``rows_sorted`` / ``chan_sorted`` the bank rows and channel ids
-        in sorted order.  The sorted permutation is maintained
-        incrementally by the store's channel index, so churn-free
-        stretches pay nothing and a churn-y round pays one concatenation
-        instead of a per-channel rescan.
+        in sorted order, and ``min_deficit`` the Fig. 5 lower bound
+        (a pure function of the demand total, so it is computed here
+        once per churn epoch instead of once per round).  The sorted
+        permutation is maintained incrementally by the store's channel
+        index, so churn-free stretches pay nothing and a churn-y round
+        pays one concatenation instead of a per-channel rescan.
         """
         if self._grouping is None:
             store = self._store
@@ -487,6 +505,7 @@ class VectorizedStreamingSystem:
             position_of = np.empty(max(store.size, 1), dtype=np.int64)
             position_of[online] = np.arange(online.size, dtype=np.int64)
             demand_online = store.demand[online]
+            total_demand = float(demand_online.sum())
             self._grouping = (
                 online,
                 position_of[slots_sorted],
@@ -494,9 +513,33 @@ class VectorizedStreamingSystem:
                 store.bank_row[slots_sorted],
                 store.channel[slots_sorted],
                 demand_online,
-                float(demand_online.sum()),
+                total_demand,
+                max(0.0, total_demand - self._min_caps_sum),
             )
+            self._acc_rounds = 0
+            self._acc_rate = np.zeros(online.size)
+            self._acc_deficit = np.zeros(online.size)
+            self._helper_buf = np.empty(online.size, dtype=np.int64)
         return self._grouping
+
+    def _flush_accumulators(self) -> None:
+        """Fold the deferred per-round accumulators into the store.
+
+        Called before any mutation that invalidates the grouping (the
+        accumulators are aligned with its ``online`` array and slots may
+        be recycled afterwards), on ``store`` access, and at the end of
+        :meth:`run`.
+        """
+        if self._grouping is None or self._acc_rounds == 0:
+            return
+        online = self._grouping[0]
+        store = self._store
+        store.rounds_participated[online] += self._acc_rounds
+        store.cumulative_rate[online] += self._acc_rate
+        store.cumulative_deficit[online] += self._acc_deficit
+        self._acc_rounds = 0
+        self._acc_rate[:] = 0.0
+        self._acc_deficit[:] = 0.0
 
     def _execute_round(self, _: Simulator) -> None:
         round_t0 = self._ph_total.start()
@@ -509,7 +552,7 @@ class VectorizedStreamingSystem:
         t0 = self._ph_grouping.start()
         (
             online, perm, offsets, rows_sorted, chan_sorted,
-            demand_online, total_demand,
+            demand_online, total_demand, min_deficit,
         ) = self._round_grouping()
         self._ph_grouping.stop(t0)
         n = online.size
@@ -520,7 +563,7 @@ class VectorizedStreamingSystem:
         # so sums below run in the same order as the per-channel path.
         t0 = self._ph_act.start()
         local = self._bank.act_all(offsets, rows_sorted)
-        helper_global = np.empty(n, dtype=np.int64)
+        helper_global = self._helper_buf
         helper_global[perm] = self._helper_table[chan_sorted, local]
         loads = np.bincount(helper_global, minlength=num_helpers)
         self._ph_act.stop(t0)
@@ -544,14 +587,14 @@ class VectorizedStreamingSystem:
         # game utility), gathered back into channel-sorted order.
         t0 = self._ph_observe.start()
         self._bank.observe_all(offsets, rows_sorted, local, shares[perm])
-        store.rounds_participated[online] += 1
-        store.cumulative_rate[online] += shares
-        store.cumulative_deficit[online] += deficits
+        if n:
+            self._acc_rounds += 1
+            self._acc_rate += shares
+            self._acc_deficit += deficits
         self._ph_observe.stop(t0)
 
         t0 = self._ph_trace.start()
-        min_deficit = max(0.0, total_demand - self._min_caps_sum)
-        record = RoundRecord(
+        self._trace.append_round(
             time=self._sim.now,
             capacities=caps,
             loads=loads,
@@ -561,7 +604,6 @@ class VectorizedStreamingSystem:
             online_peers=n,
             total_demand=total_demand,
         )
-        self._trace.append(record)
 
         if config.record_peers:
             if self._population_changed:
@@ -596,4 +638,5 @@ class VectorizedStreamingSystem:
             lambda: self._round_index,
             num_rounds,
         )
+        self._flush_accumulators()
         return self._trace

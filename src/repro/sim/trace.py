@@ -6,17 +6,40 @@ cumulative statistics on the :class:`~repro.sim.entities.Peer` objects
 (population size may change under churn); when the population is fixed the
 system can additionally export a dense
 :class:`~repro.game.repeated_game.Trajectory` for CE analysis.
+
+Storage is *columnar*: rounds land in preallocated block arrays (scalar
+columns plus ``(block, H)`` capacity/load panels) that roll over to a
+completed-block list every :data:`_TRACE_BLOCK` rounds, so the per-round
+append cost is a handful of array element writes instead of a Python
+object construction.  The legacy ``rounds`` list of
+:class:`RoundRecord` objects is materialized lazily (and cached) for
+callers that still want row-oriented access.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
 from repro.game.repeated_game import Trajectory
 from repro.telemetry import get_telemetry
+
+# Rounds per preallocated column block.  A block of 1024 rounds costs
+# ~48 KiB of scalar columns plus 16 * H bytes per round of panel data —
+# small enough to never matter, large enough that the roll-over branch is
+# amortized away.
+_TRACE_BLOCK = 1024
+
+_SCALAR_COLUMNS = (
+    ("time", np.float64),
+    ("welfare", np.float64),
+    ("server_load", np.float64),
+    ("min_deficit", np.float64),
+    ("online_peers", np.int64),
+    ("total_demand", np.float64),
+)
 
 
 @dataclass
@@ -33,21 +56,92 @@ class RoundRecord:
     total_demand: float
 
 
-@dataclass
 class SystemTrace:
-    """Dense per-round history of a system run."""
+    """Dense per-round history of a system run (columnar storage)."""
 
-    rounds: List[RoundRecord] = field(default_factory=list)
-    actions: Optional[List[np.ndarray]] = None     # per-round (N,) if fixed pop
-    utilities: Optional[List[np.ndarray]] = None   # per-round (N,) if fixed pop
-
-    def __post_init__(self) -> None:
+    def __init__(
+        self,
+        rounds: Optional[List[RoundRecord]] = None,
+        actions: Optional[List[np.ndarray]] = None,
+        utilities: Optional[List[np.ndarray]] = None,
+    ) -> None:
+        self.actions = actions        # per-round (N,) if fixed pop
+        self.utilities = utilities    # per-round (N,) if fixed pop
+        self._count = 0
+        self._width: Optional[int] = None
+        self._full: List[Dict[str, np.ndarray]] = []
+        self._active: Optional[Dict[str, np.ndarray]] = None
+        self._fill = 0
+        self._rounds_cache: Optional[List[RoundRecord]] = None
         self._ctr_appends = get_telemetry().counter("trace.appends")
+        for record in rounds or ():
+            self.append(record)
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def _new_block(self, width: int) -> Dict[str, np.ndarray]:
+        block = {
+            name: np.empty(_TRACE_BLOCK, dtype=dtype)
+            for name, dtype in _SCALAR_COLUMNS
+        }
+        block["capacities"] = np.empty((_TRACE_BLOCK, width))
+        block["loads"] = np.empty((_TRACE_BLOCK, width), dtype=np.int64)
+        return block
+
+    def append_round(
+        self,
+        time: float,
+        capacities: np.ndarray,
+        loads: np.ndarray,
+        welfare: float,
+        server_load: float,
+        min_deficit: float,
+        online_peers: int,
+        total_demand: float,
+    ) -> None:
+        """Record one round straight into the column blocks.
+
+        The fast path for the vectorized round loop: no
+        :class:`RoundRecord` is constructed, and the capacity/load rows
+        are copied into the preallocated panels (so callers may reuse
+        their buffers).
+        """
+        if self._active is None or self._fill == _TRACE_BLOCK:
+            if self._active is not None:
+                self._full.append(self._active)
+            if self._width is None:
+                self._width = int(np.shape(capacities)[0])
+            self._active = self._new_block(self._width)
+            self._fill = 0
+        i = self._fill
+        block = self._active
+        block["time"][i] = time
+        block["welfare"][i] = welfare
+        block["server_load"][i] = server_load
+        block["min_deficit"][i] = min_deficit
+        block["online_peers"][i] = online_peers
+        block["total_demand"][i] = total_demand
+        block["capacities"][i] = capacities
+        block["loads"][i] = loads
+        self._fill = i + 1
+        self._count += 1
+        self._rounds_cache = None
+        self._ctr_appends.inc()
 
     def append(self, record: RoundRecord) -> None:
         """Add one round."""
-        self.rounds.append(record)
-        self._ctr_appends.inc()
+        self.append_round(
+            record.time,
+            record.capacities,
+            record.loads,
+            record.welfare,
+            record.server_load,
+            record.min_deficit,
+            record.online_peers,
+            record.total_demand,
+        )
 
     # ------------------------------------------------------------------
     # Column views
@@ -56,10 +150,19 @@ class SystemTrace:
     @property
     def num_rounds(self) -> int:
         """Rounds recorded."""
-        return len(self.rounds)
+        return self._count
+
+    def _blocks(self) -> Iterator[Tuple[Dict[str, np.ndarray], int]]:
+        for block in self._full:
+            yield block, _TRACE_BLOCK
+        if self._active is not None and self._fill:
+            yield self._active, self._fill
 
     def _column(self, name: str) -> np.ndarray:
-        return np.array([getattr(r, name) for r in self.rounds])
+        parts = [block[name][:fill] for block, fill in self._blocks()]
+        if not parts:
+            return np.array([])
+        return np.concatenate(parts)
 
     @property
     def times(self) -> np.ndarray:
@@ -94,12 +197,42 @@ class SystemTrace:
     @property
     def loads(self) -> np.ndarray:
         """Per-round helper loads, shape ``(T, H)``."""
-        return np.stack([r.loads for r in self.rounds])
+        if not self._count:
+            raise ValueError("trace is empty")
+        return self._column("loads")
 
     @property
     def capacities(self) -> np.ndarray:
         """Per-round helper capacities, shape ``(T, H)``."""
-        return np.stack([r.capacities for r in self.rounds])
+        if not self._count:
+            raise ValueError("trace is empty")
+        return self._column("capacities")
+
+    @property
+    def rounds(self) -> List[RoundRecord]:
+        """Row-oriented view: one :class:`RoundRecord` per round.
+
+        Materialized lazily from the column blocks and cached until the
+        next append; mutating the returned records does not write back.
+        """
+        if self._rounds_cache is None:
+            records: List[RoundRecord] = []
+            for block, fill in self._blocks():
+                for i in range(fill):
+                    records.append(
+                        RoundRecord(
+                            time=float(block["time"][i]),
+                            capacities=block["capacities"][i].copy(),
+                            loads=block["loads"][i].copy(),
+                            welfare=float(block["welfare"][i]),
+                            server_load=float(block["server_load"][i]),
+                            min_deficit=float(block["min_deficit"][i]),
+                            online_peers=int(block["online_peers"][i]),
+                            total_demand=float(block["total_demand"][i]),
+                        )
+                    )
+            self._rounds_cache = records
+        return self._rounds_cache
 
     def to_trajectory(self) -> Trajectory:
         """Dense trajectory for CE analysis (fixed population runs only)."""
@@ -117,7 +250,7 @@ class SystemTrace:
 
     def summary(self) -> Dict[str, float]:
         """Headline aggregates over the whole run."""
-        if not self.rounds:
+        if not self._count:
             raise ValueError("trace is empty")
         return {
             "rounds": float(self.num_rounds),

@@ -435,6 +435,14 @@ class LearnerSpec:
     (private per-channel banks), or ``"auto"`` (grouped for families
     registered with ``grouped=True`` — every builtin — per-channel
     otherwise).  It composes with ``bank="topk"``.
+
+    ``shards`` > 1 channel-partitions the learner banks across that many
+    worker processes (:class:`~repro.runtime.sharded.ShardedSystem`) —
+    the single-run parallelism unlock.  Traces are bit-identical to the
+    single-process engine for any shard count, so ``shards`` is a pure
+    execution knob: it is excluded from the result digest and composes
+    with every other learner field (vectorized backend, grouped-capable
+    families, ``shards <= num_channels``).
     """
 
     name: str = "r2hs"
@@ -446,6 +454,7 @@ class LearnerSpec:
     bank: str = "dense"
     topk: int = 32
     engine: str = "auto"
+    shards: int = 1
 
     def __post_init__(self) -> None:
         LEARNERS.get(self.name)  # raises with the menu
@@ -464,6 +473,10 @@ class LearnerSpec:
         if not isinstance(self.topk, int) or self.topk < 2:
             raise ValueError(
                 f"topk must be an integer >= 2, got {self.topk!r}"
+            )
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise ValueError(
+                f"shards must be an integer >= 1, got {self.shards!r}"
             )
         if not 0 < self.epsilon <= 1 or not 0 < self.delta < 1:
             raise ValueError("epsilon in (0,1], delta in (0,1) required")
@@ -857,6 +870,25 @@ class ExperimentSpec:
                     f"{[n for n in LEARNERS if LEARNERS.get(n).grouped]}; "
                     'use engine="per_channel"'
                 )
+        if self.learner.shards > 1:
+            if self.backend != "vectorized":
+                raise ValueError(
+                    "learner.shards applies to the vectorized backend "
+                    "(sharding partitions the learner banks); use "
+                    'backend="vectorized" or shards=1'
+                )
+            if self.resolved_engine() != "grouped":
+                raise ValueError(
+                    "learner.shards requires the fused channel-grouped "
+                    f"engine; learner {self.learner.name!r} resolves to "
+                    f"engine={self.resolved_engine()!r}"
+                )
+            if self.learner.shards > self.topology.num_channels:
+                raise ValueError(
+                    "learner.shards partitions channels, so it must not "
+                    f"exceed num_channels={self.topology.num_channels}; "
+                    f"got {self.learner.shards}"
+                )
         # Cross-section checks the sections cannot do alone: explicit
         # helper placement must cover exactly the topology's helpers.
         if (
@@ -963,6 +995,10 @@ class ExperimentSpec:
         data = self.to_dict()
         data.pop("sweep", None)
         data.pop("execution", None)
+        # Shard count is a pure execution knob: the sharded engine is
+        # bit-identical to the single-process one, so results keyed
+        # without it stay cache hits across shard-count changes.
+        data.get("learner", {}).pop("shards", None)
         canonical = json.dumps(data, sort_keys=True, default=str)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
@@ -1194,6 +1230,18 @@ class ExperimentSpec:
         if capacity_process is None:
             capacity_process = self.build_capacity_process(rng=spawn(parent))
         if self.backend == "vectorized":
+            if self.learner.shards > 1:
+                from repro.runtime import ShardedSystem
+
+                return ShardedSystem(
+                    config,
+                    self.bank_factory(),
+                    shards=self.learner.shards,
+                    rng=parent,
+                    capacity_process=capacity_process,
+                    dtype=np.dtype(self.learner.dtype),
+                    engine=self.resolved_engine(),
+                )
             from repro.runtime import VectorizedStreamingSystem
 
             return VectorizedStreamingSystem(
@@ -1234,13 +1282,21 @@ class ExperimentSpec:
         """
         if not self.telemetry.enabled:
             system = self.build(rng=seed)
-            trace = system.run(self.rounds)
+            try:
+                trace = system.run(self.rounds)
+            finally:
+                # Sharded systems hold worker processes and shared
+                # memory; the trace lives in this process either way.
+                getattr(system, "close", lambda: None)()
             return RunResult(
                 spec=self, trace=trace, metrics=self.metrics_of(trace)
             )
         with self.telemetry.session() as tel:
             system = self.build(rng=seed)
-            trace = system.run(self.rounds)
+            try:
+                trace = system.run(self.rounds)
+            finally:
+                getattr(system, "close", lambda: None)()
             snapshot = tel.snapshot()
         return RunResult(
             spec=self,
